@@ -1,0 +1,48 @@
+"""E1 — Figure 6: fraction of dynamic upper-bound checks removed.
+
+Paper: ABCD removes on average 45% of dynamic upper-bound checks; the
+Symantec microbenchmarks reach near-ideal elimination; the five SPEC
+programs are shown with a local/global split.
+
+Our corpus consists of idiom-preserving MiniJ kernels (see DESIGN.md), so
+absolute numbers run higher than the paper's full Java applications — the
+*shape* is the reproduction target: micros near-total, Hanoi/Dhrystone/mpeg
+limited by interprocedural parameters and multiplicative indexing, SPEC
+mixed, and the removal dominated by global (not local) redundancy.
+"""
+
+from __future__ import annotations
+
+from repro.bench.corpus import get
+from repro.bench.harness import format_figure6, run_benchmark
+
+
+def test_figure6_table(corpus_results, benchmark):
+    """Regenerate Figure 6 and benchmark one representative pipeline run."""
+    results = list(corpus_results.values())
+
+    benchmark(lambda: run_benchmark(get("Sieve"), pre=False))
+
+    table = format_figure6(results)
+    print()
+    print(table)
+
+    mean = sum(r.dynamic_upper_removed_fraction for r in results) / len(results)
+    assert mean > 0.45, "reproduction should at least reach the paper's mean"
+    # Near-ideal micro benchmarks (paper: "near-optimal" on Symantec).
+    assert corpus_results["biDirBubbleSort"].dynamic_upper_removed_fraction > 0.95
+    assert corpus_results["Array"].dynamic_upper_removed_fraction > 0.95
+    # Hard cases stay hard.
+    assert corpus_results["Hanoi"].dynamic_upper_removed_fraction < 0.7
+    assert corpus_results["mpeg"].dynamic_upper_removed_fraction < 0.8
+
+
+def test_figure6_local_global_split(corpus_results, benchmark):
+    """The SPEC rows' local/global split: global redundancy dominates."""
+    benchmark(lambda: corpus_results["db"].dynamic_upper_removed_split())
+    print()
+    print(f"{'benchmark':<12}{'local':>9}{'global':>9}")
+    for name in ("db", "compress", "mpeg", "jack", "jess"):
+        split = corpus_results[name].dynamic_upper_removed_split()
+        print(f"{name:<12}{split['local']:>8.1%}{split['global']:>8.1%}")
+        assert split["global"] >= split["local"]

@@ -1,0 +1,46 @@
+"""E4 — static redundancy statistics.
+
+Paper (Section 8): "In static terms, the average number of checks that
+were found fully redundant was about 31%.  Only bytemark had a significant
+number of static checks that were partially redundant (26%)."
+
+Our corpus is idiom-dense, so the fully-redundant fraction runs higher than
+31%; the shape targets are (a) a substantial static fully-redundant
+fraction everywhere, and (b) partial redundancy concentrated in bytemark.
+"""
+
+from __future__ import annotations
+
+from repro.bench.corpus import get
+from repro.bench.harness import run_benchmark
+
+
+def test_static_fractions(corpus_results, benchmark):
+    benchmark(lambda: run_benchmark(get("bytemark"), pre=True))
+
+    print()
+    print("E4 — static redundancy (paper: ~31% fully; bytemark 26% partially)")
+    print(f"{'benchmark':<18}{'analyzed':>9}{'fully':>8}{'partially':>11}")
+    partial_fractions = {}
+    for name, result in corpus_results.items():
+        fully = result.static_fully_redundant_fraction
+        partial = result.static_partially_redundant_fraction
+        partial_fractions[name] = partial
+        print(
+            f"{name:<18}{result.report.analyzed:>9}{fully:>8.1%}{partial:>11.1%}"
+        )
+
+    # bytemark is the partial-redundancy outlier, as in the paper.
+    bytemark_partial = partial_fractions.pop("bytemark")
+    assert bytemark_partial > 0.05
+    assert bytemark_partial >= max(partial_fractions.values())
+
+
+def test_fully_redundant_mean(corpus_results, benchmark):
+    benchmark(lambda: None)
+    fractions = [
+        r.static_fully_redundant_fraction for r in corpus_results.values()
+    ]
+    mean = sum(fractions) / len(fractions)
+    print(f"\nmean static fully-redundant fraction: {mean:.1%} (paper: ~31%)")
+    assert mean > 0.31

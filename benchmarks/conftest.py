@@ -1,0 +1,33 @@
+"""Shared fixtures for the experiment benchmarks (E1–E8, see DESIGN.md).
+
+The full corpus measurement is expensive (it interprets every program
+twice plus a profiling run), so it is computed once per session and shared
+by the benchmark files.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.corpus import CORPUS, get
+from repro.bench.harness import BenchResult, run_benchmark
+
+
+@pytest.fixture(scope="session")
+def corpus_results():
+    """Figure-6 pipeline over the whole corpus (ABCD + PRE)."""
+    results = {}
+    for program in CORPUS:
+        results[program.name] = run_benchmark(program, pre=True)
+    for name, result in results.items():
+        assert result.behaviour_preserved, f"{name}: behaviour changed"
+    return results
+
+
+@pytest.fixture(scope="session")
+def symantec_results(corpus_results):
+    return {
+        name: result
+        for name, result in corpus_results.items()
+        if get(name).category == "symantec"
+    }

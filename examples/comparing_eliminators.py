@@ -1,0 +1,103 @@
+#!/usr/bin/env python3
+"""Compare the three bounds-check eliminators on one program.
+
+* **ABCD** (this paper): sparse demand-driven difference constraints;
+* **value-range analysis** (Harrison/Patterson style): numeric intervals —
+  no symbolic lengths, no partial redundancy;
+* **loop versioning** (Midkiff et al. style): fast/slow loop copies behind
+  a run-time bound test — covers inductive loops only, duplicates code.
+
+Run:  python examples/comparing_eliminators.py
+"""
+
+from repro.baselines.loop_versioning import version_program_loops
+from repro.baselines.range_analysis import eliminate_program_with_ranges
+from repro.core.abcd import ABCDConfig, optimize_program
+from repro.frontend.parser import parse_source
+from repro.frontend.semantic import check_program
+from repro.ir.lowering import lower_program
+from repro.opt import run_standard_pipeline
+from repro.pipeline import compile_source, run
+from repro.ssa.essa import construct_essa
+
+SOURCE = """
+fn smooth(signal: int[], out: int[]): void {
+  // Averaging filter: classic inductive loop with offset accesses.
+  let n: int = len(signal);
+  if (len(out) < n) {
+    return;
+  }
+  for (let i: int = 1; i < n - 1; i = i + 1) {
+    out[i] = (signal[i - 1] + signal[i] + signal[i + 1]) / 3;
+  }
+}
+
+fn main(): int {
+  let signal: int[] = new int[256];
+  let out: int[] = new int[256];
+  for (let i: int = 0; i < len(signal); i = i + 1) {
+    signal[i] = (i * 17) % 64;
+  }
+  for (let round: int = 0; round < 4; round = round + 1) {
+    smooth(signal, out);
+  }
+  let sum: int = 0;
+  for (let i: int = 0; i < len(out); i = i + 1) {
+    sum = (sum + out[i]) % 1000000007;
+  }
+  return sum;
+}
+"""
+
+
+def size_of(program) -> int:
+    return sum(1 for fn in program.functions.values() for _ in fn.all_instructions())
+
+
+def main() -> None:
+    plain = compile_source(SOURCE)
+    base = run(plain, "main")
+    base_size = size_of(plain)
+    print(f"unoptimized: {base.stats.total_checks} dynamic checks, "
+          f"{base_size} instructions, result {base.value}")
+    print()
+    print(f"{'approach':<16}{'dyn checks':>12}{'removed':>9}{'code size':>11}")
+
+    # ABCD.
+    abcd_program = compile_source(SOURCE)
+    optimize_program(abcd_program, ABCDConfig())
+    abcd_run = run(abcd_program, "main")
+    assert abcd_run.value == base.value
+    print(f"{'ABCD':<16}{abcd_run.stats.total_checks:>12}"
+          f"{1 - abcd_run.stats.total_checks / base.stats.total_checks:>9.1%}"
+          f"{size_of(abcd_program):>11}")
+
+    # Value-range analysis.
+    range_program = compile_source(SOURCE, standard_opts=False)
+    eliminate_program_with_ranges(range_program)
+    range_run = run(range_program, "main")
+    assert range_run.value == base.value
+    print(f"{'value-range':<16}{range_run.stats.total_checks:>12}"
+          f"{1 - range_run.stats.total_checks / base.stats.total_checks:>9.1%}"
+          f"{size_of(range_program):>11}")
+
+    # Loop versioning.
+    ast = parse_source(SOURCE)
+    info = check_program(ast)
+    versioned = lower_program(ast, info)
+    version_program_loops(versioned)
+    for fn in versioned.functions.values():
+        construct_essa(fn)
+        run_standard_pipeline(fn)
+    versioned_run = run(versioned, "main")
+    assert versioned_run.value == base.value
+    print(f"{'loop versioning':<16}{versioned_run.stats.total_checks:>12}"
+          f"{1 - versioned_run.stats.total_checks / base.stats.total_checks:>9.1%}"
+          f"{size_of(versioned):>11}")
+
+    print("\nABCD removes the checks *and* shrinks the code; versioning pays")
+    print("with duplicated loops; numeric ranges miss the symbolic bounds.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,86 @@
+"""Backward liveness analysis over the CFG.
+
+Used for pruned SSA construction (φs are only placed for variables live at
+the join) and available to other passes.  φ semantics follow the standard
+convention: a φ's operands are live-out of the corresponding predecessors,
+not live-in to the φ's own block.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Set
+
+from repro.ir.function import Function
+from repro.ir.instructions import Phi, Var
+
+
+@dataclass
+class LivenessInfo:
+    """Live-in and live-out variable sets per block."""
+
+    live_in: Dict[str, Set[str]]
+    live_out: Dict[str, Set[str]]
+
+    def is_live_in(self, label: str, name: str) -> bool:
+        return name in self.live_in.get(label, set())
+
+
+def compute_liveness(fn: Function) -> LivenessInfo:
+    """Iterative worklist liveness over reachable blocks."""
+    reachable = fn.reachable_blocks()
+    preds = fn.predecessors()
+
+    # Per-block gen (upward-exposed uses) and kill (definitions) sets,
+    # φs excluded (handled edge-wise below).
+    gen: Dict[str, Set[str]] = {}
+    kill: Dict[str, Set[str]] = {}
+    # phi_uses[pred][...] = names used by φs of a successor along edge pred->succ.
+    phi_out: Dict[str, Set[str]] = {label: set() for label in reachable}
+    phi_defs: Dict[str, Set[str]] = {label: set() for label in reachable}
+
+    for label in reachable:
+        block = fn.blocks[label]
+        block_gen: Set[str] = set()
+        block_kill: Set[str] = set()
+        for phi in block.phis:
+            phi_defs[label].add(phi.dest)
+            for pred_label, operand in phi.incomings.items():
+                if isinstance(operand, Var) and pred_label in phi_out:
+                    phi_out[pred_label].add(operand.name)
+        for instr in list(block.body) + (
+            [block.terminator] if block.terminator is not None else []
+        ):
+            for name in instr.used_vars():
+                if name not in block_kill:
+                    block_gen.add(name)
+            dest = instr.defs()
+            if dest is not None:
+                block_kill.add(dest)
+        gen[label] = block_gen
+        kill[label] = block_kill
+
+    live_in: Dict[str, Set[str]] = {label: set() for label in reachable}
+    live_out: Dict[str, Set[str]] = {label: set() for label in reachable}
+
+    changed = True
+    while changed:
+        changed = False
+        for label in reversed(reachable):
+            block = fn.blocks[label]
+            new_out: Set[str] = set(phi_out[label])
+            for succ in block.successors():
+                new_out |= live_in[succ] - phi_defs[succ]
+            new_in = gen[label] | (new_out - kill[label] - phi_defs[label])
+            if new_out != live_out[label] or new_in != live_in[label]:
+                live_out[label] = new_out
+                live_in[label] = new_in
+                changed = True
+
+    # A φ use is live-out of the predecessor edge; fold it in for
+    # consumers that only look at live_out.
+    for label in reachable:
+        live_out[label] |= phi_out[label]
+
+    del preds
+    return LivenessInfo(live_in, live_out)

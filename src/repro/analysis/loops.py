@@ -1,0 +1,61 @@
+"""Natural loop detection.
+
+Loops are identified from back edges (``tail -> header`` where the header
+dominates the tail).  Used for reporting (loop depth of checks), for the
+range-analysis baseline's widening points, and by benchmark statistics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set
+
+from repro.analysis.dominance import DominatorTree
+from repro.ir.function import Function
+
+
+@dataclass
+class NaturalLoop:
+    """A natural loop: its header and the set of member blocks."""
+
+    header: str
+    body: Set[str] = field(default_factory=set)
+    back_edges: List[str] = field(default_factory=list)
+
+    def __contains__(self, label: str) -> bool:
+        return label in self.body
+
+
+def find_natural_loops(fn: Function, domtree: Optional[DominatorTree] = None) -> List[NaturalLoop]:
+    """Find all natural loops; loops sharing a header are merged."""
+    if domtree is None:
+        domtree = DominatorTree.compute(fn)
+    loops: Dict[str, NaturalLoop] = {}
+    for label in fn.reachable_blocks():
+        for succ in fn.blocks[label].successors():
+            if domtree.dominates(succ, label):
+                loop = loops.setdefault(succ, NaturalLoop(succ, {succ}))
+                loop.back_edges.append(label)
+                _collect_loop_body(fn, loop, label)
+    return list(loops.values())
+
+
+def _collect_loop_body(fn: Function, loop: NaturalLoop, tail: str) -> None:
+    """Walk predecessors backward from the back-edge tail to the header."""
+    preds = fn.predecessors()
+    stack = [tail]
+    while stack:
+        label = stack.pop()
+        if label in loop.body:
+            continue
+        loop.body.add(label)
+        stack.extend(preds[label])
+
+
+def loop_depths(fn: Function) -> Dict[str, int]:
+    """Nesting depth of each block (0 = not in any loop)."""
+    depths = {label: 0 for label in fn.reachable_blocks()}
+    for loop in find_natural_loops(fn):
+        for label in loop.body:
+            depths[label] += 1
+    return depths

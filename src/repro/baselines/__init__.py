@@ -1,0 +1,17 @@
+"""Baseline bounds-check eliminators ABCD is compared against."""
+
+from repro.baselines.range_analysis import (
+    Interval,
+    RangeAnalysis,
+    RangeReport,
+    eliminate_program_with_ranges,
+    eliminate_with_ranges,
+)
+
+__all__ = [
+    "Interval",
+    "RangeAnalysis",
+    "RangeReport",
+    "eliminate_with_ranges",
+    "eliminate_program_with_ranges",
+]

@@ -1,0 +1,111 @@
+"""The benchmark corpus: the fifteen programs of the paper's Figure 6.
+
+Five SPECjvm98 stand-ins (db, compress, mpeg, jack, jess), seven Symantec
+microbenchmarks (bubbleSort, biDirBubbleSort, Qsort, Sieve, Hanoi,
+Dhrystone, Array), and three other programs (toba, bytemark, jolt).  Each
+is a MiniJ program preserving the array-access idioms of its original (see
+DESIGN.md for the substitution rationale).
+"""
+
+from __future__ import annotations
+
+import pathlib
+from dataclasses import dataclass
+from typing import Dict, List
+
+_PROGRAM_DIR = pathlib.Path(__file__).parent / "programs"
+
+
+@dataclass(frozen=True)
+class BenchmarkProgram:
+    """One corpus entry."""
+
+    name: str
+    #: ``"spec"``, ``"symantec"``, or ``"other"`` — Figure 6 groups the five
+    #: SPEC programs separately (with the local/global split).
+    category: str
+    filename: str
+    description: str
+
+    @property
+    def path(self) -> pathlib.Path:
+        return _PROGRAM_DIR / self.filename
+
+    def source(self) -> str:
+        return self.path.read_text()
+
+
+CORPUS: List[BenchmarkProgram] = [
+    BenchmarkProgram(
+        "db", "spec", "spec_db.mj",
+        "in-memory database: sorted insert, binary search, scans",
+    ),
+    BenchmarkProgram(
+        "compress", "spec", "spec_compress.mj",
+        "LZW-style coder: hash probing plus buffer scans",
+    ),
+    BenchmarkProgram(
+        "mpeg", "spec", "spec_mpeg.mj",
+        "DSP kernels: 8x8 IDCT butterflies, windowing, saturation",
+    ),
+    BenchmarkProgram(
+        "jack", "spec", "spec_jack.mj",
+        "table-driven scanner: DFA stepping and token collection",
+    ),
+    BenchmarkProgram(
+        "jess", "spec", "spec_jess.mj",
+        "rule engine: nested joins over fact tables, agenda indirection",
+    ),
+    BenchmarkProgram(
+        "bubbleSort", "symantec", "bubble_sort.mj",
+        "classic bubble sort",
+    ),
+    BenchmarkProgram(
+        "biDirBubbleSort", "symantec", "bidir_bubble_sort.mj",
+        "the paper's running example (Figure 1)",
+    ),
+    BenchmarkProgram(
+        "Qsort", "symantec", "qsort.mj",
+        "iterative quicksort with an explicit segment stack",
+    ),
+    BenchmarkProgram(
+        "Sieve", "symantec", "sieve.mj",
+        "Sieve of Eratosthenes",
+    ),
+    BenchmarkProgram(
+        "Hanoi", "symantec", "hanoi.mj",
+        "Towers of Hanoi on explicit peg arrays",
+    ),
+    BenchmarkProgram(
+        "Dhrystone", "symantec", "dhrystone.mj",
+        "synthetic integer mix with flattened 2-D indexing",
+    ),
+    BenchmarkProgram(
+        "Array", "symantec", "array_micro.mj",
+        "fill/copy/reverse/shift/sum microbenchmark",
+    ),
+    BenchmarkProgram(
+        "toba", "other", "toba.mj",
+        "bytecode translator: pc-stepped dispatch and emission",
+    ),
+    BenchmarkProgram(
+        "bytemark", "other", "bytemark.mj",
+        "numeric kernels rich in loop-invariant (partially redundant) checks",
+    ),
+    BenchmarkProgram(
+        "jolt", "other", "jolt.mj",
+        "application glue: interning, RLE, a tiny interpreter",
+    ),
+]
+
+BY_NAME: Dict[str, BenchmarkProgram] = {p.name: p for p in CORPUS}
+
+
+def get(name: str) -> BenchmarkProgram:
+    """Look up one corpus program by its Figure-6 name."""
+    return BY_NAME[name]
+
+
+def names(category: str = None) -> List[str]:
+    """Corpus program names, optionally restricted to one category."""
+    return [p.name for p in CORPUS if category is None or p.category == category]

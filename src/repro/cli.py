@@ -1,0 +1,255 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``run FILE``       — compile and execute a MiniJ program, reporting the
+  result and the dynamic check counters;
+* ``optimize FILE``  — run ABCD and print the per-check report (optionally
+  the optimized IR and the dynamic before/after comparison);
+* ``ir FILE``        — print the compiled IR (e-SSA by default);
+* ``dot FILE``       — emit Graphviz for a function's CFG or its
+  inequality graphs;
+* ``bench``          — regenerate the Figure-6 table over the corpus.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.core.abcd import ABCDConfig, optimize_program
+from repro.errors import MiniJRuntimeError, ReproError
+from repro.ir.printer import format_function, format_program
+from repro.pipeline import clone_program, compile_source, run
+from repro.runtime.profiler import collect_profile
+
+
+def _read_source(path: str) -> str:
+    with open(path, "r", encoding="utf-8") as handle:
+        return handle.read()
+
+
+def _add_compile_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("file", help="MiniJ source file")
+    parser.add_argument(
+        "--inline", action="store_true", help="inline non-recursive calls first"
+    )
+    parser.add_argument(
+        "--no-std-opts",
+        action="store_true",
+        help="skip copy propagation / constant folding / DCE",
+    )
+
+
+def _compile(args) -> "Program":
+    return compile_source(
+        _read_source(args.file),
+        standard_opts=not args.no_std_opts,
+        inline=args.inline,
+    )
+
+
+def _config_from(args) -> ABCDConfig:
+    return ABCDConfig(
+        upper=not getattr(args, "lower_only", False),
+        lower=not getattr(args, "upper_only", False),
+        gvn_mode=getattr(args, "gvn", "consult"),
+        allocation_facts=not getattr(args, "no_allocation_facts", False),
+        pre=getattr(args, "pre", False),
+    )
+
+
+# ----------------------------------------------------------------------
+# Commands.
+# ----------------------------------------------------------------------
+
+
+def cmd_run(args) -> int:
+    program = _compile(args)
+    if args.optimize:
+        config = _config_from(args)
+        profile = collect_profile(program, args.fn, args.args) if config.pre else None
+        optimize_program(program, config, profile)
+    try:
+        result = run(program, args.fn, args.args)
+    except MiniJRuntimeError as exc:
+        print(f"runtime error: {exc}", file=sys.stderr)
+        return 1
+    stats = result.stats
+    print(f"result: {result.value}")
+    print(
+        f"checks: {stats.total_checks} "
+        f"(lower {stats.lower_checks}, upper {stats.upper_checks}, "
+        f"speculative {stats.speculative_checks})"
+    )
+    print(f"instructions: {stats.instructions}  cycles: {stats.cycles}")
+    return 0
+
+
+def cmd_optimize(args) -> int:
+    program = _compile(args)
+    baseline = clone_program(program)
+    config = _config_from(args)
+    profile = None
+    if config.pre:
+        profile = collect_profile(program, args.fn)
+    report = optimize_program(program, config, profile)
+
+    print(f"{'check':>6} {'kind':<6} {'function':<16} {'verdict':<8} "
+          f"{'steps':>6} {'scope':<7} notes")
+    for analysis in report.analyses:
+        notes = []
+        if analysis.via_gvn:
+            notes.append("gvn")
+        if analysis.pre_applied:
+            notes.append(f"pre({analysis.pre_insertions})")
+        print(
+            f"#{analysis.check_id:>5} {analysis.kind:<6} "
+            f"{analysis.function:<16} {analysis.result.name:<8} "
+            f"{analysis.steps:>6} {analysis.scope or '-':<7} "
+            f"{' '.join(notes)}"
+        )
+    print(
+        f"\neliminated {report.eliminated_count()} of {report.analyzed} checks "
+        f"({report.eliminated_count('upper')}/{report.analyzed_count('upper')} upper, "
+        f"{report.eliminated_count('lower')}/{report.analyzed_count('lower')} lower); "
+        f"mean steps/check: {report.mean_steps:.1f}"
+    )
+
+    if args.compare:
+        base_stats = run(baseline, args.fn).stats
+        opt_stats = run(program, args.fn).stats
+        survived = opt_stats.total_checks + opt_stats.speculative_checks
+        print(
+            f"dynamic checks: {base_stats.total_checks} -> {survived}; "
+            f"cycles: {base_stats.cycles} -> {opt_stats.cycles} "
+            f"({(base_stats.cycles - opt_stats.cycles) / base_stats.cycles:.1%} saved)"
+        )
+    if args.emit_ir:
+        print()
+        print(format_program(program))
+    return 0
+
+
+def cmd_ir(args) -> int:
+    program = _compile(args)
+    if args.fn:
+        print(format_function(program.function(args.fn)))
+    else:
+        print(format_program(program))
+    return 0
+
+
+def cmd_dot(args) -> int:
+    program = _compile(args)
+    fn = program.function(args.fn)
+    if args.graph == "cfg":
+        from repro.ir.dot import cfg_to_dot
+
+        print(cfg_to_dot(fn))
+    else:
+        from repro.core.constraints import build_graphs
+
+        bundle = build_graphs(fn)
+        graph = bundle.upper if args.graph == "upper" else bundle.lower
+        print(graph.to_dot())
+    return 0
+
+
+def cmd_bench(args) -> int:
+    from repro.bench.corpus import CORPUS
+    from repro.bench.harness import format_figure6, run_benchmark
+
+    names = set(args.names) if args.names else None
+    results = []
+    for program_def in CORPUS:
+        if names is not None and program_def.name not in names:
+            continue
+        print(f"measuring {program_def.name}...", file=sys.stderr)
+        results.append(run_benchmark(program_def, pre=not args.no_pre))
+    if not results:
+        print("no matching corpus programs", file=sys.stderr)
+        return 1
+    print(format_figure6(results))
+    return 0
+
+
+# ----------------------------------------------------------------------
+# Parser.
+# ----------------------------------------------------------------------
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="ABCD bounds-check elimination (PLDI 2000) reproduction",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    run_parser = commands.add_parser("run", help="compile and execute")
+    _add_compile_flags(run_parser)
+    run_parser.add_argument("--fn", default="main", help="entry function")
+    run_parser.add_argument(
+        "--args", nargs="*", type=int, default=[], help="integer arguments"
+    )
+    run_parser.add_argument(
+        "--optimize", action="store_true", help="run ABCD before executing"
+    )
+    run_parser.add_argument("--pre", action="store_true", help="enable PRE")
+    run_parser.set_defaults(handler=cmd_run)
+
+    opt_parser = commands.add_parser("optimize", help="run ABCD and report")
+    _add_compile_flags(opt_parser)
+    opt_parser.add_argument("--fn", default="main", help="entry for profiling/compare")
+    opt_parser.add_argument("--pre", action="store_true", help="enable PRE")
+    opt_parser.add_argument(
+        "--gvn", choices=["off", "consult", "augment"], default="consult"
+    )
+    opt_parser.add_argument("--upper-only", action="store_true")
+    opt_parser.add_argument("--lower-only", action="store_true")
+    opt_parser.add_argument("--no-allocation-facts", action="store_true")
+    opt_parser.add_argument(
+        "--compare", action="store_true", help="run before/after and compare"
+    )
+    opt_parser.add_argument(
+        "--emit-ir", action="store_true", help="print the optimized IR"
+    )
+    opt_parser.set_defaults(handler=cmd_optimize)
+
+    ir_parser = commands.add_parser("ir", help="print compiled IR")
+    _add_compile_flags(ir_parser)
+    ir_parser.add_argument("--fn", default=None, help="only this function")
+    ir_parser.set_defaults(handler=cmd_ir)
+
+    dot_parser = commands.add_parser("dot", help="emit Graphviz")
+    _add_compile_flags(dot_parser)
+    dot_parser.add_argument("--fn", required=True)
+    dot_parser.add_argument(
+        "--graph", choices=["cfg", "upper", "lower"], default="cfg"
+    )
+    dot_parser.set_defaults(handler=cmd_dot)
+
+    bench_parser = commands.add_parser("bench", help="Figure-6 table")
+    bench_parser.add_argument("--names", nargs="*", help="corpus subset")
+    bench_parser.add_argument("--no-pre", action="store_true")
+    bench_parser.set_defaults(handler=cmd_bench)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.handler(args)
+    except FileNotFoundError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

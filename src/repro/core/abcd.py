@@ -1,0 +1,305 @@
+"""The ABCD driver (paper, Figure 2).
+
+For each bounds check ``check A[x]`` (optionally restricted to a hot set):
+
+1. query the matching inequality graph —
+   upper: ``demandProve(G_upper, x - len(A) <= -1)``,
+   lower: ``demandProve(G_lower, 0 - x <= 0)`` (negated space);
+2. if proven (``True`` or ``Reduced``), delete the check;
+3. otherwise, optionally consult global value numbering (Section 7.1) and
+   retry against congruent arrays;
+4. otherwise, optionally attempt partial-redundancy elimination
+   (Section 6, ``repro.core.pre``).
+
+Each eliminated check is classified **local** when a proof exists using
+only constraints generated in the check's own basic block, else
+**global** — the split shown for the SPEC benchmarks in Figure 6.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set
+
+from repro.core.constraints import GraphBundle, build_graphs
+from repro.core.graph import Edge, InequalityGraph, Node, const_node, len_node, var_node
+from repro.core.lattice import ProofResult
+from repro.core.solver import DemandProver
+from repro.ir.function import Function, Program
+from repro.ir.instructions import CheckLower, CheckUpper, Var
+from repro.runtime.profiler import Profile
+
+
+@dataclass
+class ABCDConfig:
+    """Tunables of one optimization run.
+
+    ``upper``/``lower`` select which check kinds to analyze (the paper's
+    experiments focus on upper checks; both default on).  ``pre`` enables
+    the Section-6 partial-redundancy extension and requires a profile at
+    ``optimize_function``/``optimize_program`` time.  ``allocation_facts``
+    forwards to the graph builder.  ``hot_checks`` restricts analysis to a
+    set of check ids (the demand-driven JIT scenario); ``None`` analyzes
+    everything.
+    """
+
+    upper: bool = True
+    lower: bool = True
+    pre: bool = False
+    allocation_facts: bool = True
+    hot_checks: Optional[Set[int]] = None
+    #: Section 7.1 usage of global value numbering:
+    #: "off" — no GVN; "consult" — the paper implementation's on-demand
+    #: retry against congruent arrays; "augment" — additionally add
+    #: congruence edges to the inequality graph (the general mechanism).
+    gvn_mode: str = "consult"
+    #: PRE inserts only when the summed profile frequency of the insertion
+    #: edges stays below ``pre_gain_ratio`` times the check's own frequency
+    #: (1.0 = the paper's break-even rule).
+    pre_gain_ratio: float = 1.0
+    #: Ablation switch: drop the C4/C5 π predicate edges from the graph,
+    #: reducing e-SSA to plain SSA value flow (expected: collapse of the
+    #: Figure-6 numbers).
+    pi_constraints: bool = True
+
+
+@dataclass
+class CheckAnalysis:
+    """The analysis record of a single bounds check."""
+
+    check_id: int
+    kind: str  # "lower" | "upper"
+    function: str
+    block: str
+    result: ProofResult
+    steps: int
+    seconds: float
+    eliminated: bool = False
+    scope: Optional[str] = None  # "local" | "global" for eliminated checks
+    via_gvn: bool = False
+    pre_applied: bool = False
+    pre_insertions: int = 0
+
+
+@dataclass
+class ABCDReport:
+    """Aggregated outcome of one ``abcd_optimize`` run."""
+
+    analyses: List[CheckAnalysis] = field(default_factory=list)
+
+    @property
+    def analyzed(self) -> int:
+        return len(self.analyses)
+
+    @property
+    def eliminated_ids(self) -> Set[int]:
+        return {a.check_id for a in self.analyses if a.eliminated}
+
+    def eliminated_count(self, kind: Optional[str] = None) -> int:
+        return sum(
+            1
+            for a in self.analyses
+            if a.eliminated and (kind is None or a.kind == kind)
+        )
+
+    def analyzed_count(self, kind: Optional[str] = None) -> int:
+        return sum(1 for a in self.analyses if kind is None or a.kind == kind)
+
+    @property
+    def total_steps(self) -> int:
+        return sum(a.steps for a in self.analyses)
+
+    @property
+    def mean_steps(self) -> float:
+        return self.total_steps / len(self.analyses) if self.analyses else 0.0
+
+    @property
+    def pre_transformed(self) -> int:
+        return sum(1 for a in self.analyses if a.pre_applied)
+
+    def by_scope(self, scope: str) -> int:
+        return sum(1 for a in self.analyses if a.eliminated and a.scope == scope)
+
+    def merge(self, other: "ABCDReport") -> None:
+        self.analyses.extend(other.analyses)
+
+
+@dataclass
+class _CheckSite:
+    instr: object
+    kind: str
+    block: str
+    target: Node
+    array: Optional[str]
+
+
+def _operand_target(operand) -> Node:
+    if isinstance(operand, Var):
+        return var_node(operand.name)
+    return const_node(operand.value)
+
+
+def _check_sites(fn: Function) -> List[_CheckSite]:
+    sites: List[_CheckSite] = []
+    for label in fn.reachable_blocks():
+        for instr in fn.blocks[label].body:
+            if isinstance(instr, CheckLower):
+                sites.append(
+                    _CheckSite(instr, "lower", label, _operand_target(instr.index), None)
+                )
+            elif isinstance(instr, CheckUpper):
+                sites.append(
+                    _CheckSite(
+                        instr, "upper", label, _operand_target(instr.index), instr.array
+                    )
+                )
+    return sites
+
+
+def optimize_function(
+    fn: Function,
+    program: Program,
+    config: Optional[ABCDConfig] = None,
+    profile: Optional[Profile] = None,
+) -> ABCDReport:
+    """Run ABCD over one e-SSA function, removing redundant checks in
+    place, and return the per-check report."""
+    from repro.core.pre import attempt_pre  # local import: pre depends on us
+
+    config = config or ABCDConfig()
+    report = ABCDReport()
+    if fn.ssa_form != "essa":
+        raise ValueError(f"{fn.name}: ABCD requires e-SSA form")
+    if config.gvn_mode not in ("off", "consult", "augment"):
+        raise ValueError(f"bad gvn_mode {config.gvn_mode!r}")
+    gvn = None
+    if config.gvn_mode != "off":
+        from repro.opt.gvn import value_number
+
+        gvn = value_number(fn)
+    bundle = build_graphs(
+        fn,
+        allocation_facts=config.allocation_facts,
+        gvn=gvn if config.gvn_mode == "augment" else None,
+        pi_constraints=config.pi_constraints,
+    )
+
+    to_remove: List[_CheckSite] = []
+    for site in _check_sites(fn):
+        if site.kind == "upper" and not config.upper:
+            continue
+        if site.kind == "lower" and not config.lower:
+            continue
+        check_id = site.instr.check_id
+        if config.hot_checks is not None and check_id not in config.hot_checks:
+            continue
+
+        graph, source, budget = _query_for(bundle, site)
+        target = site.target
+
+        started = time.perf_counter()
+        prover = DemandProver(graph)
+        outcome = prover.demand_prove(source, target, budget)
+        analysis = CheckAnalysis(
+            check_id=check_id,
+            kind=site.kind,
+            function=fn.name,
+            block=site.block,
+            result=outcome.result,
+            steps=outcome.steps,
+            seconds=0.0,
+        )
+
+        if not outcome.proven and site.kind == "upper" and gvn is not None:
+            if _gvn_retry(bundle, gvn, site, budget):
+                analysis.result = ProofResult.TRUE
+                analysis.via_gvn = True
+                outcome = None  # proof came from the congruent source
+
+        if analysis.result.proven:
+            analysis.eliminated = True
+            analysis.scope = _classify_scope(graph, source, target, budget, site.block)
+            to_remove.append(site)
+        elif config.pre and profile is not None:
+            decision = attempt_pre(
+                fn, program, bundle, site, profile, config.pre_gain_ratio
+            )
+            if decision is not None:
+                analysis.pre_applied = True
+                analysis.pre_insertions = decision.insertion_count
+                analysis.eliminated = True
+                analysis.scope = "global"
+        analysis.seconds = time.perf_counter() - started
+        report.analyses.append(analysis)
+
+    for site in to_remove:
+        _remove_instr(fn, site)
+    return report
+
+
+def optimize_program(
+    program: Program,
+    config: Optional[ABCDConfig] = None,
+    profile: Optional[Profile] = None,
+    functions: Optional[Sequence[str]] = None,
+) -> ABCDReport:
+    """Run ABCD over every (or the named) functions of a program."""
+    report = ABCDReport()
+    names = list(functions) if functions is not None else list(program.functions)
+    for name in names:
+        report.merge(optimize_function(program.functions[name], program, config, profile))
+    return report
+
+
+# ----------------------------------------------------------------------
+# Helpers.
+# ----------------------------------------------------------------------
+
+
+def _query_for(bundle: GraphBundle, site: _CheckSite):
+    """Graph, source vertex, and budget for one check's query."""
+    if site.kind == "upper":
+        assert site.array is not None
+        return bundle.upper, len_node(site.array), -1
+    return bundle.lower, const_node(0), 0
+
+
+def _classify_scope(
+    graph: InequalityGraph, source: Node, target: Node, budget: int, block: str
+) -> str:
+    """"local" when provable with constraints from the check's block only
+    (virtual constant edges, having no block, stay available)."""
+
+    def same_block(edge: Edge) -> bool:
+        return edge.block is None or edge.block == block
+
+    local = DemandProver(graph, edge_filter=same_block)
+    if local.demand_prove(source, target, budget).proven:
+        return "local"
+    return "global"
+
+
+def _gvn_retry(
+    bundle: GraphBundle,
+    gvn,
+    site: _CheckSite,
+    budget: int,
+) -> bool:
+    """Section 7.1 (restricted form): on failure against ``len(A)``, retry
+    against the lengths of arrays value-congruent to ``A``."""
+    assert site.array is not None
+    congruent = gvn.class_members(site.array)
+    target = site.target
+    for other in sorted(congruent):
+        if other == site.array or other not in bundle.array_vars:
+            continue
+        prover = DemandProver(bundle.upper)
+        if prover.demand_prove(len_node(other), target, budget).proven:
+            return True
+    return False
+
+
+def _remove_instr(fn: Function, site: _CheckSite) -> None:
+    block = fn.blocks[site.block]
+    block.body = [instr for instr in block.body if instr is not site.instr]

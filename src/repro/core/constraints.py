@@ -1,0 +1,340 @@
+"""Building the inequality graph from an e-SSA function (paper, Table 1).
+
+Upper-bound graph (edge ``u -> v`` weight ``w`` means ``v <= u + w``):
+
+====  =========================  =======================  ==================
+rule  statement                  constraint               edge / weight
+====  =========================  =======================  ==================
+C1    ``v := arraylen A``        ``v <= len(A)``          ``len(A) -> v / 0``
+C2    ``v := c``                 ``v <= c``               ``c -> v / 0``
+C3    ``v := y + c``             ``v <= y + c``           ``y -> v / c``
+C4    π at branch exit           e.g. ``v' <= w - 1``     per relation below
+C5    π after ``checkupper``     ``v' <= len(A) - 1``     ``len(A) -> v' / -1``
+φ     ``v := φ(a, b)``           ``v <= max(a, b)``       ``a -> v / 0``,
+                                                          ``b -> v / 0``;
+                                                          ``v ∈ V_φ``
+====  =========================  =======================  ==================
+
+Every π also contributes its value-flow half ``dest <= src`` (weight-0 edge
+from the source).
+
+The **lower-bound graph** is the exact dual, built in *negated space* so the
+same ``<=`` solver applies: a fact ``v >= u + c`` becomes the edge
+``u -> v`` with weight ``-c`` (since ``-v <= -u - c``), φ stays a max
+vertex (``v >= min(a,b)`` ⇔ ``-v <= max(-a,-b)``), and the source vertex of
+a lower-bound proof is the constant 0.  Additional lower-space axiom:
+``len(A) >= 0`` for every array-length vertex (the paper mentions this edge
+explicitly when discussing ``st1``).
+
+**Edge-direction discipline.**  Each statement contributes, per graph, only
+the single inequality direction of Table 1 — never both halves of an
+equality.  This is not a stylistic choice: the Figure-5 solver's treatment
+of harmless cycles (``Reduced``) is sound only when every cycle of ``G_I``
+contains a φ vertex, which Table-1 edges guarantee because all value-flow
+cycles come from control-flow cycles.  Bidirectional equality edges would
+create two-node φ-free cycles and let ``Reduced`` leak through min-vertex
+joins as an unfounded proof.  The one extension (default-on) follows the
+same discipline:
+
+* ``a := newarray n`` pins ``n <= len(a)`` in the upper graph and
+  ``n >= len(a)`` in the lower graph (the half that lets a proof continue
+  *through* ``n`` toward the length literal).  In Java the equivalent facts
+  arrive for free via redundant ``arraylength`` loads feeding C1; MiniJ
+  programs that cache ``len(a)`` in a variable need nothing but C1, and
+  ``allocation_facts=False`` restores pure Table-1 behaviour for ablation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Set
+
+from repro.core.graph import InequalityGraph, Node, const_node, len_node, var_node
+from repro.ir.function import Function
+from repro.ir.instructions import (
+    ArrayLen,
+    ArrayLoad,
+    ArrayNew,
+    ArrayStore,
+    BinOp,
+    CheckUpper,
+    Const,
+    Copy,
+    Operand,
+    Phi,
+    Pi,
+    Var,
+)
+
+
+@dataclass
+class GraphBundle:
+    """The two dual constraint systems of one function."""
+
+    upper: InequalityGraph
+    lower: InequalityGraph
+    #: Variables known to hold array references (for GVN consultation).
+    array_vars: Set[str]
+
+
+def build_graphs(
+    fn: Function,
+    allocation_facts: bool = True,
+    gvn=None,
+    pi_constraints: bool = True,
+) -> GraphBundle:
+    """Build upper and lower inequality graphs for an e-SSA function.
+
+    ``gvn`` (a :class:`repro.opt.gvn.ValueNumbering`) enables the
+    Section-7.1 extension in its general form: for value-congruent
+    variables ``u``, ``v`` with ``def(u)`` dominating ``def(v)``, the edge
+    ``u -> v`` of weight 0 is added to both graphs (``v <= u`` and
+    ``v >= u`` respectively).  Congruent *array* variables contribute the
+    analogous edge between their length vertices.  Dominance-directed
+    edges cannot close a φ-free cycle, preserving the solver's soundness
+    invariant.
+    """
+    if fn.ssa_form != "essa":
+        raise ValueError(f"{fn.name}: inequality graph requires e-SSA form")
+    builder = _GraphBuilder(fn, allocation_facts, pi_constraints)
+    bundle = builder.build()
+    if gvn is not None:
+        _augment_with_gvn(fn, bundle, gvn)
+    return bundle
+
+
+def _augment_with_gvn(fn: Function, bundle: GraphBundle, gvn) -> None:
+    from repro.analysis.dominance import DominatorTree
+
+    domtree = DominatorTree.compute(fn)
+    positions = {}
+    for label in fn.reachable_blocks():
+        for index, instr in enumerate(fn.blocks[label].instructions()):
+            dest = instr.defs()
+            if dest is not None:
+                positions[dest] = (label, index)
+    for param in fn.params:
+        positions[param] = (fn.entry, -1)
+
+    def dominates_def(u: str, v: str) -> bool:
+        if u not in positions or v not in positions:
+            return False
+        (bu, iu), (bv, iv) = positions[u], positions[v]
+        if bu == bv:
+            return iu < iv
+        return domtree.dominates(bu, bv)
+
+    seen_classes = set()
+    for name in sorted(gvn.class_of):
+        class_id = gvn.class_of[name]
+        if class_id in seen_classes:
+            continue
+        seen_classes.add(class_id)
+        members = sorted(gvn.class_members(name))
+        if len(members) < 2:
+            continue
+        for u in members:
+            for v in members:
+                if u == v or not dominates_def(u, v):
+                    continue
+                if u in bundle.array_vars and v in bundle.array_vars:
+                    bundle.upper.add_edge(len_node(u), len_node(v), 0, None)
+                    bundle.lower.add_edge(len_node(u), len_node(v), 0, None)
+                elif u not in bundle.array_vars and v not in bundle.array_vars:
+                    bundle.upper.add_edge(var_node(u), var_node(v), 0, None)
+                    bundle.lower.add_edge(var_node(u), var_node(v), 0, None)
+
+
+def collect_array_vars(fn: Function) -> Set[str]:
+    """Fixpoint of "holds an array reference": direct array uses plus
+    closure over copies, φs, and πs (both directions, since aliases of an
+    array are arrays)."""
+    direct: Set[str] = set()
+    flows: List[tuple] = []
+    for instr in fn.all_instructions():
+        if isinstance(instr, ArrayNew):
+            direct.add(instr.dest)
+        elif isinstance(instr, (ArrayLen, ArrayLoad, ArrayStore, CheckUpper)):
+            direct.add(instr.array)
+        elif isinstance(instr, Copy) and isinstance(instr.src, Var):
+            flows.append((instr.dest, instr.src.name))
+        elif isinstance(instr, Pi):
+            flows.append((instr.dest, instr.src))
+        elif isinstance(instr, Phi):
+            for operand in instr.incomings.values():
+                if isinstance(operand, Var):
+                    flows.append((instr.dest, operand.name))
+    arrays = set(direct)
+    changed = True
+    while changed:
+        changed = False
+        for dest, src in flows:
+            if src in arrays and dest not in arrays:
+                arrays.add(dest)
+                changed = True
+            elif dest in arrays and src not in arrays:
+                arrays.add(src)
+                changed = True
+    return arrays
+
+
+def _operand_node(op: Operand) -> Node:
+    if isinstance(op, Const):
+        return const_node(op.value)
+    assert isinstance(op, Var)
+    return var_node(op.name)
+
+
+class _GraphBuilder:
+    def __init__(
+        self, fn: Function, allocation_facts: bool, pi_constraints: bool = True
+    ) -> None:
+        self._fn = fn
+        self._allocation_facts = allocation_facts
+        #: When False (ablation), πs contribute only their value-flow
+        #: half — C4/C5 predicate edges are dropped, degrading e-SSA to
+        #: plain SSA value flow.
+        self._pi_constraints = pi_constraints
+        self.upper = InequalityGraph("upper")
+        self.lower = InequalityGraph("lower")
+        self.array_vars: Set[str] = set()
+
+    def build(self) -> GraphBundle:
+        self.array_vars = collect_array_vars(self._fn)
+        for label in self._fn.reachable_blocks():
+            for instr in self._fn.blocks[label].instructions():
+                self._visit(instr, label)
+        # Axiom: every array length is non-negative.  Lower-space edge
+        # 0 -> len(A) / 0 encodes len(A) >= 0.
+        for array in sorted(self.array_vars):
+            self.lower.add_edge(const_node(0), len_node(array), 0, None)
+        return GraphBundle(self.upper, self.lower, self.array_vars)
+
+    # ------------------------------------------------------------------
+    # Per-instruction rules.
+    # ------------------------------------------------------------------
+
+    def _visit(self, instr, block: str) -> None:
+        if isinstance(instr, ArrayLen):
+            # C1: v == len(A); encode v <= len(A) (upper) and v >= len(A)
+            # (lower), each the direction that lets proofs flow from the
+            # index variable toward the length literal.
+            dest = var_node(instr.dest)
+            self.upper.add_edge(len_node(instr.array), dest, 0, block)
+            self.lower.add_edge(len_node(instr.array), dest, 0, block)
+        elif isinstance(instr, Copy):
+            if instr.dest in self.array_vars:
+                if isinstance(instr.src, Var):
+                    self._alias_lengths(instr.dest, instr.src.name, block)
+                return
+            # C2 (constant) or plain value flow: dest == src, one direction
+            # per graph.
+            dest = var_node(instr.dest)
+            source = _operand_node(instr.src)
+            self.upper.add_edge(source, dest, 0, block)
+            self.lower.add_edge(source, dest, 0, block)
+        elif isinstance(instr, BinOp):
+            self._binop(instr, block)
+        elif isinstance(instr, Phi):
+            self._phi(instr, block)
+        elif isinstance(instr, Pi):
+            self._pi(instr, block)
+        elif isinstance(instr, ArrayNew) and self._allocation_facts:
+            self._allocation(instr, block)
+
+    def _alias_lengths(self, dest: str, src: str, block: str) -> None:
+        """``dest := src`` for arrays: ``len(dest) == len(src)``; single
+        direction per graph (dest's length bounded by src's)."""
+        self.upper.add_edge(len_node(src), len_node(dest), 0, block)
+        self.lower.add_edge(len_node(src), len_node(dest), 0, block)
+
+    def _allocation(self, instr: ArrayNew, block: str) -> None:
+        """``a := newarray n``: encode ``n <= len(a)`` (upper) and
+        ``n >= len(a)`` (lower), i.e. an in-edge to the length operand.
+
+        When ``n`` is the constant 0 the lower-space edge would close a
+        φ-free cycle with the ``len(A) >= 0`` axiom, so it is skipped
+        (it carries no information beyond the axiom anyway).
+        """
+        length = _operand_node(instr.length)
+        self.upper.add_edge(len_node(instr.dest), length, 0, block)
+        if not (isinstance(instr.length, Const) and instr.length.value == 0):
+            self.lower.add_edge(len_node(instr.dest), length, 0, block)
+
+    def _binop(self, instr: BinOp, block: str) -> None:
+        """C3: ``v := y ± c``.  Any other arithmetic leaves ``v``
+        unconstrained (paper, Section 2)."""
+        if instr.dest in self.array_vars:
+            return
+        dest = var_node(instr.dest)
+        source = None
+        constant = 0
+        if instr.op == "add":
+            if isinstance(instr.rhs, Const) and isinstance(instr.lhs, Var):
+                source, constant = var_node(instr.lhs.name), instr.rhs.value
+            elif isinstance(instr.lhs, Const) and isinstance(instr.rhs, Var):
+                source, constant = var_node(instr.rhs.name), instr.lhs.value
+        elif instr.op == "sub":
+            if isinstance(instr.rhs, Const) and isinstance(instr.lhs, Var):
+                source, constant = var_node(instr.lhs.name), -instr.rhs.value
+        if source is None:
+            return
+        # v == y + c: upper edge weight +c; lower (negated space) weight -c.
+        self.upper.add_edge(source, dest, constant, block)
+        self.lower.add_edge(source, dest, -constant, block)
+
+    def _phi(self, instr: Phi, block: str) -> None:
+        if instr.dest in self.array_vars:
+            # Arrays merging at a φ: the merged length is bounded by the
+            # incoming lengths with the same max-vertex semantics.
+            dest = len_node(instr.dest)
+            self.upper.mark_phi(dest)
+            self.lower.mark_phi(dest)
+            for operand in instr.incomings.values():
+                if isinstance(operand, Var):
+                    self.upper.add_edge(len_node(operand.name), dest, 0, block)
+                    self.lower.add_edge(len_node(operand.name), dest, 0, block)
+            return
+        dest = var_node(instr.dest)
+        self.upper.mark_phi(dest)
+        self.lower.mark_phi(dest)
+        for operand in instr.incomings.values():
+            source = _operand_node(operand)
+            self.upper.add_edge(source, dest, 0, block)
+            self.lower.add_edge(source, dest, 0, block)
+
+    def _pi(self, instr: Pi, block: str) -> None:
+        if instr.dest in self.array_vars:
+            self._alias_lengths(instr.dest, instr.src, block)
+            return
+        dest = var_node(instr.dest)
+        source = var_node(instr.src)
+        # Value-flow half: dest == src would be exact, but the paper
+        # deliberately encodes only the safe direction per graph so that
+        # the two π results of one branch stay mutually unconstrained
+        # (Section 4's consistency discussion).
+        self.upper.add_edge(source, dest, 0, block)
+        self.lower.add_edge(source, dest, 0, block)
+
+        predicate = instr.predicate
+        if not self._pi_constraints:
+            return
+        if predicate.arraylen_of is not None:
+            # C5: dest < len(A)  (only ever generated with rel 'lt').
+            if predicate.rel == "lt":
+                self.upper.add_edge(len_node(predicate.arraylen_of), dest, -1, block)
+            return
+        assert predicate.other is not None
+        other = _operand_node(predicate.other)
+        rel = predicate.rel
+        if rel == "lt":
+            self.upper.add_edge(other, dest, -1, block)
+        elif rel == "le":
+            self.upper.add_edge(other, dest, 0, block)
+        elif rel == "gt":
+            self.lower.add_edge(other, dest, -1, block)
+        elif rel == "ge":
+            self.lower.add_edge(other, dest, 0, block)
+        elif rel == "eq":
+            self.upper.add_edge(other, dest, 0, block)
+            self.lower.add_edge(other, dest, 0, block)

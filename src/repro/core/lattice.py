@@ -1,0 +1,47 @@
+"""The solver's three-point lattice: ``True > Reduced > False``.
+
+Paper, Section 5: when the recursive exploration returns, results merge
+according to the min-max semantics of the inequality graph —
+
+* a **max** vertex (φ-defined, set ``V_φ``) merges with the *meet* ``∧``
+  (all incoming paths must prove the bound: weakest constraint wins);
+* a **min** vertex (everything else) merges with the *join* ``∨`` (any
+  incoming constraint suffices: strongest constraint wins).
+"""
+
+from __future__ import annotations
+
+import enum
+import functools
+
+
+@enum.unique
+class ProofResult(enum.Enum):
+    """Result of one ``prove()`` invocation (Figure 5)."""
+
+    TRUE = 2
+    REDUCED = 1
+    FALSE = 0
+
+    @property
+    def proven(self) -> bool:
+        """True / Reduced both establish the queried bound."""
+        return self is not ProofResult.FALSE
+
+    def meet(self, other: "ProofResult") -> "ProofResult":
+        """``∧`` — used at max (φ) vertices: the weaker result wins."""
+        return self if self.value <= other.value else other
+
+    def join(self, other: "ProofResult") -> "ProofResult":
+        """``∨`` — used at min vertices: the stronger result wins."""
+        return self if self.value >= other.value else other
+
+
+def meet_all(results) -> ProofResult:
+    """Meet of an iterable (identity = TRUE, the lattice top)."""
+    return functools.reduce(ProofResult.meet, results, ProofResult.TRUE)
+
+
+def join_all(results) -> ProofResult:
+    """Join of an iterable (identity = FALSE, the lattice bottom)."""
+    return functools.reduce(ProofResult.join, results, ProofResult.FALSE)

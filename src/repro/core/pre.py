@@ -1,0 +1,362 @@
+"""Partial-redundancy elimination of bounds checks (paper, Section 6).
+
+A check that ``demandProve`` cannot establish on every path may still be
+redundant on *some* paths — the classic case being a loop-invariant check.
+The PRE extension runs a variant of the Figure-5 solver whose results carry
+an **insertion set**: at a φ vertex where some arguments prove and others
+fail, the failing in-edges become insertion candidates ("the False
+arguments are collected during the backtracking into the insertion set").
+
+For each insertion edge the compensating check is ``check A[V_i + d]``
+(paper, Section 6.1): ``V_i`` is the φ argument flowing along the edge and
+``d`` derives from the budget the solver carried when it reached that
+argument — establishing ``V_i - len(A) <= c`` requires the upper check
+``A[V_i + (-1 - c)]``; establishing ``V_i >= -c`` (lower, negated space)
+requires the lower check on ``V_i + c``.
+
+**Profitability** is profile-based and control-speculative: insert when the
+cumulative execution frequency of the insertion edges stays below the
+frequency of the partially redundant check (Section 6.1, citing [BGS99]).
+
+**Transformation** (Section 6.2): a compensating check is *speculative* —
+on failure it raises a per-check guard flag instead of trapping — and the
+original check becomes a guarded check executed only when its flag is set.
+This reproduces the paper's "regenerate the unoptimized loop on a failed
+hoisted compare" recovery at instruction granularity: exceptions still
+fire exactly at the original program point, and spurious speculative
+failures merely re-enable the original check.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.analysis.dominance import DominatorTree
+from repro.core.constraints import GraphBundle
+from repro.core.graph import InequalityGraph, Node, const_node, len_node, var_node
+from repro.core.lattice import ProofResult
+from repro.core.solver import _Memo
+from repro.ir.function import Function, Program
+from repro.ir.instructions import (
+    BinOp,
+    Const,
+    Operand,
+    Phi,
+    SpeculativeCheck,
+    Var,
+)
+from repro.runtime.profiler import Profile
+
+
+@dataclass(frozen=True)
+class InsertionPoint:
+    """One compensating check: on the CFG edge ``pred -> phi_block``,
+    guard the value ``operand + offset``."""
+
+    phi_block: str
+    pred: str
+    operand: Operand
+    offset: int
+
+
+@dataclass
+class PREValue:
+    """A lattice value annotated with the insertions that justify it."""
+
+    result: ProofResult
+    insertions: Tuple[InsertionPoint, ...] = ()
+
+    @property
+    def proven(self) -> bool:
+        return self.result.proven
+
+
+@dataclass
+class PREDecision:
+    """A profitable, applied PRE transformation."""
+
+    check_id: int
+    guard_group: int
+    insertion_count: int
+    insertion_frequency: int
+    check_frequency: int
+
+
+class PREProver:
+    """Figure-5 traversal extended with insertion-set collection.
+
+    Plain (insertion-free) results are memoized with budget subsumption;
+    insertion-carrying results are recomputed — inequality graphs are small
+    and PRE runs only for checks that already failed the cheap prover.
+    """
+
+    def __init__(
+        self,
+        graph: InequalityGraph,
+        fn: Function,
+        profile: Profile,
+        kind: str,
+    ) -> None:
+        self._graph = graph
+        self._fn = fn
+        self._profile = profile
+        self._kind = kind
+        self._memo: Dict[Node, _Memo] = {}
+        self._active: Dict[Node, int] = {}
+        self.steps = 0
+        # Map a φ destination variable to (pred label -> incoming operand).
+        self._phi_incomings: Dict[str, Dict[str, Operand]] = {}
+        self._phi_blocks: Dict[str, str] = {}
+        for label in fn.reachable_blocks():
+            for phi in fn.blocks[label].phis:
+                self._phi_incomings[phi.dest] = dict(phi.incomings)
+                self._phi_blocks[phi.dest] = label
+
+    def prove(self, source: Node, target: Node, budget: int) -> PREValue:
+        return self._prove(source, target, budget)
+
+    # ------------------------------------------------------------------
+
+    def _prove(self, a: Node, v: Node, c: int) -> PREValue:
+        self.steps += 1
+        if self.steps > 200_000:
+            return PREValue(ProofResult.FALSE)
+
+        memo = self._memo.get(v)
+        if memo is not None:
+            cached = memo.lookup(c)
+            if cached is not None:
+                return PREValue(cached)
+
+        if v == a and c >= 0:
+            return PREValue(ProofResult.TRUE)
+        if v.kind == "const" and a.kind == "const":
+            difference = self._graph.const_value(v) - self._graph.const_value(a)
+            ok = difference <= c
+            return PREValue(ProofResult.TRUE if ok else ProofResult.FALSE)
+        if (
+            v.kind == "const"
+            and a.kind == "len"
+            and self._graph.direction == "upper"
+            and v.value <= c
+        ):
+            # Array lengths are non-negative: const(k) <= len(A) + k.
+            return PREValue(ProofResult.TRUE)
+
+        in_edges = self._graph.in_edges(v)
+        if not in_edges:
+            return PREValue(ProofResult.FALSE)
+
+        active_budget = self._active.get(v)
+        if active_budget is not None:
+            if c < active_budget:
+                return PREValue(ProofResult.FALSE)
+            return PREValue(ProofResult.REDUCED)
+
+        self._active[v] = c
+        if self._graph.is_phi(v):
+            value = self._merge_phi(a, v, c, in_edges)
+        else:
+            value = self._merge_min(a, v, c, in_edges)
+        del self._active[v]
+
+        if not value.insertions:
+            self._memo.setdefault(v, _Memo()).record(c, value.result)
+        return value
+
+    def _merge_phi(self, a: Node, v: Node, c: int, in_edges) -> PREValue:
+        """Max vertex: all arguments must prove; failing arguments become
+        insertion candidates when at least one argument proves and the φ
+        is an insertable program φ (a scalar variable merge)."""
+        child_values: List[Tuple[object, PREValue, int]] = []
+        for edge in in_edges:
+            child_budget = c - edge.weight
+            child_values.append(
+                (edge, self._prove(a, edge.source, child_budget), child_budget)
+            )
+
+        proven = [(e, val) for e, val, _ in child_values if val.proven]
+        failing = [(e, b) for e, val, b in child_values if not val.proven]
+        if not failing:
+            result = ProofResult.TRUE
+            insertions: Tuple[InsertionPoint, ...] = ()
+            for _, val in proven:
+                result = result.meet(val.result)
+                insertions = insertions + val.insertions
+            return PREValue(result, _dedup(insertions))
+        if not proven:
+            return PREValue(ProofResult.FALSE)
+
+        incomings = self._phi_incomings.get(v.name) if v.kind == "var" else None
+        if incomings is None:
+            # Array-length φ or untracked merge: cannot insert here.
+            return PREValue(ProofResult.FALSE)
+        phi_block = self._phi_blocks[v.name]
+
+        new_insertions: List[InsertionPoint] = []
+        for edge, child_budget in failing:
+            operand_node = edge.source
+            offset = (-1 - child_budget) if self._kind == "upper" else child_budget
+            matched = False
+            for pred, operand in incomings.items():
+                if _operand_matches(operand, operand_node):
+                    new_insertions.append(
+                        InsertionPoint(phi_block, pred, operand, offset)
+                    )
+                    matched = True
+            if not matched:
+                # A graph in-edge that is not a φ argument (should not
+                # happen for scalar φs); give up on this vertex.
+                return PREValue(ProofResult.FALSE)
+
+        result = ProofResult.TRUE
+        insertions = tuple(new_insertions)
+        for _, val in proven:
+            result = result.meet(val.result)
+            insertions = insertions + val.insertions
+        return PREValue(result, _dedup(insertions))
+
+    def _merge_min(self, a: Node, v: Node, c: int, in_edges) -> PREValue:
+        """Min vertex: any constraint suffices; among proven alternatives
+        prefer no insertions, then the cheapest insertion set (paper: "at a
+        min vertex, ABCD selects the set that has the lower execution
+        frequency")."""
+        best: Optional[PREValue] = None
+        for edge in in_edges:
+            value = self._prove(a, edge.source, c - edge.weight)
+            if not value.proven:
+                continue
+            if not value.insertions:
+                return PREValue(value.result)
+            if best is None or self.insertion_cost(value.insertions) < self.insertion_cost(
+                best.insertions
+            ):
+                best = value
+        return best if best is not None else PREValue(ProofResult.FALSE)
+
+    def insertion_cost(self, insertions: Tuple[InsertionPoint, ...]) -> int:
+        return sum(
+            self._profile.edge_frequency(self._fn.name, point.pred, point.phi_block)
+            for point in insertions
+        )
+
+
+def _operand_matches(operand: Operand, node: Node) -> bool:
+    if isinstance(operand, Var):
+        return node.kind == "var" and node.name == operand.name
+    assert isinstance(operand, Const)
+    return node.kind == "const" and node.value == operand.value
+
+
+def _dedup(insertions: Tuple[InsertionPoint, ...]) -> Tuple[InsertionPoint, ...]:
+    seen = []
+    for point in insertions:
+        if point not in seen:
+            seen.append(point)
+    return tuple(seen)
+
+
+# ----------------------------------------------------------------------
+# Driver-facing entry point.
+# ----------------------------------------------------------------------
+
+
+def attempt_pre(
+    fn: Function,
+    program: Program,
+    bundle: GraphBundle,
+    site,
+    profile: Profile,
+    gain_ratio: float,
+) -> Optional[PREDecision]:
+    """Try to make ``site``'s check fully redundant via insertion.
+
+    Returns the applied decision, or ``None`` when the check is not
+    partially redundant, unprofitable, or unsafe to transform.
+    """
+    if site.kind == "upper":
+        graph, source, budget = bundle.upper, len_node(site.array), -1
+    else:
+        graph, source, budget = bundle.lower, const_node(0), 0
+
+    prover = PREProver(graph, fn, profile, site.kind)
+    value = prover.prove(source, site.target, budget)
+    if not value.proven or not value.insertions:
+        return None
+
+    check_id = site.instr.check_id
+    check_frequency = profile.check_frequency(check_id)
+    insertion_frequency = prover.insertion_cost(value.insertions)
+    if check_frequency == 0 or insertion_frequency >= gain_ratio * check_frequency:
+        return None
+    if not _insertions_safe(fn, site, value.insertions):
+        return None
+
+    guard_group = program.new_guard_group()
+    for point in value.insertions:
+        _insert_compensating_check(fn, program, site, point, guard_group)
+    site.instr.guard_group = guard_group
+    return PREDecision(
+        check_id=check_id,
+        guard_group=guard_group,
+        insertion_count=len(value.insertions),
+        insertion_frequency=insertion_frequency,
+        check_frequency=check_frequency,
+    )
+
+
+def _insertions_safe(fn: Function, site, insertions) -> bool:
+    """Every compensating check must be expressible at its edge: the
+    array variable (for upper checks) must dominate the insertion block,
+    and the insertion block must not be the φ block itself."""
+    domtree = DominatorTree.compute(fn)
+    if site.kind == "upper":
+        array_def = _defining_block(fn, site.array)
+        if array_def is None:
+            return False
+        for point in insertions:
+            if not domtree.dominates(array_def, point.pred):
+                return False
+    return True
+
+
+def _defining_block(fn: Function, name: str) -> Optional[str]:
+    if name in fn.params:
+        return fn.entry
+    for label in fn.reachable_blocks():
+        for instr in fn.blocks[label].instructions():
+            if instr.defs() == name:
+                return label
+    return None
+
+
+def _insert_compensating_check(
+    fn: Function,
+    program: Program,
+    site,
+    point: InsertionPoint,
+    guard_group: int,
+) -> None:
+    """Materialize ``operand + offset`` and the speculative check at the
+    end of the predecessor block (critical edges were split before SSA, so
+    the predecessor of a multi-predecessor block has a single successor)."""
+    block = fn.blocks[point.pred]
+    index: Operand
+    if point.offset == 0:
+        index = point.operand
+    elif isinstance(point.operand, Const):
+        index = Const(point.operand.value + point.offset)
+    else:
+        temp = fn.new_temp("cmp")
+        block.body.append(BinOp(temp, "add", point.operand, Const(point.offset)))
+        index = Var(temp)
+    block.body.append(
+        SpeculativeCheck(
+            kind=site.kind,
+            index=index,
+            guard_group=guard_group,
+            check_id=program.new_check_id(),
+            array=site.array if site.kind == "upper" else None,
+        )
+    )

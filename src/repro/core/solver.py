@@ -1,0 +1,200 @@
+"""The demand-driven constraint solver (paper, Figure 5).
+
+``demand_prove(G, a, b, c)`` decides whether ``b - a <= c`` holds under
+every feasible solution of the constraint system — equivalently, whether
+the *distance* from the array-length vertex ``a`` to the array-index
+vertex ``b`` is at most ``c``.
+
+The solver is a depth-first traversal backwards over in-edges, carrying the
+remaining budget ``c``; crossing an edge ``u -> v`` of weight ``w`` while
+asking ``v - a <= c`` reduces the question to ``u - a <= c - w``.  Results
+merge through the ``True > Reduced > False`` lattice: **meet** at φ (max)
+vertices — all incoming control-flow paths must prove — and **join** at
+min vertices — any one constraint suffices.
+
+Cycles are detected via the ``active`` map of budgets on the current DFS
+stack: revisiting an active vertex with a *smaller* budget means the cycle
+has positive weight (an *amplifying* cycle, e.g. ``j := j + 1``) and the
+path fails; a revisit with equal or larger budget is a harmless cycle and
+returns ``Reduced`` ("the cycle does not influence the distance").
+
+Memoization uses budget subsumption exactly as in Figure 5: a ``True`` at
+budget ``e`` answers every query with ``c >= e``; a ``False`` at ``e``
+answers every ``c <= e``; a ``Reduced`` at ``e`` answers ``c >= e``.
+
+``steps`` counts ``prove()`` invocations — the unit behind the paper's
+"fewer than 10 analysis steps per bounds check" result.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Optional
+
+from repro.core.graph import Edge, InequalityGraph, Node
+from repro.core.lattice import ProofResult
+
+
+@dataclass
+class ProveOutcome:
+    """Result of one ``demand_prove`` query."""
+
+    result: ProofResult
+    steps: int
+
+    @property
+    def proven(self) -> bool:
+        return self.result.proven
+
+
+@dataclass
+class _Memo:
+    """Per-vertex memo with budget subsumption."""
+
+    true_at: Optional[int] = None  # smallest budget proven True
+    false_at: Optional[int] = None  # largest budget proven False
+    reduced_at: Optional[int] = None  # smallest budget proven Reduced
+
+    def lookup(self, budget: int) -> Optional[ProofResult]:
+        if self.true_at is not None and budget >= self.true_at:
+            return ProofResult.TRUE
+        if self.false_at is not None and budget <= self.false_at:
+            return ProofResult.FALSE
+        if self.reduced_at is not None and budget >= self.reduced_at:
+            return ProofResult.REDUCED
+        return None
+
+    def record(self, budget: int, result: ProofResult) -> None:
+        if result is ProofResult.TRUE:
+            if self.true_at is None or budget < self.true_at:
+                self.true_at = budget
+        elif result is ProofResult.FALSE:
+            if self.false_at is None or budget > self.false_at:
+                self.false_at = budget
+        else:
+            if self.reduced_at is None or budget < self.reduced_at:
+                self.reduced_at = budget
+
+
+class DemandProver:
+    """One proof session (one bounds check): fresh memo and cycle state.
+
+    ``edge_filter`` optionally restricts which edges the traversal may use;
+    the driver passes a same-block filter to replicate the paper's
+    local/global classification of removed checks.
+    """
+
+    def __init__(
+        self,
+        graph: InequalityGraph,
+        edge_filter: Optional[Callable[[Edge], bool]] = None,
+        max_steps: int = 200_000,
+    ) -> None:
+        self._graph = graph
+        self._edge_filter = edge_filter
+        self._max_steps = max_steps
+        self._memo: Dict[Node, _Memo] = {}
+        self._active: Dict[Node, int] = {}
+        self.steps = 0
+
+    def demand_prove(self, source: Node, target: Node, budget: int) -> ProveOutcome:
+        """Figure 5's ``demandProve``: is ``target - source <= budget``?"""
+        result = self._prove(source, target, budget)
+        return ProveOutcome(result, self.steps)
+
+    # ------------------------------------------------------------------
+    # Figure 5's ``prove``.
+    # ------------------------------------------------------------------
+
+    def _prove(self, a: Node, v: Node, c: int) -> ProofResult:
+        self.steps += 1
+        if self.steps > self._max_steps:
+            # Defensive fuel: the algorithm terminates on well-formed
+            # graphs, but a conservative False is always sound.
+            return ProofResult.FALSE
+
+        memo = self._memo.get(v)
+        if memo is not None:
+            cached = memo.lookup(c)
+            if cached is not None:
+                return cached
+
+        # Reached the source: the empty path has weight 0.
+        if v == a and c >= 0:
+            return ProofResult.TRUE
+
+        # Two constants relate arithmetically (exactly), no traversal needed.
+        if v.kind == "const" and a.kind == "const":
+            difference = self._graph.const_value(v) - self._graph.const_value(a)
+            return ProofResult.TRUE if difference <= c else ProofResult.FALSE
+
+        # Array lengths are non-negative (the paper represents this as an
+        # edge of G_I): in the upper graph, const(k) <= len(A) + k for any
+        # k, which answers a constant target against a length source
+        # directly — e.g. st0 <= -1 <= A.length - 1 in the running example.
+        if (
+            v.kind == "const"
+            and a.kind == "len"
+            and self._graph.direction == "upper"
+            and v.value <= c
+        ):
+            return ProofResult.TRUE
+
+        in_edges = self._in_edges(v)
+        if not in_edges:
+            return ProofResult.FALSE
+
+        active_budget = self._active.get(v)
+        if active_budget is not None:
+            if c < active_budget:
+                # The cycle strengthened the query: positive-weight
+                # (amplifying) cycle, cannot bound the variable.
+                return ProofResult.FALSE
+            return ProofResult.REDUCED
+
+        self._active[v] = c
+        if self._graph.is_phi(v):
+            result = self._merge_phi(a, v, c, in_edges)
+        else:
+            result = self._merge_min(a, v, c, in_edges)
+        del self._active[v]
+
+        self._memo.setdefault(v, _Memo()).record(c, result)
+        return result
+
+    def _in_edges(self, v: Node):
+        edges = self._graph.in_edges(v)
+        if self._edge_filter is not None:
+            edges = [e for e in edges if self._edge_filter(e)]
+        return edges
+
+    def _merge_phi(self, a: Node, v: Node, c: int, in_edges) -> ProofResult:
+        """Max vertex: meet over all in-edges (all must prove); short-
+        circuits on False."""
+        result = ProofResult.TRUE
+        for edge in in_edges:
+            result = result.meet(self._prove(a, edge.source, c - edge.weight))
+            if result is ProofResult.FALSE:
+                return result
+        return result
+
+    def _merge_min(self, a: Node, v: Node, c: int, in_edges) -> ProofResult:
+        """Min vertex: join over all in-edges (any suffices); short-
+        circuits on True."""
+        result = ProofResult.FALSE
+        for edge in in_edges:
+            result = result.join(self._prove(a, edge.source, c - edge.weight))
+            if result is ProofResult.TRUE:
+                return result
+        return result
+
+
+def demand_prove(
+    graph: InequalityGraph,
+    source: Node,
+    target: Node,
+    budget: int,
+    edge_filter: Optional[Callable[[Edge], bool]] = None,
+) -> ProveOutcome:
+    """Run one fresh proof session (the common entry point)."""
+    return DemandProver(graph, edge_filter).demand_prove(source, target, budget)

@@ -1,0 +1,109 @@
+"""Exception hierarchy shared across the repro package.
+
+Every user-facing error raised by the compiler pipeline derives from
+:class:`ReproError` so that callers can catch one type.  Runtime (VM) errors
+derive from :class:`MiniJRuntimeError`; among these,
+:class:`BoundsCheckError` is raised when an array bounds check fails, which
+is the observable event the ABCD optimization must preserve.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this package."""
+
+
+class SourceLocation:
+    """A (line, column) pair pointing into MiniJ source text.
+
+    Columns and lines are 1-based, matching what editors display.
+    """
+
+    __slots__ = ("line", "column")
+
+    def __init__(self, line: int, column: int) -> None:
+        self.line = line
+        self.column = column
+
+    def __repr__(self) -> str:
+        return f"SourceLocation({self.line}, {self.column})"
+
+    def __str__(self) -> str:
+        return f"{self.line}:{self.column}"
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, SourceLocation):
+            return NotImplemented
+        return (self.line, self.column) == (other.line, other.column)
+
+    def __hash__(self) -> int:
+        return hash((self.line, self.column))
+
+
+class CompileError(ReproError):
+    """An error detected while compiling MiniJ source.
+
+    Carries an optional :class:`SourceLocation` so messages can point at the
+    offending token or construct.
+    """
+
+    def __init__(self, message: str, location: "SourceLocation | None" = None) -> None:
+        self.location = location
+        if location is not None:
+            message = f"{location}: {message}"
+        super().__init__(message)
+
+
+class LexError(CompileError):
+    """Raised by the lexer on malformed input (bad character, bad number)."""
+
+
+class ParseError(CompileError):
+    """Raised by the parser on a syntax error."""
+
+
+class TypeCheckError(CompileError):
+    """Raised by semantic analysis on a type or scoping error."""
+
+
+class LoweringError(CompileError):
+    """Raised when the AST-to-IR lowering meets an unsupported construct."""
+
+
+class IRVerificationError(ReproError):
+    """Raised by the IR verifier when a function violates an IR invariant."""
+
+
+class MiniJRuntimeError(ReproError):
+    """Base class for errors raised while interpreting a MiniJ program."""
+
+
+class BoundsCheckError(MiniJRuntimeError):
+    """An array access was out of bounds.
+
+    ``check_id`` identifies the failing check instruction; ``index`` and
+    ``length`` record the observed values.  The ABCD transformation must
+    never change *where* this exception is raised.
+    """
+
+    def __init__(self, check_id: int, index: int, length: int, kind: str) -> None:
+        self.check_id = check_id
+        self.index = index
+        self.length = length
+        self.kind = kind
+        super().__init__(
+            f"bounds check #{check_id} failed ({kind}): index {index}, length {length}"
+        )
+
+
+class NegativeArraySizeError(MiniJRuntimeError):
+    """``new int[n]`` was executed with a negative ``n``."""
+
+
+class DivisionByZeroError(MiniJRuntimeError):
+    """Integer division or modulo by zero."""
+
+
+class TrapLimitExceeded(MiniJRuntimeError):
+    """The interpreter exceeded its configured fuel (instruction budget)."""

@@ -1,0 +1,212 @@
+"""Abstract syntax tree for MiniJ.
+
+The tree is deliberately small: expressions, statements, functions, and a
+program node.  Every node carries a :class:`SourceLocation` so later phases
+can report precise diagnostics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.errors import SourceLocation
+from repro.frontend.types import Type
+
+
+# ----------------------------------------------------------------------
+# Expressions.
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class Expr:
+    """Base class of all expression nodes."""
+
+    location: SourceLocation
+
+
+@dataclass
+class IntLiteral(Expr):
+    value: int
+
+
+@dataclass
+class BoolLiteral(Expr):
+    value: bool
+
+
+@dataclass
+class VarRef(Expr):
+    name: str
+
+
+@dataclass
+class UnaryOp(Expr):
+    """``-x`` or ``!x``."""
+
+    op: str
+    operand: Expr
+
+
+@dataclass
+class BinaryOp(Expr):
+    """Arithmetic (``+ - * / %``), comparison (``< <= > >= == !=``), or
+    short-circuit boolean (``&& ||``) operation."""
+
+    op: str
+    lhs: Expr
+    rhs: Expr
+
+
+@dataclass
+class ArrayIndex(Expr):
+    """``a[i]`` used as a value (an array load)."""
+
+    array: Expr
+    index: Expr
+
+
+@dataclass
+class ArrayLength(Expr):
+    """``len(a)``."""
+
+    array: Expr
+
+
+@dataclass
+class NewArray(Expr):
+    """``new int[n]``."""
+
+    length: Expr
+
+
+@dataclass
+class Call(Expr):
+    """``f(a, b, ...)``."""
+
+    callee: str
+    args: List[Expr]
+
+
+# ----------------------------------------------------------------------
+# Statements.
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class Stmt:
+    """Base class of all statement nodes."""
+
+    location: SourceLocation
+
+
+@dataclass
+class LetStmt(Stmt):
+    """``let x: T = expr;`` — declares and initializes a local."""
+
+    name: str
+    declared_type: Type
+    value: Expr
+
+
+@dataclass
+class AssignStmt(Stmt):
+    """``x = expr;``."""
+
+    name: str
+    value: Expr
+
+
+@dataclass
+class ArrayStoreStmt(Stmt):
+    """``a[i] = expr;``."""
+
+    array: Expr
+    index: Expr
+    value: Expr
+
+
+@dataclass
+class IfStmt(Stmt):
+    condition: Expr
+    then_body: List[Stmt]
+    else_body: List[Stmt] = field(default_factory=list)
+
+
+@dataclass
+class WhileStmt(Stmt):
+    condition: Expr
+    body: List[Stmt]
+
+
+@dataclass
+class ForStmt(Stmt):
+    """``for (init; cond; step) body`` — desugared to a while loop during
+    lowering.  ``init`` and ``step`` are optional simple statements."""
+
+    init: Optional[Stmt]
+    condition: Optional[Expr]
+    step: Optional[Stmt]
+    body: List[Stmt]
+
+
+@dataclass
+class ReturnStmt(Stmt):
+    value: Optional[Expr]
+
+
+@dataclass
+class BreakStmt(Stmt):
+    pass
+
+
+@dataclass
+class ContinueStmt(Stmt):
+    pass
+
+
+@dataclass
+class ExprStmt(Stmt):
+    """An expression evaluated for its side effects (a call)."""
+
+    expr: Expr
+
+
+# ----------------------------------------------------------------------
+# Declarations.
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class Param:
+    """A function parameter ``name: type``."""
+
+    name: str
+    type: Type
+    location: SourceLocation
+
+
+@dataclass
+class FunctionDecl:
+    """``fn name(params): ret_type { body }``."""
+
+    name: str
+    params: List[Param]
+    return_type: Type
+    body: List[Stmt]
+    location: SourceLocation
+
+
+@dataclass
+class ProgramAST:
+    """A whole MiniJ compilation unit: a list of function declarations."""
+
+    functions: List[FunctionDecl]
+
+    def function(self, name: str) -> FunctionDecl:
+        """Look up a function declaration by name (raises ``KeyError``)."""
+        for fn in self.functions:
+            if fn.name == name:
+                return fn
+        raise KeyError(name)

@@ -1,0 +1,167 @@
+"""Hand-written lexer for MiniJ source text."""
+
+from __future__ import annotations
+
+from typing import Iterator, List
+
+from repro.errors import LexError, SourceLocation
+from repro.frontend.tokens import KEYWORDS, Token, TokenKind
+
+# Two-character operators must be attempted before their one-character
+# prefixes, so this table is ordered longest-first.
+_TWO_CHAR_OPERATORS = {
+    "<=": TokenKind.LE,
+    ">=": TokenKind.GE,
+    "==": TokenKind.EQ,
+    "!=": TokenKind.NE,
+    "&&": TokenKind.AND,
+    "||": TokenKind.OR,
+}
+
+_ONE_CHAR_OPERATORS = {
+    "(": TokenKind.LPAREN,
+    ")": TokenKind.RPAREN,
+    "{": TokenKind.LBRACE,
+    "}": TokenKind.RBRACE,
+    "[": TokenKind.LBRACKET,
+    "]": TokenKind.RBRACKET,
+    ",": TokenKind.COMMA,
+    ":": TokenKind.COLON,
+    ";": TokenKind.SEMICOLON,
+    "=": TokenKind.ASSIGN,
+    "+": TokenKind.PLUS,
+    "-": TokenKind.MINUS,
+    "*": TokenKind.STAR,
+    "/": TokenKind.SLASH,
+    "%": TokenKind.PERCENT,
+    "<": TokenKind.LT,
+    ">": TokenKind.GT,
+    "!": TokenKind.NOT,
+}
+
+
+class Lexer:
+    """Converts MiniJ source text into a token stream.
+
+    Supports ``//`` line comments and ``/* ... */`` block comments.
+    """
+
+    def __init__(self, source: str) -> None:
+        self._source = source
+        self._pos = 0
+        self._line = 1
+        self._column = 1
+
+    def tokenize(self) -> List[Token]:
+        """Lex the entire input, returning tokens terminated by EOF."""
+        return list(self._iter_tokens())
+
+    def _iter_tokens(self) -> Iterator[Token]:
+        while True:
+            self._skip_trivia()
+            if self._at_end():
+                yield Token(TokenKind.EOF, "", self._location())
+                return
+            yield self._next_token()
+
+    # ------------------------------------------------------------------
+    # Character-level helpers.
+    # ------------------------------------------------------------------
+
+    def _at_end(self) -> bool:
+        return self._pos >= len(self._source)
+
+    def _peek(self, offset: int = 0) -> str:
+        index = self._pos + offset
+        if index >= len(self._source):
+            return ""
+        return self._source[index]
+
+    def _advance(self) -> str:
+        ch = self._source[self._pos]
+        self._pos += 1
+        if ch == "\n":
+            self._line += 1
+            self._column = 1
+        else:
+            self._column += 1
+        return ch
+
+    def _location(self) -> SourceLocation:
+        return SourceLocation(self._line, self._column)
+
+    def _skip_trivia(self) -> None:
+        """Skip whitespace and comments."""
+        while not self._at_end():
+            ch = self._peek()
+            if ch in " \t\r\n":
+                self._advance()
+            elif ch == "/" and self._peek(1) == "/":
+                while not self._at_end() and self._peek() != "\n":
+                    self._advance()
+            elif ch == "/" and self._peek(1) == "*":
+                self._skip_block_comment()
+            else:
+                return
+
+    def _skip_block_comment(self) -> None:
+        start = self._location()
+        self._advance()  # '/'
+        self._advance()  # '*'
+        while True:
+            if self._at_end():
+                raise LexError("unterminated block comment", start)
+            if self._peek() == "*" and self._peek(1) == "/":
+                self._advance()
+                self._advance()
+                return
+            self._advance()
+
+    # ------------------------------------------------------------------
+    # Token-level scanning.
+    # ------------------------------------------------------------------
+
+    def _next_token(self) -> Token:
+        location = self._location()
+        ch = self._peek()
+
+        if ch.isdigit():
+            return self._lex_number(location)
+        if ch.isalpha() or ch == "_":
+            return self._lex_ident_or_keyword(location)
+
+        two = ch + self._peek(1)
+        if two in _TWO_CHAR_OPERATORS:
+            self._advance()
+            self._advance()
+            return Token(_TWO_CHAR_OPERATORS[two], two, location)
+        if ch in _ONE_CHAR_OPERATORS:
+            self._advance()
+            return Token(_ONE_CHAR_OPERATORS[ch], ch, location)
+
+        raise LexError(f"unexpected character {ch!r}", location)
+
+    def _lex_number(self, location: SourceLocation) -> Token:
+        digits = []
+        while not self._at_end() and self._peek().isdigit():
+            digits.append(self._advance())
+        if not self._at_end() and (self._peek().isalpha() or self._peek() == "_"):
+            raise LexError(
+                f"identifier may not start with a digit: {''.join(digits)}{self._peek()!r}",
+                location,
+            )
+        text = "".join(digits)
+        return Token(TokenKind.INT_LITERAL, text, location, value=int(text))
+
+    def _lex_ident_or_keyword(self, location: SourceLocation) -> Token:
+        chars = []
+        while not self._at_end() and (self._peek().isalnum() or self._peek() == "_"):
+            chars.append(self._advance())
+        text = "".join(chars)
+        kind = KEYWORDS.get(text, TokenKind.IDENT)
+        return Token(kind, text, location)
+
+
+def tokenize(source: str) -> List[Token]:
+    """Convenience wrapper: lex ``source`` into a token list."""
+    return Lexer(source).tokenize()

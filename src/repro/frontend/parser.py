@@ -1,0 +1,394 @@
+"""Recursive-descent parser for MiniJ.
+
+Grammar (EBNF, ``{}`` = repetition, ``[]`` = optional):
+
+    program     ::= { function }
+    function    ::= 'fn' IDENT '(' [ param { ',' param } ] ')' ':' type block
+    param       ::= IDENT ':' type
+    type        ::= ('int' | 'bool') [ '[' ']' ] | 'void'
+    block       ::= '{' { statement } '}'
+    statement   ::= let | assign_or_store_or_call | if | while | for
+                  | return | break | continue
+    let         ::= 'let' IDENT ':' type '=' expr ';'
+    if          ::= 'if' '(' expr ')' block [ 'else' (block | if) ]
+    while       ::= 'while' '(' expr ')' block
+    for         ::= 'for' '(' [simple] ';' [expr] ';' [simple] ')' block
+    return      ::= 'return' [ expr ] ';'
+    expr        ::= or_expr
+    or_expr     ::= and_expr { '||' and_expr }
+    and_expr    ::= cmp_expr { '&&' cmp_expr }
+    cmp_expr    ::= add_expr [ ('<'|'<='|'>'|'>='|'=='|'!=') add_expr ]
+    add_expr    ::= mul_expr { ('+'|'-') mul_expr }
+    mul_expr    ::= unary { ('*'|'/'|'%') unary }
+    unary       ::= ('-'|'!') unary | postfix
+    postfix     ::= primary { '[' expr ']' }
+    primary     ::= INT | 'true' | 'false' | IDENT [ '(' args ')' ]
+                  | 'len' '(' expr ')' | 'new' 'int' '[' expr ']'
+                  | '(' expr ')'
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.errors import ParseError
+from repro.frontend import ast
+from repro.frontend.lexer import tokenize
+from repro.frontend.tokens import Token, TokenKind
+from repro.frontend.types import BOOL, INT, INT_ARRAY, VOID, Type
+
+_COMPARISON_OPS = {
+    TokenKind.LT: "<",
+    TokenKind.LE: "<=",
+    TokenKind.GT: ">",
+    TokenKind.GE: ">=",
+    TokenKind.EQ: "==",
+    TokenKind.NE: "!=",
+}
+
+_ADDITIVE_OPS = {TokenKind.PLUS: "+", TokenKind.MINUS: "-"}
+_MULTIPLICATIVE_OPS = {TokenKind.STAR: "*", TokenKind.SLASH: "/", TokenKind.PERCENT: "%"}
+
+
+class Parser:
+    """Parses a token stream into a :class:`repro.frontend.ast.ProgramAST`."""
+
+    def __init__(self, tokens: List[Token]) -> None:
+        self._tokens = tokens
+        self._index = 0
+
+    # ------------------------------------------------------------------
+    # Token helpers.
+    # ------------------------------------------------------------------
+
+    def _peek(self, offset: int = 0) -> Token:
+        index = min(self._index + offset, len(self._tokens) - 1)
+        return self._tokens[index]
+
+    def _at(self, kind: TokenKind) -> bool:
+        return self._peek().kind is kind
+
+    def _advance(self) -> Token:
+        token = self._tokens[self._index]
+        if token.kind is not TokenKind.EOF:
+            self._index += 1
+        return token
+
+    def _expect(self, kind: TokenKind, context: str) -> Token:
+        token = self._peek()
+        if token.kind is not kind:
+            raise ParseError(
+                f"expected {kind.value!r} {context}, found {token.text!r}",
+                token.location,
+            )
+        return self._advance()
+
+    def _match(self, kind: TokenKind) -> Optional[Token]:
+        if self._at(kind):
+            return self._advance()
+        return None
+
+    # ------------------------------------------------------------------
+    # Declarations.
+    # ------------------------------------------------------------------
+
+    def parse_program(self) -> ast.ProgramAST:
+        functions = []
+        while not self._at(TokenKind.EOF):
+            functions.append(self._parse_function())
+        return ast.ProgramAST(functions)
+
+    def _parse_function(self) -> ast.FunctionDecl:
+        fn_token = self._expect(TokenKind.KW_FN, "to start a function")
+        name = self._expect(TokenKind.IDENT, "after 'fn'").text
+        self._expect(TokenKind.LPAREN, "after function name")
+        params: List[ast.Param] = []
+        if not self._at(TokenKind.RPAREN):
+            params.append(self._parse_param())
+            while self._match(TokenKind.COMMA):
+                params.append(self._parse_param())
+        self._expect(TokenKind.RPAREN, "after parameter list")
+        self._expect(TokenKind.COLON, "before return type")
+        return_type = self._parse_type(allow_void=True)
+        body = self._parse_block()
+        return ast.FunctionDecl(name, params, return_type, body, fn_token.location)
+
+    def _parse_param(self) -> ast.Param:
+        name_token = self._expect(TokenKind.IDENT, "as parameter name")
+        self._expect(TokenKind.COLON, "after parameter name")
+        param_type = self._parse_type(allow_void=False)
+        return ast.Param(name_token.text, param_type, name_token.location)
+
+    def _parse_type(self, allow_void: bool) -> Type:
+        token = self._peek()
+        if token.kind is TokenKind.KW_VOID:
+            if not allow_void:
+                raise ParseError("'void' is only valid as a return type", token.location)
+            self._advance()
+            return VOID
+        if token.kind is TokenKind.KW_INT:
+            self._advance()
+            if self._match(TokenKind.LBRACKET):
+                self._expect(TokenKind.RBRACKET, "to close array type")
+                return INT_ARRAY
+            return INT
+        if token.kind is TokenKind.KW_BOOL:
+            self._advance()
+            return BOOL
+        raise ParseError(f"expected a type, found {token.text!r}", token.location)
+
+    # ------------------------------------------------------------------
+    # Statements.
+    # ------------------------------------------------------------------
+
+    def _parse_block(self) -> List[ast.Stmt]:
+        self._expect(TokenKind.LBRACE, "to open a block")
+        statements: List[ast.Stmt] = []
+        while not self._at(TokenKind.RBRACE):
+            if self._at(TokenKind.EOF):
+                raise ParseError("unterminated block", self._peek().location)
+            statements.append(self._parse_statement())
+        self._expect(TokenKind.RBRACE, "to close a block")
+        return statements
+
+    def _parse_statement(self) -> ast.Stmt:
+        token = self._peek()
+        if token.kind is TokenKind.KW_LET:
+            return self._parse_let()
+        if token.kind is TokenKind.KW_IF:
+            return self._parse_if()
+        if token.kind is TokenKind.KW_WHILE:
+            return self._parse_while()
+        if token.kind is TokenKind.KW_FOR:
+            return self._parse_for()
+        if token.kind is TokenKind.KW_RETURN:
+            return self._parse_return()
+        if token.kind is TokenKind.KW_BREAK:
+            self._advance()
+            self._expect(TokenKind.SEMICOLON, "after 'break'")
+            return ast.BreakStmt(token.location)
+        if token.kind is TokenKind.KW_CONTINUE:
+            self._advance()
+            self._expect(TokenKind.SEMICOLON, "after 'continue'")
+            return ast.ContinueStmt(token.location)
+        stmt = self._parse_simple_statement()
+        self._expect(TokenKind.SEMICOLON, "after statement")
+        return stmt
+
+    def _parse_let(self) -> ast.Stmt:
+        let_token = self._advance()
+        name = self._expect(TokenKind.IDENT, "after 'let'").text
+        self._expect(TokenKind.COLON, "after variable name")
+        declared = self._parse_type(allow_void=False)
+        self._expect(TokenKind.ASSIGN, "in let binding")
+        value = self._parse_expr()
+        self._expect(TokenKind.SEMICOLON, "after let binding")
+        return ast.LetStmt(let_token.location, name, declared, value)
+
+    def _parse_simple_statement(self) -> ast.Stmt:
+        """Parse an assignment, array store, or expression statement
+        (without the trailing semicolon) — the forms allowed in ``for``
+        headers."""
+        token = self._peek()
+        if token.kind is TokenKind.IDENT:
+            # Could be: call, assignment, or array store.  Disambiguate by
+            # parsing the postfix expression and looking at what follows.
+            expr = self._parse_postfix()
+            if self._match(TokenKind.ASSIGN):
+                value = self._parse_expr()
+                if isinstance(expr, ast.VarRef):
+                    return ast.AssignStmt(token.location, expr.name, value)
+                if isinstance(expr, ast.ArrayIndex):
+                    return ast.ArrayStoreStmt(
+                        token.location, expr.array, expr.index, value
+                    )
+                raise ParseError("invalid assignment target", token.location)
+            if isinstance(expr, ast.Call):
+                return ast.ExprStmt(token.location, expr)
+            raise ParseError(
+                "expected '=' or a call in statement position", token.location
+            )
+        raise ParseError(f"expected a statement, found {token.text!r}", token.location)
+
+    def _parse_if(self) -> ast.Stmt:
+        if_token = self._advance()
+        self._expect(TokenKind.LPAREN, "after 'if'")
+        condition = self._parse_expr()
+        self._expect(TokenKind.RPAREN, "after if condition")
+        then_body = self._parse_block()
+        else_body: List[ast.Stmt] = []
+        if self._match(TokenKind.KW_ELSE):
+            if self._at(TokenKind.KW_IF):
+                else_body = [self._parse_if()]
+            else:
+                else_body = self._parse_block()
+        return ast.IfStmt(if_token.location, condition, then_body, else_body)
+
+    def _parse_while(self) -> ast.Stmt:
+        while_token = self._advance()
+        self._expect(TokenKind.LPAREN, "after 'while'")
+        condition = self._parse_expr()
+        self._expect(TokenKind.RPAREN, "after while condition")
+        body = self._parse_block()
+        return ast.WhileStmt(while_token.location, condition, body)
+
+    def _parse_for(self) -> ast.Stmt:
+        for_token = self._advance()
+        self._expect(TokenKind.LPAREN, "after 'for'")
+        init: Optional[ast.Stmt] = None
+        if not self._at(TokenKind.SEMICOLON):
+            if self._at(TokenKind.KW_LET):
+                # Reuse let parsing but without consuming a second semicolon.
+                let_token = self._advance()
+                name = self._expect(TokenKind.IDENT, "after 'let'").text
+                self._expect(TokenKind.COLON, "after variable name")
+                declared = self._parse_type(allow_void=False)
+                self._expect(TokenKind.ASSIGN, "in let binding")
+                value = self._parse_expr()
+                init = ast.LetStmt(let_token.location, name, declared, value)
+            else:
+                init = self._parse_simple_statement()
+        self._expect(TokenKind.SEMICOLON, "after for-loop initializer")
+        condition: Optional[ast.Expr] = None
+        if not self._at(TokenKind.SEMICOLON):
+            condition = self._parse_expr()
+        self._expect(TokenKind.SEMICOLON, "after for-loop condition")
+        step: Optional[ast.Stmt] = None
+        if not self._at(TokenKind.RPAREN):
+            step = self._parse_simple_statement()
+        self._expect(TokenKind.RPAREN, "after for-loop header")
+        body = self._parse_block()
+        return ast.ForStmt(for_token.location, init, condition, step, body)
+
+    def _parse_return(self) -> ast.Stmt:
+        return_token = self._advance()
+        value: Optional[ast.Expr] = None
+        if not self._at(TokenKind.SEMICOLON):
+            value = self._parse_expr()
+        self._expect(TokenKind.SEMICOLON, "after return")
+        return ast.ReturnStmt(return_token.location, value)
+
+    # ------------------------------------------------------------------
+    # Expressions (precedence climbing).
+    # ------------------------------------------------------------------
+
+    def _parse_expr(self) -> ast.Expr:
+        return self._parse_or()
+
+    def _parse_or(self) -> ast.Expr:
+        expr = self._parse_and()
+        while self._at(TokenKind.OR):
+            op_token = self._advance()
+            rhs = self._parse_and()
+            expr = ast.BinaryOp(op_token.location, "||", expr, rhs)
+        return expr
+
+    def _parse_and(self) -> ast.Expr:
+        expr = self._parse_comparison()
+        while self._at(TokenKind.AND):
+            op_token = self._advance()
+            rhs = self._parse_comparison()
+            expr = ast.BinaryOp(op_token.location, "&&", expr, rhs)
+        return expr
+
+    def _parse_comparison(self) -> ast.Expr:
+        expr = self._parse_additive()
+        kind = self._peek().kind
+        if kind in _COMPARISON_OPS:
+            op_token = self._advance()
+            rhs = self._parse_additive()
+            expr = ast.BinaryOp(op_token.location, _COMPARISON_OPS[kind], expr, rhs)
+        return expr
+
+    def _parse_additive(self) -> ast.Expr:
+        expr = self._parse_multiplicative()
+        while self._peek().kind in _ADDITIVE_OPS:
+            op_token = self._advance()
+            rhs = self._parse_multiplicative()
+            expr = ast.BinaryOp(
+                op_token.location, _ADDITIVE_OPS[op_token.kind], expr, rhs
+            )
+        return expr
+
+    def _parse_multiplicative(self) -> ast.Expr:
+        expr = self._parse_unary()
+        while self._peek().kind in _MULTIPLICATIVE_OPS:
+            op_token = self._advance()
+            rhs = self._parse_unary()
+            expr = ast.BinaryOp(
+                op_token.location, _MULTIPLICATIVE_OPS[op_token.kind], expr, rhs
+            )
+        return expr
+
+    def _parse_unary(self) -> ast.Expr:
+        token = self._peek()
+        if token.kind is TokenKind.MINUS:
+            self._advance()
+            operand = self._parse_unary()
+            return ast.UnaryOp(token.location, "-", operand)
+        if token.kind is TokenKind.NOT:
+            self._advance()
+            operand = self._parse_unary()
+            return ast.UnaryOp(token.location, "!", operand)
+        return self._parse_postfix()
+
+    def _parse_postfix(self) -> ast.Expr:
+        expr = self._parse_primary()
+        while self._at(TokenKind.LBRACKET):
+            bracket = self._advance()
+            index = self._parse_expr()
+            self._expect(TokenKind.RBRACKET, "to close array index")
+            expr = ast.ArrayIndex(bracket.location, expr, index)
+        return expr
+
+    def _parse_primary(self) -> ast.Expr:
+        token = self._peek()
+        if token.kind is TokenKind.INT_LITERAL:
+            self._advance()
+            assert token.value is not None
+            return ast.IntLiteral(token.location, token.value)
+        if token.kind is TokenKind.KW_TRUE:
+            self._advance()
+            return ast.BoolLiteral(token.location, True)
+        if token.kind is TokenKind.KW_FALSE:
+            self._advance()
+            return ast.BoolLiteral(token.location, False)
+        if token.kind is TokenKind.KW_LEN:
+            self._advance()
+            self._expect(TokenKind.LPAREN, "after 'len'")
+            array = self._parse_expr()
+            self._expect(TokenKind.RPAREN, "after len argument")
+            return ast.ArrayLength(token.location, array)
+        if token.kind is TokenKind.KW_NEW:
+            self._advance()
+            self._expect(TokenKind.KW_INT, "after 'new'")
+            self._expect(TokenKind.LBRACKET, "in array allocation")
+            length = self._parse_expr()
+            self._expect(TokenKind.RBRACKET, "to close array allocation")
+            return ast.NewArray(token.location, length)
+        if token.kind is TokenKind.IDENT:
+            self._advance()
+            if self._at(TokenKind.LPAREN):
+                return self._parse_call(token)
+            return ast.VarRef(token.location, token.text)
+        if token.kind is TokenKind.LPAREN:
+            self._advance()
+            expr = self._parse_expr()
+            self._expect(TokenKind.RPAREN, "to close parenthesized expression")
+            return expr
+        raise ParseError(f"expected an expression, found {token.text!r}", token.location)
+
+    def _parse_call(self, name_token: Token) -> ast.Expr:
+        self._expect(TokenKind.LPAREN, "in call")
+        args: List[ast.Expr] = []
+        if not self._at(TokenKind.RPAREN):
+            args.append(self._parse_expr())
+            while self._match(TokenKind.COMMA):
+                args.append(self._parse_expr())
+        self._expect(TokenKind.RPAREN, "to close call")
+        return ast.Call(name_token.location, name_token.text, args)
+
+
+def parse_source(source: str) -> ast.ProgramAST:
+    """Lex and parse MiniJ ``source`` into an AST."""
+    return Parser(tokenize(source)).parse_program()

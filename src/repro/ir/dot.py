@@ -1,0 +1,35 @@
+"""Graphviz (dot) export for CFGs and, later, inequality graphs.
+
+Useful for inspecting the running example: ``examples/bubblesort_walkthrough``
+writes both the CFG and the inequality graph of the paper's Figure 4.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.ir.function import Function
+
+
+def _escape(text: str) -> str:
+    return text.replace("\\", "\\\\").replace('"', '\\"')
+
+
+def cfg_to_dot(fn: Function) -> str:
+    """Render the function's CFG as a dot digraph with instruction bodies."""
+    lines: List[str] = [f'digraph "{_escape(fn.name)}" {{', "  node [shape=box, fontname=monospace];"]
+    for label in fn.reachable_blocks():
+        block = fn.blocks[label]
+        body = "\\l".join(_escape(str(instr)) for instr in block.instructions())
+        lines.append(f'  "{label}" [label="{label}:\\l{body}\\l"];')
+        term = block.terminator
+        successors = block.successors()
+        if len(successors) == 2:
+            lines.append(f'  "{label}" -> "{successors[0]}" [label="T"];')
+            lines.append(f'  "{label}" -> "{successors[1]}" [label="F"];')
+        else:
+            for succ in successors:
+                lines.append(f'  "{label}" -> "{succ}";')
+        del term
+    lines.append("}")
+    return "\n".join(lines)

@@ -1,0 +1,268 @@
+"""Textual IR parser: the inverse of ``repro.ir.printer``.
+
+Round-trips the printer's stable format, which makes IR-level test
+fixtures and golden files possible and gives the CLI's ``ir`` output a
+machine-readable meaning::
+
+    fn sum(a.0, n.0) {
+    entry0:
+        s.0 := 0
+        jump loop1
+    loop1:
+        s.1 := phi(entry0: s.0, body2: s.2)
+        i.1 := phi(entry0: 0, body2: i.2)
+        %c0.0 := cmp.lt i.1, n.0
+        branch %c0.0 ? body2 : exit3
+    ...
+    }
+
+The textual form is untyped (parameters default to ``int``); the SSA level
+is inferred: a function containing π-assignments parses as e-SSA, one with
+only φs as SSA, otherwise as plain form.  Check ids are taken from the
+text and the owning program's counter is advanced past them.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import ParseError
+from repro.frontend.types import INT
+from repro.ir.function import BasicBlock, Function, Program
+from repro.ir.instructions import (
+    ArrayLen,
+    ArrayLoad,
+    ArrayNew,
+    ArrayStore,
+    BinOp,
+    Branch,
+    Call,
+    CheckLower,
+    CheckUnsigned,
+    CheckUpper,
+    Cmp,
+    Const,
+    Copy,
+    Instr,
+    Jump,
+    Operand,
+    Phi,
+    Pi,
+    PiPredicate,
+    Return,
+    SpeculativeCheck,
+    Var,
+)
+
+_HEADER_RE = re.compile(r"^fn\s+(\w+)\((.*)\)\s*\{$")
+_LABEL_RE = re.compile(r"^([\w.$@%]+):$")
+_ARITH_RE = re.compile(r"^(add|sub|mul|div|mod)\s+(.+?),\s*(.+)$")
+_CMP_RE = re.compile(r"^cmp\.(lt|le|gt|ge|eq|ne)\s+(.+?),\s*(.+)$")
+_LOAD_RE = re.compile(r"^load\s+([^\[\s]+)\[(.+)\]$")
+_CALL_RE = re.compile(r"^call\s+(\w+)\((.*)\)$")
+_PHI_RE = re.compile(r"^phi\((.*)\)$")
+_PI_RE = re.compile(r"^pi\(([^)]+)\)\s*\[(.+)\]$")
+_CHECKL_RE = re.compile(r"^checklower\s+#(\d+)\s+(\S+)(?:\s+guard=(\d+))?$")
+_CHECKU_RE = re.compile(r"^checkupper\s+#(\d+)\s+([^\[\s]+)\[([^\]]+)\](?:\s+guard=(\d+))?$")
+_CHECKUN_RE = re.compile(
+    r"^checkunsigned\s+#(\d+)\+#(\d+)\s+([^\[\s]+)\[([^\]]+)\](?:\s+guard=(\d+))?$"
+)
+_SPEC_RE = re.compile(
+    r"^speculate\.(upper|lower)\s+#(\d+)\s+(?:([^\[\s]+))?\[([^\]]+)\]\s+->\s+guard\s+(\d+)$"
+)
+_STORE_RE = re.compile(r"^store\s+([^\[\s]+)\[([^\]]+)\]\s*:=\s*(.+)$")
+_BRANCH_RE = re.compile(r"^branch\s+(\S+)\s*\?\s*(\S+)\s*:\s*(\S+)$")
+_PRED_LEN_RE = re.compile(r"^(lt|le|gt|ge|eq)\s+len\(([^)]+)\)$")
+_PRED_RE = re.compile(r"^(lt|le|gt|ge|eq)\s+(\S+)$")
+_INT_RE = re.compile(r"^-?\d+$")
+
+
+def _operand(text: str) -> Operand:
+    text = text.strip()
+    if _INT_RE.match(text):
+        return Const(int(text))
+    return Var(text)
+
+
+def _parse_rhs(rhs: str) -> Instr:
+    """Parse the right-hand side of ``dest := <rhs>`` (dest filled later)."""
+    rhs = rhs.strip()
+    match = _ARITH_RE.match(rhs)
+    if match:
+        return BinOp("", match.group(1), _operand(match.group(2)), _operand(match.group(3)))
+    match = _CMP_RE.match(rhs)
+    if match:
+        return Cmp("", match.group(1), _operand(match.group(2)), _operand(match.group(3)))
+    if rhs.startswith("newarray "):
+        return ArrayNew("", _operand(rhs[len("newarray "):]))
+    if rhs.startswith("arraylen "):
+        return ArrayLen("", rhs[len("arraylen "):].strip())
+    match = _LOAD_RE.match(rhs)
+    if match:
+        return ArrayLoad("", match.group(1), _operand(match.group(2)))
+    match = _CALL_RE.match(rhs)
+    if match:
+        args = [
+            _operand(a) for a in match.group(2).split(",") if a.strip()
+        ]
+        return Call("", match.group(1), args)
+    match = _PHI_RE.match(rhs)
+    if match:
+        incomings: Dict[str, Operand] = {}
+        body = match.group(1).strip()
+        if body:
+            for part in body.split(","):
+                label, _, value = part.partition(":")
+                incomings[label.strip()] = _operand(value)
+        return Phi("", incomings)
+    match = _PI_RE.match(rhs)
+    if match:
+        return Pi("", match.group(1).strip(), _parse_predicate(match.group(2)))
+    # Fallback: plain copy of an operand.
+    return Copy("", _operand(rhs))
+
+
+def _parse_predicate(text: str) -> PiPredicate:
+    text = text.strip()
+    match = _PRED_LEN_RE.match(text)
+    if match:
+        return PiPredicate(match.group(1), arraylen_of=match.group(2))
+    match = _PRED_RE.match(text)
+    if match:
+        return PiPredicate(match.group(1), other=_operand(match.group(2)))
+    raise ParseError(f"bad π predicate: {text!r}")
+
+
+def _set_dest(instr: Instr, dest: str) -> Instr:
+    instr.dest = dest  # type: ignore[attr-defined]
+    return instr
+
+
+def _parse_statement(line: str) -> Tuple[Optional[Instr], Optional[Instr]]:
+    """Parse one instruction line; returns (body instr, terminator)."""
+    if line.startswith("jump "):
+        return None, Jump(line[len("jump "):].strip())
+    match = _BRANCH_RE.match(line)
+    if match:
+        return None, Branch(_operand(match.group(1)), match.group(2), match.group(3))
+    if line == "return":
+        return None, Return(None)
+    if line.startswith("return "):
+        return None, Return(_operand(line[len("return "):]))
+
+    match = _CHECKL_RE.match(line)
+    if match:
+        guard = int(match.group(3)) if match.group(3) else None
+        return CheckLower(_operand(match.group(2)), int(match.group(1)), guard), None
+    match = _CHECKU_RE.match(line)
+    if match:
+        guard = int(match.group(4)) if match.group(4) else None
+        return (
+            CheckUpper(match.group(2), _operand(match.group(3)), int(match.group(1)), guard),
+            None,
+        )
+    match = _CHECKUN_RE.match(line)
+    if match:
+        guard = int(match.group(5)) if match.group(5) else None
+        return (
+            CheckUnsigned(
+                match.group(3),
+                _operand(match.group(4)),
+                int(match.group(1)),
+                int(match.group(2)),
+                guard,
+            ),
+            None,
+        )
+    match = _SPEC_RE.match(line)
+    if match:
+        return (
+            SpeculativeCheck(
+                kind=match.group(1),
+                index=_operand(match.group(4)),
+                guard_group=int(match.group(5)),
+                check_id=int(match.group(2)),
+                array=match.group(3),
+            ),
+            None,
+        )
+    match = _STORE_RE.match(line)
+    if match:
+        return (
+            ArrayStore(match.group(1), _operand(match.group(2)), _operand(match.group(3))),
+            None,
+        )
+    if line.startswith("call "):
+        match = _CALL_RE.match(line)
+        if match:
+            args = [_operand(a) for a in match.group(2).split(",") if a.strip()]
+            return Call(None, match.group(1), args), None
+
+    dest, sep, rhs = line.partition(" := ")
+    if sep:
+        return _set_dest(_parse_rhs(rhs), dest.strip()), None
+    raise ParseError(f"cannot parse IR line: {line!r}")
+
+
+def parse_function(text: str) -> Function:
+    """Parse one printed function back into a :class:`Function`."""
+    lines = [line.rstrip() for line in text.strip().splitlines()]
+    if not lines:
+        raise ParseError("empty IR text")
+    header = _HEADER_RE.match(lines[0].strip())
+    if header is None:
+        raise ParseError(f"bad function header: {lines[0]!r}")
+    name = header.group(1)
+    params = [p.strip() for p in header.group(2).split(",") if p.strip()]
+    fn = Function(name, params, [INT] * len(params), INT)
+
+    current: Optional[BasicBlock] = None
+    has_phi = has_pi = False
+    for raw in lines[1:]:
+        line = raw.strip()
+        if not line or line == "}":
+            continue
+        label_match = _LABEL_RE.match(line)
+        if label_match:
+            current = fn.add_block(BasicBlock(label_match.group(1)))
+            if fn.entry == "":
+                fn.entry = current.label
+            continue
+        if current is None:
+            raise ParseError(f"instruction before any label: {line!r}")
+        instr, terminator = _parse_statement(line)
+        if terminator is not None:
+            current.terminator = terminator
+        elif isinstance(instr, Phi):
+            has_phi = True
+            current.phis.append(instr)
+        else:
+            assert instr is not None
+            if isinstance(instr, Pi):
+                has_pi = True
+            current.body.append(instr)
+
+    fn.ssa_form = "essa" if has_pi else ("ssa" if has_phi else "none")
+    return fn
+
+
+def parse_ir_program(text: str) -> Program:
+    """Parse a whole printed program (functions separated by blank lines)."""
+    program = Program()
+    chunks = re.split(r"\n\s*\n(?=fn\s)", text.strip())
+    max_check_id = -1
+    for chunk in chunks:
+        if not chunk.strip():
+            continue
+        fn = parse_function(chunk)
+        program.add_function(fn)
+        for instr in fn.all_instructions():
+            for attribute in ("check_id", "lower_id", "upper_id"):
+                value = getattr(instr, attribute, None)
+                if isinstance(value, int):
+                    max_check_id = max(max_check_id, value)
+    # Advance the counter so later transformations mint fresh ids.
+    while program._next_check_id <= max_check_id:
+        program.new_check_id()
+    return program

@@ -1,0 +1,196 @@
+"""IR well-formedness and SSA-invariant verifier.
+
+Run after construction and after every transformation in tests; it enforces:
+
+* structural invariants — every block has exactly one terminator, all jump
+  targets exist, the entry block exists and has no φs;
+* φ invariants — in SSA form, each φ has one incoming operand per CFG
+  predecessor, and φs only appear at block heads;
+* SSA invariants — each variable has at most one definition, and every use
+  is dominated by its definition (φ uses are checked at the end of the
+  corresponding predecessor);
+* e-SSA invariants — every π's predicate mentions only visible values.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Set
+
+from repro.errors import IRVerificationError
+from repro.ir.function import Function, Program
+from repro.ir.instructions import Phi, Pi, Var
+
+
+def verify_function(fn: Function) -> None:
+    """Raise :class:`IRVerificationError` on the first violated invariant."""
+    _verify_structure(fn)
+    if fn.ssa_form in ("ssa", "essa"):
+        _verify_ssa(fn)
+
+
+def verify_program(program: Program) -> None:
+    for fn in program.functions.values():
+        verify_function(fn)
+
+
+# ----------------------------------------------------------------------
+# Structure.
+# ----------------------------------------------------------------------
+
+
+def _verify_structure(fn: Function) -> None:
+    if fn.entry not in fn.blocks:
+        raise IRVerificationError(f"{fn.name}: entry block {fn.entry!r} missing")
+    # Successor targets must exist before any predecessor/reachability
+    # computation can be trusted.
+    for label, block in fn.blocks.items():
+        for succ in block.successors():
+            if succ not in fn.blocks:
+                raise IRVerificationError(
+                    f"{fn.name}/{label}: jump to unknown block {succ!r}"
+                )
+    preds = fn.predecessors()
+    for label, block in fn.blocks.items():
+        if block.label != label:
+            raise IRVerificationError(
+                f"{fn.name}: block registered as {label!r} is labelled "
+                f"{block.label!r}"
+            )
+        if block.terminator is None:
+            raise IRVerificationError(f"{fn.name}/{label}: missing terminator")
+        if not block.terminator.is_terminator:
+            raise IRVerificationError(
+                f"{fn.name}/{label}: terminator slot holds non-terminator "
+                f"{block.terminator}"
+            )
+        for instr in block.body:
+            if instr.is_terminator:
+                raise IRVerificationError(
+                    f"{fn.name}/{label}: terminator {instr} in block body"
+                )
+            if isinstance(instr, Phi):
+                raise IRVerificationError(
+                    f"{fn.name}/{label}: φ {instr} outside the block head"
+                )
+        for succ in block.successors():
+            if succ not in fn.blocks:
+                raise IRVerificationError(
+                    f"{fn.name}/{label}: jump to unknown block {succ!r}"
+                )
+        for phi in block.phis:
+            incoming = set(phi.incomings)
+            expected = set(preds[label])
+            if fn.ssa_form in ("ssa", "essa") and incoming != expected:
+                raise IRVerificationError(
+                    f"{fn.name}/{label}: φ {phi.dest} has incoming "
+                    f"{sorted(incoming)} but predecessors are {sorted(expected)}"
+                )
+    entry_block = fn.blocks[fn.entry]
+    if entry_block.phis:
+        raise IRVerificationError(f"{fn.name}: entry block has φ instructions")
+    if preds[fn.entry]:
+        raise IRVerificationError(
+            f"{fn.name}: entry block has predecessors {preds[fn.entry]}"
+        )
+
+
+# ----------------------------------------------------------------------
+# SSA.
+# ----------------------------------------------------------------------
+
+
+def _verify_ssa(fn: Function) -> None:
+    from repro.analysis.dominance import DominatorTree
+
+    definitions: Dict[str, str] = {}  # var -> defining block label
+    for param in fn.params:
+        definitions[param] = fn.entry
+    for label in fn.reachable_blocks():
+        for instr in fn.blocks[label].instructions():
+            dest = instr.defs()
+            if dest is None:
+                continue
+            if dest in definitions:
+                raise IRVerificationError(
+                    f"{fn.name}: variable {dest!r} defined more than once"
+                )
+            definitions[dest] = label
+
+    domtree = DominatorTree.compute(fn)
+
+    # Position of each definition within its block for intra-block ordering.
+    def_positions: Dict[str, int] = {}
+    for label in fn.reachable_blocks():
+        for position, instr in enumerate(fn.blocks[label].instructions()):
+            dest = instr.defs()
+            if dest is not None:
+                def_positions[dest] = position
+    for param in fn.params:
+        def_positions[param] = -1
+
+    for label in fn.reachable_blocks():
+        block = fn.blocks[label]
+        for position, instr in enumerate(block.instructions()):
+            if isinstance(instr, Phi):
+                for pred_label, operand in instr.incomings.items():
+                    if isinstance(operand, Var):
+                        _check_reaches_block_end(
+                            fn, domtree, definitions, operand.name, pred_label
+                        )
+                continue
+            for name in instr.used_vars():
+                def_label = definitions.get(name)
+                if def_label is None:
+                    raise IRVerificationError(
+                        f"{fn.name}/{label}: use of undefined variable {name!r} "
+                        f"in {instr}"
+                    )
+                if def_label == label:
+                    if def_positions[name] >= position:
+                        raise IRVerificationError(
+                            f"{fn.name}/{label}: {name!r} used before its "
+                            f"definition in {instr}"
+                        )
+                elif not domtree.dominates(def_label, label):
+                    raise IRVerificationError(
+                        f"{fn.name}/{label}: use of {name!r} not dominated by "
+                        f"its definition in {def_label!r}"
+                    )
+
+    if fn.ssa_form == "essa":
+        _verify_pis(fn, definitions)
+
+
+def _check_reaches_block_end(
+    fn: Function,
+    domtree,
+    definitions: Dict[str, str],
+    name: str,
+    pred_label: str,
+) -> None:
+    def_label = definitions.get(name)
+    if def_label is None:
+        raise IRVerificationError(
+            f"{fn.name}: φ operand {name!r} (from {pred_label!r}) is undefined"
+        )
+    if def_label != pred_label and not domtree.dominates(def_label, pred_label):
+        raise IRVerificationError(
+            f"{fn.name}: φ operand {name!r} from {pred_label!r} not dominated "
+            f"by its definition in {def_label!r}"
+        )
+
+
+def _verify_pis(fn: Function, definitions: Dict[str, str]) -> None:
+    seen: Set[str] = set()
+    for label in fn.reachable_blocks():
+        for instr in fn.blocks[label].instructions():
+            if isinstance(instr, Pi):
+                if instr.src not in definitions:
+                    raise IRVerificationError(
+                        f"{fn.name}/{label}: π source {instr.src!r} undefined"
+                    )
+                if instr.dest in seen:
+                    raise IRVerificationError(
+                        f"{fn.name}: duplicate π destination {instr.dest!r}"
+                    )
+                seen.add(instr.dest)

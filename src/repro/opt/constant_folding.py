@@ -1,0 +1,94 @@
+"""Constant folding on (e-)SSA.
+
+Folds arithmetic and comparisons over literal operands into ``Copy dest,
+Const`` instructions, and simplifies branches whose condition is a literal
+into unconditional jumps (pruning the dead arm's φ-operands and any
+now-unreachable blocks).
+
+Division and modulo by a literal zero are *not* folded — they must raise
+at run time, in program order.
+"""
+
+from __future__ import annotations
+
+from repro.ir.function import Function
+from repro.ir.instructions import (
+    BinOp,
+    Branch,
+    Cmp,
+    Const,
+    Copy,
+    Jump,
+)
+from repro.runtime.values import minij_div, minij_mod
+
+_CMP_FUNCS = {
+    "lt": lambda a, b: a < b,
+    "le": lambda a, b: a <= b,
+    "gt": lambda a, b: a > b,
+    "ge": lambda a, b: a >= b,
+    "eq": lambda a, b: a == b,
+    "ne": lambda a, b: a != b,
+}
+
+
+def fold_constants(fn: Function) -> int:
+    """Fold literal computations; returns the number of changes."""
+    changes = 0
+    for block in fn.blocks.values():
+        new_body = []
+        for instr in block.body:
+            folded = _fold_instr(instr)
+            if folded is not None:
+                new_body.append(folded)
+                changes += 1
+            else:
+                new_body.append(instr)
+        block.body = new_body
+
+    changes += _fold_branches(fn)
+    return changes
+
+
+def _fold_instr(instr):
+    if isinstance(instr, BinOp) and isinstance(instr.lhs, Const) and isinstance(instr.rhs, Const):
+        lhs, rhs = instr.lhs.value, instr.rhs.value
+        if instr.op == "add":
+            return Copy(instr.dest, Const(lhs + rhs))
+        if instr.op == "sub":
+            return Copy(instr.dest, Const(lhs - rhs))
+        if instr.op == "mul":
+            return Copy(instr.dest, Const(lhs * rhs))
+        if instr.op == "div" and rhs != 0:
+            return Copy(instr.dest, Const(minij_div(lhs, rhs)))
+        if instr.op == "mod" and rhs != 0:
+            return Copy(instr.dest, Const(minij_mod(lhs, rhs)))
+        return None
+    if isinstance(instr, BinOp) and isinstance(instr.rhs, Const):
+        # Algebraic identities keeping the C3 shape simple.
+        if instr.rhs.value == 0 and instr.op in ("add", "sub"):
+            return Copy(instr.dest, instr.lhs)
+    if isinstance(instr, BinOp) and isinstance(instr.lhs, Const):
+        if instr.lhs.value == 0 and instr.op == "add":
+            return Copy(instr.dest, instr.rhs)
+    if isinstance(instr, Cmp) and isinstance(instr.lhs, Const) and isinstance(instr.rhs, Const):
+        result = _CMP_FUNCS[instr.op](instr.lhs.value, instr.rhs.value)
+        return Copy(instr.dest, Const(1 if result else 0))
+    return None
+
+
+def _fold_branches(fn: Function) -> int:
+    changes = 0
+    for block in list(fn.blocks.values()):
+        term = block.terminator
+        if isinstance(term, Branch) and isinstance(term.cond, Const):
+            taken = term.true_target if term.cond.value != 0 else term.false_target
+            not_taken = term.false_target if term.cond.value != 0 else term.true_target
+            block.terminator = Jump(taken)
+            if not_taken != taken:
+                for phi in fn.blocks[not_taken].phis:
+                    phi.incomings.pop(block.label, None)
+            changes += 1
+    if changes:
+        fn.remove_unreachable_blocks()
+    return changes

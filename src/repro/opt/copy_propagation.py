@@ -1,0 +1,110 @@
+"""Copy propagation on (e-)SSA.
+
+Replaces every use of ``dest`` with ``src`` for plain ``dest := src``
+copies, transitively, and leaves the now-dead copies to DCE.  π
+assignments are **never** propagated through: although a π is a run-time
+copy, its destination name carries the branch/check constraint, and
+rewriting uses to the source would silently widen their constraint scope
+(the whole point of e-SSA renaming).
+
+Constants are propagated as well (``dest := 5`` turns uses of ``dest``
+into the literal ``5``), which canonicalizes the C2/C3 patterns the
+inequality-graph builder looks for.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.ir.function import Function
+from repro.ir.instructions import Const, Copy, Operand, Phi, Var
+
+
+def propagate_copies(fn: Function) -> int:
+    """Rewrite uses through copy chains; returns how many instructions had
+    operands rewritten."""
+    if fn.ssa_form == "none":
+        raise ValueError("copy propagation requires SSA form")
+
+    # Resolve each copy destination to its ultimate non-copy source.
+    direct: Dict[str, Operand] = {}
+    for instr in fn.all_instructions():
+        if isinstance(instr, Copy):
+            direct[instr.dest] = instr.src
+
+    def resolve(name: str) -> Operand:
+        seen = set()
+        operand: Operand = Var(name)
+        while isinstance(operand, Var) and operand.name in direct:
+            if operand.name in seen:  # defensive; SSA precludes copy cycles
+                break
+            seen.add(operand.name)
+            operand = direct[operand.name]
+        return operand
+
+    resolved: Dict[str, Operand] = {name: resolve(name) for name in direct}
+    var_mapping = {
+        name: op.name
+        for name, op in resolved.items()
+        if isinstance(op, Var) and op.name != name
+    }
+    const_sources = {
+        name: op for name, op in resolved.items() if isinstance(op, Const)
+    }
+
+    rewritten = 0
+    for block in fn.blocks.values():
+        for instr in block.instructions():
+            if isinstance(instr, Copy) and instr.dest in resolved:
+                # Shorten the chain itself so DCE sees a simple copy.
+                new_src = resolved[instr.dest]
+                if new_src != instr.src:
+                    instr.src = new_src
+                    rewritten += 1
+                continue
+            before = [str(u) for u in instr.uses()]
+            instr.rename_uses(var_mapping)
+            _rewrite_const_uses(instr, const_sources)
+            if [str(u) for u in instr.uses()] != before:
+                rewritten += 1
+    return rewritten
+
+
+def _rewrite_const_uses(instr, const_sources: Dict[str, Const]) -> None:
+    """Replace variable operands whose source is a constant.
+
+    Only operand-position uses can become constants; instructions that
+    name variables structurally (array operands of loads/stores/checks, π
+    sources) keep the variable — an array reference is never a constant,
+    and a π of a constant-valued variable is left for constant folding.
+    """
+    from repro.ir.instructions import ArrayNew, ArrayStore, BinOp, Call, Cmp
+    from repro.ir.instructions import CheckLower, CheckUpper, Return, Branch
+    from repro.ir.instructions import ArrayLoad, SpeculativeCheck
+
+    def sub(op: Operand) -> Operand:
+        if isinstance(op, Var) and op.name in const_sources:
+            return const_sources[op.name]
+        return op
+
+    if isinstance(instr, (BinOp, Cmp)):
+        instr.lhs = sub(instr.lhs)
+        instr.rhs = sub(instr.rhs)
+    elif isinstance(instr, ArrayNew):
+        instr.length = sub(instr.length)
+    elif isinstance(instr, ArrayLoad):
+        instr.index = sub(instr.index)
+    elif isinstance(instr, ArrayStore):
+        instr.index = sub(instr.index)
+        instr.value = sub(instr.value)
+    elif isinstance(instr, (CheckLower, CheckUpper, SpeculativeCheck)):
+        instr.index = sub(instr.index)
+    elif isinstance(instr, Call):
+        instr.args = [sub(a) for a in instr.args]
+    elif isinstance(instr, Return):
+        if instr.value is not None:
+            instr.value = sub(instr.value)
+    elif isinstance(instr, Branch):
+        instr.cond = sub(instr.cond)
+    elif isinstance(instr, Phi):
+        instr.incomings = {p: sub(op) for p, op in instr.incomings.items()}

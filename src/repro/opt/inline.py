@@ -1,0 +1,213 @@
+"""Function inlining (the paper's missing interprocedural dimension).
+
+Section 8: "We do not use any interprocedural summary information, as the
+Jalapeño optimizing compiler assumes an open world ... these experimental
+results should be considered a lower bound."  Inlining is the classic JIT
+answer: once a callee's body sits inside the caller, its array parameters
+resolve to the caller's allocations (exposing allocation length facts) and
+its index parameters to the caller's constants — exactly what Hanoi's
+``heights[p]`` accesses need.
+
+The pass runs on **non-SSA** IR (between lowering and e-SSA construction):
+
+* only non-recursive callees are inlined (call-graph cycles are skipped);
+* callee size and total growth are bounded;
+* copied variables get a fresh ``@inlN`` suffix, copied blocks fresh
+  labels, and copied checks fresh program-unique ids;
+* each ``return`` in the copy becomes a copy-to-result plus a jump to the
+  continuation block.
+"""
+
+from __future__ import annotations
+
+import copy as copy_module
+from typing import Dict, List, Optional, Set
+
+from repro.ir.function import BasicBlock, Function, Program
+from repro.ir.instructions import (
+    Call,
+    CheckLower,
+    CheckUpper,
+    Copy,
+    Instr,
+    Jump,
+    Return,
+)
+
+
+def _instruction_count(fn: Function) -> int:
+    return sum(1 for _ in fn.all_instructions())
+
+
+def recursive_functions(program: Program) -> Set[str]:
+    """Functions on a call-graph cycle (including self-recursion)."""
+    callees: Dict[str, Set[str]] = {name: set() for name in program.functions}
+    for name, fn in program.functions.items():
+        for instr in fn.all_instructions():
+            if isinstance(instr, Call):
+                callees[name].add(instr.callee)
+
+    recursive: Set[str] = set()
+    for start in program.functions:
+        seen: Set[str] = set()
+        stack = list(callees[start])
+        while stack:
+            current = stack.pop()
+            if current == start:
+                recursive.add(start)
+                break
+            if current in seen or current not in callees:
+                continue
+            seen.add(current)
+            stack.extend(callees[current])
+    return recursive
+
+
+class Inliner:
+    """Bounded inlining over a whole program."""
+
+    def __init__(
+        self,
+        program: Program,
+        max_callee_size: int = 60,
+        max_growth_factor: float = 8.0,
+        max_rounds: int = 3,
+    ) -> None:
+        self._program = program
+        self._max_callee_size = max_callee_size
+        self._max_growth = max_growth_factor
+        self._max_rounds = max_rounds
+        self._next_copy = 0
+        self.inlined_calls = 0
+
+    def run(self) -> int:
+        """Inline eligible calls; returns how many call sites were expanded."""
+        recursive = recursive_functions(self._program)
+        budgets = {
+            name: max(
+                int(_instruction_count(fn) * self._max_growth),
+                _instruction_count(fn) + self._max_callee_size,
+            )
+            for name, fn in self._program.functions.items()
+        }
+        for _ in range(self._max_rounds):
+            expanded = 0
+            for fn in self._program.functions.values():
+                if fn.ssa_form != "none":
+                    raise ValueError("inlining must run before SSA construction")
+                expanded += self._inline_in_function(fn, recursive, budgets[fn.name])
+            if expanded == 0:
+                break
+        return self.inlined_calls
+
+    # ------------------------------------------------------------------
+
+    def _inline_in_function(
+        self, fn: Function, recursive: Set[str], budget: int
+    ) -> int:
+        expanded = 0
+        for label in list(fn.reachable_blocks()):
+            block = fn.blocks.get(label)
+            if block is None:
+                continue
+            call_index = self._find_inlinable_call(fn, block, recursive, budget)
+            if call_index is None:
+                continue
+            call = block.body[call_index]
+            assert isinstance(call, Call)
+            self._expand(fn, block, call_index, call)
+            self.inlined_calls += 1
+            expanded += 1
+        return expanded
+
+    def _find_inlinable_call(
+        self, fn: Function, block: BasicBlock, recursive: Set[str], budget: int
+    ) -> Optional[int]:
+        for index, instr in enumerate(block.body):
+            if not isinstance(instr, Call):
+                continue
+            callee = self._program.functions.get(instr.callee)
+            if callee is None or callee.name == fn.name:
+                continue
+            if callee.name in recursive:
+                continue
+            callee_size = _instruction_count(callee)
+            if callee_size > self._max_callee_size:
+                continue
+            if _instruction_count(fn) + callee_size > budget:
+                continue
+            return index
+        return None
+
+    def _expand(self, fn: Function, block: BasicBlock, call_index: int, call: Call) -> None:
+        callee = self._program.function(call.callee)
+        suffix = f"@inl{self._next_copy}"
+        self._next_copy += 1
+
+        # Continuation block: everything after the call.
+        continuation = fn.new_block("cont")
+        continuation.body = block.body[call_index + 1 :]
+        continuation.terminator = block.terminator
+
+        # Copy the callee body with fresh variables, labels, and check ids.
+        label_map = {
+            old_label: fn.new_block("inl").label
+            for old_label in callee.blocks
+        }
+
+        def rename_var(name: str) -> str:
+            return name + suffix
+
+        for old_label, old_block in callee.blocks.items():
+            new_block = fn.blocks[label_map[old_label]]
+            for instr in old_block.instructions():
+                cloned = copy_module.deepcopy(instr)
+                self._rewrite_instr(cloned, rename_var, label_map)
+                if isinstance(cloned, Return):
+                    if call.dest is not None and cloned.value is not None:
+                        new_block.body.append(Copy(call.dest, cloned.value))
+                    new_block.terminator = Jump(continuation.label)
+                elif cloned.is_terminator:
+                    new_block.terminator = cloned
+                else:
+                    new_block.body.append(cloned)
+
+        # Rewrite the call site: argument copies, then jump into the copy.
+        block.body = block.body[:call_index]
+        for param, arg in zip(callee.params, call.args):
+            block.body.append(Copy(rename_var(param), arg))
+        block.terminator = Jump(label_map[callee.entry])
+
+    def _rewrite_instr(self, instr: Instr, rename_var, label_map: Dict[str, str]) -> None:
+        # Variables: both uses and the destination.
+        all_names = {name: rename_var(name) for name in instr.used_vars()}
+        instr.rename_uses(all_names)
+        dest = instr.defs()
+        if dest is not None:
+            instr.dest = rename_var(dest)  # type: ignore[attr-defined]
+        from repro.ir.instructions import ArrayStore
+
+        if isinstance(instr, ArrayStore):
+            pass  # array operand already renamed via rename_uses
+        # Control flow targets.
+        if isinstance(instr, Jump):
+            instr.target = label_map[instr.target]
+        from repro.ir.instructions import Branch
+
+        if isinstance(instr, Branch):
+            instr.true_target = label_map[instr.true_target]
+            instr.false_target = label_map[instr.false_target]
+        # Checks need fresh program-unique identities.
+        if isinstance(instr, (CheckLower, CheckUpper)):
+            instr.check_id = self._program.new_check_id()
+
+
+def inline_program(
+    program: Program,
+    max_callee_size: int = 60,
+    max_growth_factor: float = 8.0,
+    max_rounds: int = 3,
+) -> int:
+    """Run bounded inlining over ``program``; returns expanded call count."""
+    inliner = Inliner(program, max_callee_size, max_growth_factor, max_rounds)
+    return inliner.run()

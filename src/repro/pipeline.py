@@ -1,0 +1,109 @@
+"""The public pipeline facade: source → e-SSA IR → ABCD → execution.
+
+Typical use::
+
+    from repro import pipeline
+
+    program = pipeline.compile_source(source)
+    profile = pipeline.profile(program, "main")
+    report = pipeline.abcd(program, pre=True, profile=profile)
+    result = pipeline.run(program, "main")
+
+``compile_source`` produces a :class:`~repro.ir.function.Program` whose
+functions are in e-SSA form with the standard pre-pass suite applied —
+the state in which a dynamic compiler would hand code to ABCD.
+"""
+
+from __future__ import annotations
+
+import copy
+from typing import Optional, Sequence
+
+from repro.core.abcd import ABCDConfig, ABCDReport, optimize_program
+from repro.frontend.parser import parse_source
+from repro.frontend.semantic import check_program
+from repro.ir.function import Program
+from repro.ir.lowering import lower_program
+from repro.ir.verifier import verify_program
+from repro.opt import run_standard_pipeline
+from repro.runtime.interpreter import ExecutionResult, run_program
+from repro.runtime.profiler import Profile, collect_profile
+from repro.ssa.essa import construct_essa
+
+
+def compile_source(
+    source: str,
+    standard_opts: bool = True,
+    verify: bool = True,
+    inline: bool = False,
+) -> Program:
+    """Compile MiniJ source to an e-SSA program ready for ABCD.
+
+    ``inline=True`` runs bounded function inlining before e-SSA
+    construction — the interprocedural extension the paper lists as
+    future infrastructure work (callee array parameters then resolve to
+    caller allocations, exposing their length facts to ABCD).
+    """
+    ast = parse_source(source)
+    info = check_program(ast)
+    program = lower_program(ast, info)
+    if inline:
+        from repro.opt.inline import inline_program
+
+        inline_program(program)
+    for fn in program.functions.values():
+        construct_essa(fn)
+        if standard_opts:
+            run_standard_pipeline(fn)
+    if verify:
+        verify_program(program)
+    return program
+
+
+def clone_program(program: Program) -> Program:
+    """A deep copy, for unoptimized/optimized differential comparisons."""
+    return copy.deepcopy(program)
+
+
+def profile(
+    program: Program,
+    function_name: str = "main",
+    args: Sequence = (),
+    fuel: int = 50_000_000,
+) -> Profile:
+    """Collect a training-run profile (block/edge/check frequencies)."""
+    return collect_profile(program, function_name, args, fuel)
+
+
+def abcd(
+    program: Program,
+    config: Optional[ABCDConfig] = None,
+    profile: Optional[Profile] = None,
+    pre: bool = False,
+    verify: bool = True,
+) -> ABCDReport:
+    """Run the ABCD optimizer over every function of ``program``.
+
+    ``pre=True`` is a convenience that flips the config flag (a profile
+    must then be supplied).
+    """
+    if config is None:
+        config = ABCDConfig()
+    if pre:
+        config.pre = True
+    if config.pre and profile is None:
+        raise ValueError("PRE requires a profile (pass profile=...)")
+    report = optimize_program(program, config, profile)
+    if verify:
+        verify_program(program)
+    return report
+
+
+def run(
+    program: Program,
+    function_name: str = "main",
+    args: Sequence = (),
+    fuel: int = 50_000_000,
+) -> ExecutionResult:
+    """Execute a compiled (possibly optimized) program."""
+    return run_program(program, function_name, args, fuel=fuel)

@@ -1,0 +1,25 @@
+"""The MiniJ VM: interpreter, values, and profiler."""
+
+from repro.runtime.interpreter import (
+    DEFAULT_COSTS,
+    ExecutionResult,
+    ExecutionStats,
+    Interpreter,
+    run_program,
+)
+from repro.runtime.profiler import Profile, collect_profile, static_check_table
+from repro.runtime.values import ArrayValue, minij_div, minij_mod
+
+__all__ = [
+    "Interpreter",
+    "run_program",
+    "ExecutionResult",
+    "ExecutionStats",
+    "DEFAULT_COSTS",
+    "Profile",
+    "collect_profile",
+    "static_check_table",
+    "ArrayValue",
+    "minij_div",
+    "minij_mod",
+]

@@ -1,0 +1,355 @@
+"""A compiling backend: translate the IR to Python source and ``exec`` it.
+
+The paper's setting is a JIT — code is *compiled* after optimization, not
+interpreted.  This backend is the reproduction's compiled tier: each MiniJ
+function becomes one Python function whose body is straight-line Python
+with gotos emulated by a block-dispatch loop.  Observable semantics match
+the interpreter exactly:
+
+* bounds checks raise :class:`BoundsCheckError` with the same check id and
+  update the same counters;
+* speculative checks raise guard flags; guarded checks test them;
+* MiniJ division/modulo truncate toward zero;
+* φs are compiled as parallel assignments on each incoming edge
+  (the function is SSA-destructed-on-the-fly: the generated code assigns
+  φ destinations at the end of each predecessor).
+
+Differential tests (``tests/test_codegen.py``) run random and corpus
+programs through both tiers and require identical results and counters.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from repro.errors import BoundsCheckError, MiniJRuntimeError
+from repro.ir.function import Function, Program
+from repro.ir.instructions import (
+    ArrayLen,
+    ArrayLoad,
+    ArrayNew,
+    ArrayStore,
+    BinOp,
+    Branch,
+    Call,
+    CheckLower,
+    CheckUnsigned,
+    CheckUpper,
+    Cmp,
+    Const,
+    Copy,
+    Jump,
+    Operand,
+    Phi,
+    Pi,
+    Return,
+    SpeculativeCheck,
+    Var,
+)
+from repro.runtime.interpreter import ExecutionResult, ExecutionStats
+from repro.runtime.values import ArrayValue, minij_div, minij_mod
+
+_CMP_PY = {
+    "lt": "<",
+    "le": "<=",
+    "gt": ">",
+    "ge": ">=",
+    "eq": "==",
+    "ne": "!=",
+}
+
+
+def _mangle(name: str) -> str:
+    """IR variable names (``%t3``, ``j.2``, ``x@inl0``) to Python
+    identifiers.  Escaping the underscore first makes the mapping
+    injective, so distinct IR names can never collide in the generated
+    code (e.g. a source variable ``x_d_0`` vs. the SSA name ``x.0``)."""
+    return (
+        "v_"
+        + name.replace("_", "_u_")
+        .replace("%", "_p_")
+        .replace(".", "_d_")
+        .replace("@", "_a_")
+    )
+
+
+def _operand(op: Operand) -> str:
+    if isinstance(op, Const):
+        return repr(op.value)
+    assert isinstance(op, Var)
+    return _mangle(op.name)
+
+
+class _FunctionCompiler:
+    """Emits one Python function for one IR function."""
+
+    def __init__(self, fn: Function) -> None:
+        self._fn = fn
+        self._lines: List[str] = []
+        self._indent = 2
+
+    def emit(self, text: str) -> None:
+        self._lines.append("    " * self._indent + text)
+
+    def compile(self) -> str:
+        fn = self._fn
+        params = ", ".join(_mangle(p) for p in fn.params)
+        self._lines.append(f"def {fn.name}({params}):")
+        self._indent = 1
+        self.emit("_guards = {}")
+        labels = fn.reachable_blocks()
+        label_ids = {label: i for i, label in enumerate(labels)}
+        self.emit(f"_block = {label_ids[fn.entry]}")
+        self.emit("while True:")
+        self._indent = 2
+        for label in labels:
+            block = fn.blocks[label]
+            self.emit(f"if _block == {label_ids[label]}:")
+            self._indent += 1
+            for instr in block.body:
+                self._instr(instr)
+            self._terminator(block, label_ids)
+            self._indent -= 1
+        self.emit("raise _RuntimeError('fell off dispatch loop')")
+        return "\n".join(self._lines)
+
+    # ------------------------------------------------------------------
+
+    def _phi_moves(self, target_label: str, from_label: str) -> None:
+        """Parallel φ assignment for the edge from_label -> target_label."""
+        phis = self._fn.blocks[target_label].phis
+        if not phis:
+            return
+        sources = ", ".join(
+            _operand(phi.incomings[from_label]) for phi in phis
+        )
+        dests = ", ".join(_mangle(phi.dest) for phi in phis)
+        # Tuple assignment evaluates the whole RHS first: parallel-copy
+        # semantics for φs that read each other's destinations.
+        self.emit(f"{dests} = {sources}")
+        self.emit(f"_stats.instructions += {len(phis)}")
+        self.emit(f"_stats.cycles += {len(phis)} * _costs['phi']")
+
+    def _goto(self, target: str, from_label: str, label_ids: Dict[str, int]) -> None:
+        self._phi_moves(target, from_label)
+        self.emit(f"_block = {label_ids[target]}")
+        self.emit("continue")
+
+    def _terminator(self, block, label_ids: Dict[str, int]) -> None:
+        term = block.terminator
+        self.emit("_stats.instructions += 1")
+        if isinstance(term, Jump):
+            self.emit("_stats.cycles += _costs['jump']")
+            self._goto(term.target, block.label, label_ids)
+        elif isinstance(term, Branch):
+            self.emit("_stats.cycles += _costs['branch']")
+            self.emit(f"if {_operand(term.cond)} != 0:")
+            self._indent += 1
+            self._goto(term.true_target, block.label, label_ids)
+            self._indent -= 1
+            self.emit("else:")
+            self._indent += 1
+            self._goto(term.false_target, block.label, label_ids)
+            self._indent -= 1
+        elif isinstance(term, Return):
+            self.emit("_stats.cycles += _costs['return']")
+            if term.value is None:
+                self.emit("return None")
+            else:
+                self.emit(f"return {_operand(term.value)}")
+        else:  # pragma: no cover
+            raise MiniJRuntimeError(f"bad terminator {term}")
+
+    # ------------------------------------------------------------------
+
+    def _count(self, cost_key: str) -> None:
+        self.emit("_stats.instructions += 1")
+        self.emit(f"_stats.cycles += _costs['{cost_key}']")
+
+    def _instr(self, instr) -> None:
+        if isinstance(instr, Copy):
+            self._count("copy")
+            self.emit(f"{_mangle(instr.dest)} = {_operand(instr.src)}")
+        elif isinstance(instr, Pi):
+            self._count("pi")
+            self.emit(f"{_mangle(instr.dest)} = {_mangle(instr.src)}")
+        elif isinstance(instr, BinOp):
+            dest = _mangle(instr.dest)
+            lhs, rhs = _operand(instr.lhs), _operand(instr.rhs)
+            if instr.op == "add":
+                self._count("binop")
+                self.emit(f"{dest} = {lhs} + {rhs}")
+            elif instr.op == "sub":
+                self._count("binop")
+                self.emit(f"{dest} = {lhs} - {rhs}")
+            elif instr.op == "mul":
+                self._count("binop")
+                self.emit(f"{dest} = {lhs} * {rhs}")
+            elif instr.op == "div":
+                self._count("div")
+                self.emit(f"{dest} = _div({lhs}, {rhs})")
+            else:
+                self._count("div")
+                self.emit(f"{dest} = _mod({lhs}, {rhs})")
+        elif isinstance(instr, Cmp):
+            self._count("cmp")
+            op = _CMP_PY[instr.op]
+            self.emit(
+                f"{_mangle(instr.dest)} = 1 if {_operand(instr.lhs)} {op} "
+                f"{_operand(instr.rhs)} else 0"
+            )
+        elif isinstance(instr, ArrayNew):
+            self._count("arraynew")
+            self.emit(f"{_mangle(instr.dest)} = _ArrayValue({_operand(instr.length)})")
+        elif isinstance(instr, ArrayLen):
+            self._count("arraylen")
+            self.emit(f"{_mangle(instr.dest)} = len({_mangle(instr.array)}.data)")
+        elif isinstance(instr, ArrayLoad):
+            self._count("arrayload")
+            self.emit(
+                f"{_mangle(instr.dest)} = _load("
+                f"{_mangle(instr.array)}, {_operand(instr.index)})"
+            )
+        elif isinstance(instr, ArrayStore):
+            self._count("arraystore")
+            self.emit(
+                f"_store({_mangle(instr.array)}, {_operand(instr.index)}, "
+                f"{_operand(instr.value)})"
+            )
+        elif isinstance(instr, CheckLower):
+            self.emit("_stats.instructions += 1")
+            self._check_guard_prefix(instr)
+            self.emit(f"_stats.lower_checks += 1")
+            self.emit(f"_stats.count_check({instr.check_id})")
+            self.emit(f"_stats.cycles += _costs['checklower']")
+            self.emit(
+                f"if {_operand(instr.index)} < 0: "
+                f"raise _BoundsError({instr.check_id}, {_operand(instr.index)}, -1, 'lower')"
+            )
+            self._check_guard_suffix(instr)
+        elif isinstance(instr, CheckUpper):
+            self.emit("_stats.instructions += 1")
+            self._check_guard_prefix(instr)
+            self.emit(f"_stats.upper_checks += 1")
+            self.emit(f"_stats.count_check({instr.check_id})")
+            self.emit(f"_stats.cycles += _costs['checkupper']")
+            index = _operand(instr.index)
+            array = _mangle(instr.array)
+            self.emit(
+                f"if {index} >= len({array}.data): "
+                f"raise _BoundsError({instr.check_id}, {index}, "
+                f"len({array}.data), 'upper')"
+            )
+            self._check_guard_suffix(instr)
+        elif isinstance(instr, CheckUnsigned):
+            self.emit("_stats.instructions += 1")
+            self._check_guard_prefix(instr)
+            self.emit("_stats.unsigned_checks += 1")
+            self.emit("_stats.lower_checks += 1")
+            self.emit("_stats.upper_checks += 1")
+            self.emit(f"_stats.count_check({instr.lower_id})")
+            self.emit(f"_stats.count_check({instr.upper_id})")
+            self.emit("_stats.cycles += _costs['checkunsigned']")
+            index = _operand(instr.index)
+            array = _mangle(instr.array)
+            self.emit(
+                f"if {index} < 0: raise _BoundsError({instr.lower_id}, "
+                f"{index}, len({array}.data), 'lower')"
+            )
+            self.emit(
+                f"if {index} >= len({array}.data): raise _BoundsError("
+                f"{instr.upper_id}, {index}, len({array}.data), 'upper')"
+            )
+            self._check_guard_suffix(instr)
+        elif isinstance(instr, SpeculativeCheck):
+            cost = "checkupper" if instr.kind == "upper" else "checklower"
+            self._count(cost)
+            self.emit("_stats.speculative_checks += 1")
+            self.emit(f"_stats.count_check({instr.check_id})")
+            index = _operand(instr.index)
+            if instr.kind == "upper":
+                condition = f"{index} >= len({_mangle(instr.array)}.data)"
+            else:
+                condition = f"{index} < 0"
+            self.emit(f"if {condition}:")
+            self._indent += 1
+            self.emit(f"_guards[{instr.guard_group}] = True")
+            self.emit("_stats.speculation_failures += 1")
+            self._indent -= 1
+        elif isinstance(instr, Call):
+            self._count("call")
+            args = ", ".join(_operand(a) for a in instr.args)
+            target = _mangle(instr.dest) if instr.dest is not None else "_"
+            self.emit(f"{target} = _functions['{instr.callee}']({args})")
+        elif isinstance(instr, Phi):  # pragma: no cover - φs live in block.phis
+            raise MiniJRuntimeError("φ in block body")
+        else:  # pragma: no cover
+            raise MiniJRuntimeError(f"cannot compile {instr}")
+
+    def _check_guard_prefix(self, instr) -> None:
+        if instr.guard_group is not None:
+            self.emit("_stats.cycles += _costs['guard_test']")
+            self.emit(f"if _guards.get({instr.guard_group}, False):")
+            self._indent += 1
+
+    def _check_guard_suffix(self, instr) -> None:
+        if instr.guard_group is not None:
+            self._indent -= 1
+
+
+class CompiledProgram:
+    """A program translated to Python functions sharing one stats object."""
+
+    def __init__(self, program: Program) -> None:
+        self.stats = ExecutionStats()
+        self._functions: Dict[str, object] = {}
+        self.sources: Dict[str, str] = {}
+        namespace = {
+            "_stats": self.stats,
+            "_costs": dict(__import__("repro.runtime.interpreter", fromlist=["DEFAULT_COSTS"]).DEFAULT_COSTS),
+            "_div": minij_div,
+            "_mod": minij_mod,
+            "_ArrayValue": ArrayValue,
+            "_BoundsError": BoundsCheckError,
+            "_RuntimeError": MiniJRuntimeError,
+            "_load": _checked_load,
+            "_store": _checked_store,
+            "_functions": self._functions,
+        }
+        for fn in program.functions.values():
+            source = _FunctionCompiler(fn).compile()
+            self.sources[fn.name] = source
+            exec(compile(source, f"<repro:{fn.name}>", "exec"), namespace)
+            self._functions[fn.name] = namespace[fn.name]
+
+    def run(self, function_name: str = "main", args: Sequence = ()) -> ExecutionResult:
+        import sys
+
+        old_limit = sys.getrecursionlimit()
+        sys.setrecursionlimit(max(old_limit, 20_000))
+        try:
+            value = self._functions[function_name](*args)
+        finally:
+            sys.setrecursionlimit(old_limit)
+        return ExecutionResult(value, self.stats)
+
+
+def _checked_load(array: ArrayValue, index: int) -> int:
+    if not 0 <= index < len(array.data):
+        raise MiniJRuntimeError(
+            f"UNSOUND: unchecked load at index {index} (length {len(array.data)})"
+        )
+    return array.data[index]
+
+
+def _checked_store(array: ArrayValue, index: int, value: int) -> None:
+    if not 0 <= index < len(array.data):
+        raise MiniJRuntimeError(
+            f"UNSOUND: unchecked store at index {index} (length {len(array.data)})"
+        )
+    array.data[index] = value
+
+
+def compile_to_python(program: Program) -> CompiledProgram:
+    """Translate ``program`` into executable Python (the compiled tier)."""
+    return CompiledProgram(program)

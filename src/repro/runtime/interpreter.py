@@ -1,0 +1,384 @@
+"""The MiniJ virtual machine: a direct interpreter over the CFG IR.
+
+This is the reproduction's stand-in for running optimized code on hardware.
+It provides the measurements the paper reports:
+
+* **dynamic bounds-check counts**, per check id and per kind — Figure 6's
+  metric is "fraction of dynamic upper-bound checks removed", which the
+  harness computes by running the same input through the unoptimized and
+  optimized programs and comparing these counters;
+* a **cycle cost model** (a full bounds check costs one memory load of the
+  array length plus two compares, per Section 1) for the run-time
+  improvement experiment;
+* **exception semantics** — checks raise :class:`BoundsCheckError` exactly
+  at their program point, which differential tests use to confirm ABCD
+  never changes observable behaviour;
+* the **speculation protocol** of Section 6.2 — a PRE-inserted
+  :class:`SpeculativeCheck` sets a guard flag instead of trapping, and the
+  original check (now ``guard_group``-tagged) only executes when its flag
+  is set, emulating "fall back to the unoptimized loop" recovery.
+
+The interpreter executes SSA, e-SSA, and plain form alike: φs resolve via
+the incoming edge taken, πs are copies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Union
+
+from repro.errors import BoundsCheckError, MiniJRuntimeError, TrapLimitExceeded
+from repro.ir.function import Function, Program
+from repro.ir.instructions import (
+    ArrayLen,
+    ArrayLoad,
+    ArrayNew,
+    ArrayStore,
+    BinOp,
+    Branch,
+    Call,
+    CheckLower,
+    CheckUnsigned,
+    CheckUpper,
+    Cmp,
+    Const,
+    Copy,
+    Jump,
+    Operand,
+    Phi,
+    Pi,
+    Return,
+    SpeculativeCheck,
+    Var,
+)
+from repro.runtime.values import ArrayValue, minij_div, minij_mod
+
+Value = Union[int, ArrayValue]
+
+#: Cycle costs per instruction class.  A full bounds check (lower+upper)
+#: costs 3: one length load plus two compares (paper, Section 1).
+DEFAULT_COSTS = {
+    "copy": 1,
+    "binop": 1,
+    "div": 8,
+    "cmp": 1,
+    "arraynew": 10,
+    "arraylen": 1,
+    "arrayload": 2,
+    "arraystore": 2,
+    "checklower": 1,
+    "checkupper": 2,
+    # Section 7.2: one unsigned comparison replaces the pair.
+    "checkunsigned": 2,
+    "guard_test": 1,
+    "call": 5,
+    "jump": 1,
+    "branch": 1,
+    "return": 1,
+    "phi": 1,
+    "pi": 1,
+}
+
+
+@dataclass
+class ExecutionStats:
+    """Counters accumulated over one execution."""
+
+    instructions: int = 0
+    cycles: int = 0
+    #: Dynamic execution count per check id (includes speculative checks).
+    check_counts: Dict[int, int] = field(default_factory=dict)
+    #: Dynamic count of lower/upper checks that actually executed their
+    #: comparison (guarded checks with an unraised flag do not count).
+    lower_checks: int = 0
+    upper_checks: int = 0
+    #: Merged (Section 7.2) checks executed; each also counts one lower
+    #: and one upper execution since it verifies both bounds.
+    unsigned_checks: int = 0
+    speculative_checks: int = 0
+    #: How often a speculative check failed (raised its guard flag).
+    speculation_failures: int = 0
+    #: Per-block execution counts, keyed by (function, label).
+    block_counts: Dict[tuple, int] = field(default_factory=dict)
+    #: Per-edge execution counts, keyed by (function, from_label, to_label).
+    edge_counts: Dict[tuple, int] = field(default_factory=dict)
+
+    def count_check(self, check_id: int) -> None:
+        self.check_counts[check_id] = self.check_counts.get(check_id, 0) + 1
+
+    @property
+    def total_checks(self) -> int:
+        return self.lower_checks + self.upper_checks
+
+
+@dataclass
+class ExecutionResult:
+    """The outcome of running a program: value + counters."""
+
+    value: Optional[Value]
+    stats: ExecutionStats
+
+
+class Interpreter:
+    """Executes a :class:`Program` starting from a chosen function."""
+
+    def __init__(
+        self,
+        program: Program,
+        fuel: int = 50_000_000,
+        record_profile: bool = False,
+        costs: Optional[Dict[str, int]] = None,
+    ) -> None:
+        self._program = program
+        self._fuel = fuel
+        self._record_profile = record_profile
+        self._costs = dict(DEFAULT_COSTS if costs is None else costs)
+        self.stats = ExecutionStats()
+
+    # ------------------------------------------------------------------
+    # Entry points.
+    # ------------------------------------------------------------------
+
+    def run(self, function_name: str, args: Sequence[Value] = ()) -> ExecutionResult:
+        """Execute ``function_name`` with ``args`` and return the result."""
+        fn = self._program.function(function_name)
+        value = self._call(fn, list(args))
+        return ExecutionResult(value, self.stats)
+
+    # ------------------------------------------------------------------
+    # Frames.
+    # ------------------------------------------------------------------
+
+    def _call(self, fn: Function, args: List[Value]) -> Optional[Value]:
+        if len(args) != len(fn.params):
+            raise MiniJRuntimeError(
+                f"{fn.name} expects {len(fn.params)} argument(s), got {len(args)}"
+            )
+        env: Dict[str, Value] = dict(zip(fn.params, args))
+        guards: Dict[int, bool] = {}
+        label = fn.entry
+        came_from: Optional[str] = None
+        stats = self.stats
+        profile = self._record_profile
+
+        while True:
+            block = fn.blocks[label]
+            if profile:
+                key = (fn.name, label)
+                stats.block_counts[key] = stats.block_counts.get(key, 0) + 1
+                if came_from is not None:
+                    edge = (fn.name, came_from, label)
+                    stats.edge_counts[edge] = stats.edge_counts.get(edge, 0) + 1
+
+            # φs evaluate in parallel against the incoming edge.
+            if block.phis:
+                assert came_from is not None, "φ in entry block"
+                updates = {
+                    phi.dest: self._value(env, phi.incomings[came_from])
+                    for phi in block.phis
+                }
+                env.update(updates)
+                stats.instructions += len(updates)
+                stats.cycles += len(updates) * self._costs["phi"]
+
+            for instr in block.body:
+                self._execute(fn, env, guards, instr)
+
+            term = block.terminator
+            stats.instructions += 1
+            if isinstance(term, Jump):
+                stats.cycles += self._costs["jump"]
+                came_from, label = label, term.target
+            elif isinstance(term, Branch):
+                stats.cycles += self._costs["branch"]
+                taken = term.true_target if self._value(env, term.cond) != 0 else term.false_target
+                came_from, label = label, taken
+            elif isinstance(term, Return):
+                stats.cycles += self._costs["return"]
+                return None if term.value is None else self._value(env, term.value)
+            else:  # pragma: no cover - verifier precludes this
+                raise MiniJRuntimeError(f"bad terminator {term}")
+
+            if stats.instructions > self._fuel:
+                raise TrapLimitExceeded(
+                    f"exceeded fuel of {self._fuel} instructions in {fn.name}"
+                )
+
+    # ------------------------------------------------------------------
+    # Instructions.
+    # ------------------------------------------------------------------
+
+    def _value(self, env: Dict[str, Value], operand: Operand) -> Value:
+        if isinstance(operand, Const):
+            return operand.value
+        assert isinstance(operand, Var)
+        try:
+            return env[operand.name]
+        except KeyError:
+            raise MiniJRuntimeError(f"read of unset variable {operand.name!r}") from None
+
+    def _execute(self, fn: Function, env: Dict[str, Value], guards: Dict[int, bool], instr) -> None:
+        stats = self.stats
+        stats.instructions += 1
+        costs = self._costs
+
+        if isinstance(instr, Copy):
+            stats.cycles += costs["copy"]
+            env[instr.dest] = self._value(env, instr.src)
+        elif isinstance(instr, BinOp):
+            lhs = self._value(env, instr.lhs)
+            rhs = self._value(env, instr.rhs)
+            op = instr.op
+            if op == "add":
+                stats.cycles += costs["binop"]
+                env[instr.dest] = lhs + rhs
+            elif op == "sub":
+                stats.cycles += costs["binop"]
+                env[instr.dest] = lhs - rhs
+            elif op == "mul":
+                stats.cycles += costs["binop"]
+                env[instr.dest] = lhs * rhs
+            elif op == "div":
+                stats.cycles += costs["div"]
+                env[instr.dest] = minij_div(lhs, rhs)
+            elif op == "mod":
+                stats.cycles += costs["div"]
+                env[instr.dest] = minij_mod(lhs, rhs)
+            else:  # pragma: no cover
+                raise MiniJRuntimeError(f"bad binop {op!r}")
+        elif isinstance(instr, Cmp):
+            stats.cycles += costs["cmp"]
+            lhs = self._value(env, instr.lhs)
+            rhs = self._value(env, instr.rhs)
+            op = instr.op
+            if op == "lt":
+                result = lhs < rhs
+            elif op == "le":
+                result = lhs <= rhs
+            elif op == "gt":
+                result = lhs > rhs
+            elif op == "ge":
+                result = lhs >= rhs
+            elif op == "eq":
+                result = lhs == rhs
+            else:
+                result = lhs != rhs
+            env[instr.dest] = 1 if result else 0
+        elif isinstance(instr, CheckLower):
+            if instr.guard_group is not None:
+                stats.cycles += costs["guard_test"]
+                if not guards.get(instr.guard_group, False):
+                    return
+            stats.cycles += costs["checklower"]
+            stats.lower_checks += 1
+            stats.count_check(instr.check_id)
+            index = self._value(env, instr.index)
+            if index < 0:
+                raise BoundsCheckError(instr.check_id, index, -1, "lower")
+        elif isinstance(instr, CheckUpper):
+            if instr.guard_group is not None:
+                stats.cycles += costs["guard_test"]
+                if not guards.get(instr.guard_group, False):
+                    return
+            stats.cycles += costs["checkupper"]
+            stats.upper_checks += 1
+            stats.count_check(instr.check_id)
+            index = self._value(env, instr.index)
+            array = self._array(env, instr.array)
+            if index >= array.length:
+                raise BoundsCheckError(instr.check_id, index, array.length, "upper")
+        elif isinstance(instr, CheckUnsigned):
+            if instr.guard_group is not None:
+                stats.cycles += costs["guard_test"]
+                if not guards.get(instr.guard_group, False):
+                    return
+            stats.cycles += costs["checkunsigned"]
+            stats.unsigned_checks += 1
+            stats.lower_checks += 1
+            stats.upper_checks += 1
+            stats.count_check(instr.lower_id)
+            stats.count_check(instr.upper_id)
+            index = self._value(env, instr.index)
+            array = self._array(env, instr.array)
+            # The unsigned trick: a negative index, viewed unsigned, always
+            # exceeds the length; report it as the lower-bound failure the
+            # unmerged program would raise.
+            if index < 0:
+                raise BoundsCheckError(instr.lower_id, index, array.length, "lower")
+            if index >= array.length:
+                raise BoundsCheckError(instr.upper_id, index, array.length, "upper")
+        elif isinstance(instr, SpeculativeCheck):
+            stats.cycles += costs["checkupper" if instr.kind == "upper" else "checklower"]
+            stats.speculative_checks += 1
+            stats.count_check(instr.check_id)
+            index = self._value(env, instr.index)
+            failed = False
+            if instr.kind == "upper":
+                array = self._array(env, instr.array)
+                failed = index >= array.length
+            else:
+                failed = index < 0
+            if failed:
+                guards[instr.guard_group] = True
+                stats.speculation_failures += 1
+        elif isinstance(instr, ArrayLoad):
+            stats.cycles += costs["arrayload"]
+            array = self._array(env, instr.array)
+            index = self._value(env, instr.index)
+            if not 0 <= index < array.length:
+                # Unchecked access out of range: only possible if an
+                # optimizer wrongly removed a needed check.  Fail loudly.
+                raise MiniJRuntimeError(
+                    f"UNSOUND: unchecked load {instr.array}[{index}] "
+                    f"(length {array.length}) in {fn.name}"
+                )
+            env[instr.dest] = array.data[index]
+        elif isinstance(instr, ArrayStore):
+            stats.cycles += costs["arraystore"]
+            array = self._array(env, instr.array)
+            index = self._value(env, instr.index)
+            if not 0 <= index < array.length:
+                raise MiniJRuntimeError(
+                    f"UNSOUND: unchecked store {instr.array}[{index}] "
+                    f"(length {array.length}) in {fn.name}"
+                )
+            array.data[index] = self._value(env, instr.value)
+        elif isinstance(instr, ArrayLen):
+            stats.cycles += costs["arraylen"]
+            env[instr.dest] = self._array(env, instr.array).length
+        elif isinstance(instr, ArrayNew):
+            stats.cycles += costs["arraynew"]
+            length = self._value(env, instr.length)
+            env[instr.dest] = ArrayValue(length)
+        elif isinstance(instr, Call):
+            stats.cycles += costs["call"]
+            callee = self._program.function(instr.callee)
+            args = [self._value(env, arg) for arg in instr.args]
+            result = self._call(callee, args)
+            if instr.dest is not None:
+                if result is None:
+                    raise MiniJRuntimeError(f"void call result used: {instr}")
+                env[instr.dest] = result
+        elif isinstance(instr, Pi):
+            stats.cycles += costs["pi"]
+            env[instr.dest] = env[instr.src]
+        else:  # pragma: no cover - exhaustive
+            raise MiniJRuntimeError(f"cannot execute {instr}")
+
+    def _array(self, env: Dict[str, Value], name: str) -> ArrayValue:
+        value = env.get(name)
+        if not isinstance(value, ArrayValue):
+            raise MiniJRuntimeError(f"{name!r} is not an array (got {value!r})")
+        return value
+
+
+def run_program(
+    program: Program,
+    function_name: str = "main",
+    args: Sequence[Value] = (),
+    fuel: int = 50_000_000,
+    record_profile: bool = False,
+) -> ExecutionResult:
+    """Convenience wrapper: run ``function_name`` and return the result."""
+    interp = Interpreter(program, fuel=fuel, record_profile=record_profile)
+    return interp.run(function_name, args)

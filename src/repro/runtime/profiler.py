@@ -1,0 +1,100 @@
+"""Execution profiling: block/edge frequencies and hot checks.
+
+ABCD is demand-driven: a dynamic compiler applies it to the *hot* bounds
+checks first, and the PRE extension uses edge frequencies to decide whether
+speculative insertion is profitable (paper, Sections 1 and 6.1).  This
+module runs a training input through the interpreter and packages the
+profile both consumers need.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.ir.function import Program
+from repro.ir.instructions import CheckLower, CheckUpper
+from repro.runtime.interpreter import Interpreter, Value
+
+
+@dataclass
+class Profile:
+    """Edge/block frequencies and per-check execution counts."""
+
+    block_counts: Dict[Tuple[str, str], int] = field(default_factory=dict)
+    edge_counts: Dict[Tuple[str, str, str], int] = field(default_factory=dict)
+    check_counts: Dict[int, int] = field(default_factory=dict)
+
+    def block_frequency(self, function: str, label: str) -> int:
+        return self.block_counts.get((function, label), 0)
+
+    def edge_frequency(self, function: str, from_label: str, to_label: str) -> int:
+        return self.edge_counts.get((function, from_label, to_label), 0)
+
+    def check_frequency(self, check_id: int) -> int:
+        return self.check_counts.get(check_id, 0)
+
+    def hot_checks(self, threshold: int = 1) -> List[int]:
+        """Check ids executed at least ``threshold`` times, hottest first."""
+        hot = [
+            (count, check_id)
+            for check_id, count in self.check_counts.items()
+            if count >= threshold
+        ]
+        hot.sort(reverse=True)
+        return [check_id for _, check_id in hot]
+
+    def hottest_fraction(self, fraction: float) -> List[int]:
+        """The smallest set of hottest checks covering ``fraction`` of all
+        dynamic check executions — the paper's "optimize only hot checks"
+        scenario."""
+        ranked = self.hot_checks()
+        total = sum(self.check_counts.values())
+        if total == 0:
+            return []
+        covered = 0
+        selected: List[int] = []
+        for check_id in ranked:
+            selected.append(check_id)
+            covered += self.check_counts[check_id]
+            if covered >= fraction * total:
+                break
+        return selected
+
+
+def collect_profile(
+    program: Program,
+    function_name: str = "main",
+    args: Sequence[Value] = (),
+    fuel: int = 50_000_000,
+) -> Profile:
+    """Run the program once with profiling switched on."""
+    interp = Interpreter(program, fuel=fuel, record_profile=True)
+    interp.run(function_name, args)
+    stats = interp.stats
+    return Profile(
+        block_counts=dict(stats.block_counts),
+        edge_counts=dict(stats.edge_counts),
+        check_counts=dict(stats.check_counts),
+    )
+
+
+def static_check_table(program: Program) -> Dict[int, Tuple[str, str, str]]:
+    """Map every check id to (function, block label, kind) for reporting."""
+    table: Dict[int, Tuple[str, str, str]] = {}
+    for fn in program.functions.values():
+        for label in fn.reachable_blocks():
+            for instr in fn.blocks[label].instructions():
+                if isinstance(instr, CheckLower):
+                    table[instr.check_id] = (fn.name, label, "lower")
+                elif isinstance(instr, CheckUpper):
+                    table[instr.check_id] = (fn.name, label, "upper")
+    return table
+
+
+def find_check(program: Program, check_id: int) -> Optional[Tuple[str, str]]:
+    """Locate a check id, returning (function, block label) or ``None``."""
+    located = static_check_table(program).get(check_id)
+    if located is None:
+        return None
+    return located[0], located[1]

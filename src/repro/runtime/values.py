@@ -1,0 +1,60 @@
+"""Runtime values for the MiniJ VM.
+
+Scalars are Python ints (booleans are 0/1).  Arrays are
+:class:`ArrayValue` objects with Java-like reference semantics: copies of
+the reference alias the same storage, and the length is fixed at
+allocation.
+
+MiniJ integer division truncates toward zero (like Java), so the VM uses
+:func:`minij_div` / :func:`minij_mod` rather than Python's floor division.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.errors import DivisionByZeroError, NegativeArraySizeError
+
+
+class ArrayValue:
+    """A fixed-length integer array with reference semantics."""
+
+    __slots__ = ("data",)
+
+    def __init__(self, length: int) -> None:
+        if length < 0:
+            raise NegativeArraySizeError(f"new int[{length}]")
+        self.data: List[int] = [0] * length
+
+    @property
+    def length(self) -> int:
+        return len(self.data)
+
+    @classmethod
+    def from_list(cls, values: List[int]) -> "ArrayValue":
+        array = cls(len(values))
+        array.data[:] = values
+        return array
+
+    def to_list(self) -> List[int]:
+        return list(self.data)
+
+    def __repr__(self) -> str:
+        preview = ", ".join(str(v) for v in self.data[:8])
+        suffix = ", ..." if self.length > 8 else ""
+        return f"ArrayValue([{preview}{suffix}], len={self.length})"
+
+
+def minij_div(lhs: int, rhs: int) -> int:
+    """Integer division truncating toward zero (Java semantics)."""
+    if rhs == 0:
+        raise DivisionByZeroError(f"{lhs} / 0")
+    quotient = abs(lhs) // abs(rhs)
+    return quotient if (lhs >= 0) == (rhs >= 0) else -quotient
+
+
+def minij_mod(lhs: int, rhs: int) -> int:
+    """Remainder matching :func:`minij_div`: sign follows the dividend."""
+    if rhs == 0:
+        raise DivisionByZeroError(f"{lhs} % 0")
+    return lhs - minij_div(lhs, rhs) * rhs

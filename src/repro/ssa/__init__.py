@@ -1,0 +1,15 @@
+"""SSA construction, e-SSA (π-node) extension, and SSA destruction."""
+
+from repro.ssa.construct import SSAConstructor, base_name, construct_ssa
+from repro.ssa.destruct import destruct_ssa
+from repro.ssa.essa import construct_essa, insert_pi_nodes, pi_assignments
+
+__all__ = [
+    "construct_ssa",
+    "SSAConstructor",
+    "base_name",
+    "construct_essa",
+    "insert_pi_nodes",
+    "pi_assignments",
+    "destruct_ssa",
+]

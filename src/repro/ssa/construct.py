@@ -1,0 +1,171 @@
+"""Pruned SSA construction (Cytron et al., TOPLAS 1991).
+
+φ placement uses iterated dominance frontiers restricted to variables that
+are live into the join (pruned SSA) — this mirrors the paper's remark that
+no φ is inserted for ``limit`` in the inner loop of the running example
+because ``limit`` has no uses there.
+
+Renaming walks the dominator tree with a stack of current versions per base
+variable; versions are spelled ``base.N``.  Function parameters count as
+definitions at the top of the entry block and are renamed too (the
+function's ``params`` list is updated accordingly).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set
+
+from repro.analysis.dominance import DominatorTree, dominance_frontiers
+from repro.analysis.liveness import compute_liveness
+from repro.ir.function import Function
+from repro.ir.instructions import Phi, Var
+
+
+def base_name(versioned: str) -> str:
+    """Strip the SSA version suffix: ``st.2`` -> ``st``."""
+    dot = versioned.rfind(".")
+    if dot == -1:
+        return versioned
+    suffix = versioned[dot + 1 :]
+    return versioned[:dot] if suffix.isdigit() else versioned
+
+
+class SSAConstructor:
+    """Converts a non-SSA function into pruned SSA form in place."""
+
+    def __init__(self, fn: Function) -> None:
+        if fn.ssa_form != "none":
+            raise ValueError(f"{fn.name} is already in {fn.ssa_form} form")
+        self._fn = fn
+        self._domtree = DominatorTree.compute(fn)
+        self._frontiers = dominance_frontiers(fn, self._domtree)
+        self._liveness = compute_liveness(fn)
+        self._counters: Dict[str, int] = {}
+        self._stacks: Dict[str, List[str]] = {}
+        self._phi_base: Dict[int, str] = {}
+
+    def run(self) -> Function:
+        self._place_phis()
+        self._rename()
+        self._fn.ssa_form = "ssa"
+        return self._fn
+
+    # ------------------------------------------------------------------
+    # φ placement.
+    # ------------------------------------------------------------------
+
+    def _definition_sites(self) -> Dict[str, Set[str]]:
+        sites: Dict[str, Set[str]] = {}
+        for param in self._fn.params:
+            sites.setdefault(param, set()).add(self._fn.entry)
+        for label in self._fn.reachable_blocks():
+            for instr in self._fn.blocks[label].instructions():
+                dest = instr.defs()
+                if dest is not None:
+                    sites.setdefault(dest, set()).add(label)
+        return sites
+
+    def _place_phis(self) -> None:
+        for var, def_blocks in sorted(self._definition_sites().items()):
+            if len(def_blocks) < 2 and var not in self._fn.params:
+                # A single definition site can still need φs if it is inside
+                # a loop that reaches itself; the frontier walk below handles
+                # that, so only skip when the frontier is empty.
+                pass
+            placed: Set[str] = set()
+            worklist = list(def_blocks)
+            while worklist:
+                block_label = worklist.pop()
+                for frontier_label in self._frontiers[block_label]:
+                    if frontier_label in placed:
+                        continue
+                    placed.add(frontier_label)
+                    # Pruned SSA: only merge variables live into the join.
+                    if not self._liveness.is_live_in(frontier_label, var):
+                        continue
+                    phi = Phi(var, {})
+                    self._fn.blocks[frontier_label].phis.append(phi)
+                    self._phi_base[id(phi)] = var
+                    if frontier_label not in def_blocks:
+                        worklist.append(frontier_label)
+
+    # ------------------------------------------------------------------
+    # Renaming.
+    # ------------------------------------------------------------------
+
+    def _fresh(self, base: str) -> str:
+        count = self._counters.get(base, 0)
+        self._counters[base] = count + 1
+        return f"{base}.{count}"
+
+    def _current(self, base: str) -> str:
+        stack = self._stacks.get(base)
+        if not stack:
+            raise RuntimeError(
+                f"{self._fn.name}: no reaching definition for {base!r} during "
+                "SSA renaming (frontend should have rejected this program)"
+            )
+        return stack[-1]
+
+    def _push(self, base: str) -> str:
+        name = self._fresh(base)
+        self._stacks.setdefault(base, []).append(name)
+        return name
+
+    def _rename(self) -> None:
+        # Parameters are definitions at the entry.
+        new_params = [self._push(param) for param in self._fn.params]
+        self._fn.params = new_params
+        self._rename_block(self._fn.entry)
+
+    def _rename_block(self, label: str) -> None:
+        block = self._fn.blocks[label]
+        pushed: List[str] = []
+
+        for phi in block.phis:
+            base = self._phi_base[id(phi)]
+            phi.dest = self._push(base)
+            pushed.append(base)
+
+        for instr in list(block.body) + (
+            [block.terminator] if block.terminator is not None else []
+        ):
+            mapping = {
+                base: self._current(base)
+                for base in instr.used_vars()
+                if self._stacks.get(base)
+            }
+            instr.rename_uses(mapping)
+            dest = instr.defs()
+            if dest is not None:
+                new_dest = self._push(dest)
+                pushed.append(dest)
+                _set_dest(instr, new_dest)
+
+        for succ in block.successors():
+            for phi in self._fn.blocks[succ].phis:
+                base = self._phi_base[id(phi)]
+                phi.incomings[label] = Var(self._current(base))
+
+        for child in self._domtree.children[label]:
+            self._rename_block(child)
+
+        for base in pushed:
+            self._stacks[base].pop()
+
+
+def _set_dest(instr, new_dest: str) -> None:
+    """Rename the destination of a defining instruction."""
+    instr.dest = new_dest
+
+
+def construct_ssa(fn: Function) -> Function:
+    """Convert ``fn`` to pruned SSA form in place and return it."""
+    import sys
+
+    # Dominator-tree renaming recurses once per block; deep CFGs (long
+    # straight-line functions) need headroom beyond the default limit.
+    needed = len(fn.blocks) + 1000
+    if sys.getrecursionlimit() < needed:
+        sys.setrecursionlimit(needed)
+    return SSAConstructor(fn).run()

@@ -1,0 +1,93 @@
+"""SSA destruction: convert (e-)SSA back to executable copy-based form.
+
+πs become plain copies.  φs become copies at the end of each predecessor,
+with a parallel-copy temporary pass to handle φs in the same block reading
+each other's destinations (the classic lost-copy/swap problem).  Critical
+edges are split first so predecessor-end insertion is always safe.
+
+The interpreter executes SSA directly, so destruction is not on the hot
+path of the reproduction; it exists to demonstrate the full compiler
+round-trip and is exercised by differential tests (same observable
+behaviour before and after destruction).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.analysis.cfg_utils import split_critical_edges
+from repro.ir.function import Function
+from repro.ir.instructions import Copy, Instr, Operand, Pi, Var
+
+
+def destruct_ssa(fn: Function) -> Function:
+    """Lower φs and πs into copies in place; ``fn`` leaves SSA form."""
+    if fn.ssa_form == "none":
+        return fn
+    split_critical_edges(fn)
+
+    # φ elimination with parallel-copy semantics per predecessor edge.
+    for label in list(fn.reachable_blocks()):
+        block = fn.blocks[label]
+        if not block.phis:
+            continue
+        # Group assignments per predecessor: dest <- operand.
+        per_pred: Dict[str, List[tuple]] = {}
+        for phi in block.phis:
+            for pred, operand in phi.incomings.items():
+                per_pred.setdefault(pred, []).append((phi.dest, operand))
+        for pred, moves in per_pred.items():
+            copies = _sequentialize_parallel_copy(fn, moves)
+            fn.blocks[pred].body.extend(copies)
+        block.phis = []
+
+    # π elimination: a π is semantically a copy.
+    for block in fn.blocks.values():
+        new_body: List[Instr] = []
+        for instr in block.body:
+            if isinstance(instr, Pi):
+                new_body.append(Copy(instr.dest, Var(instr.src)))
+            else:
+                new_body.append(instr)
+        block.body = new_body
+
+    fn.ssa_form = "none"
+    return fn
+
+
+def _sequentialize_parallel_copy(fn: Function, moves: List[tuple]) -> List[Copy]:
+    """Order parallel moves ``dest <- src`` so that no source is clobbered
+    before it is read, breaking cycles with temporaries."""
+    pending = [(dest, op) for dest, op in moves if not _is_self_move(dest, op)]
+    copies: List[Copy] = []
+    while pending:
+        # A move is safe if its destination is not read by any other
+        # pending move.
+        read_vars = {
+            op.name
+            for _, op in pending
+            if isinstance(op, Var)
+        }
+        safe_index = next(
+            (i for i, (dest, _) in enumerate(pending) if dest not in read_vars),
+            None,
+        )
+        if safe_index is not None:
+            dest, op = pending.pop(safe_index)
+            copies.append(Copy(dest, op))
+            continue
+        # Every pending destination is also a source: a cycle.  Break it by
+        # spilling one destination to a temporary.
+        dest, op = pending.pop(0)
+        temp = fn.new_temp("swap")
+        copies.append(Copy(temp, Var(dest)))
+        pending = [
+            (d, Var(temp) if isinstance(o, Var) and o.name == dest else o)
+            for d, o in pending
+        ]
+        copies.append(Copy(dest, op))
+    return copies
+
+
+def _is_self_move(dest: str, op: Operand) -> bool:
+    return isinstance(op, Var) and op.name == dest

@@ -1,0 +1,203 @@
+"""Extended SSA (e-SSA) construction — paper Section 3.
+
+e-SSA splits variable live ranges at the two places where the paper's
+constraint classes C4 and C5 come to life:
+
+* **C4 — conditional branches.**  On each out-edge of a branch whose
+  condition is a comparison, every variable operand of the comparison gets
+  a π-assignment carrying the relation that holds on that edge (the
+  comparison itself on the true edge, its negation on the false edge).
+* **C5 — bounds checks.**  Immediately after each ``checklower`` /
+  ``checkupper``, the index variable gets a π-assignment carrying the
+  invariant the successful check established (``x >= 0`` resp.
+  ``x < len(A)``).
+
+π-assignments are inserted *before* SSA renaming as ordinary re-definitions
+``v := π(v)``; the subsequent standard SSA construction then gives each π a
+unique name and threads all later uses through it — exactly the renaming
+discipline of the paper ("the constraint C5 must be expressed on the new
+name i2, rather than on i1").
+
+Precondition: critical edges must be split so each branch out-edge has a
+dedicated single-predecessor target block.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.analysis.cfg_utils import split_critical_edges
+from repro.ir.function import Function
+from repro.ir.instructions import (
+    Branch,
+    CheckLower,
+    CheckUpper,
+    Cmp,
+    Const,
+    Instr,
+    Operand,
+    Pi,
+    PiPredicate,
+    Var,
+)
+from repro.ssa.construct import construct_ssa
+
+#: Negation of each comparison relation (for the false edge).
+NEGATED_REL = {"lt": "ge", "le": "gt", "gt": "le", "ge": "lt", "eq": "ne", "ne": "eq"}
+
+#: Relation as seen from the right operand: ``a REL b`` == ``b SWAP(REL) a``.
+SWAPPED_REL = {"lt": "gt", "le": "ge", "gt": "lt", "ge": "le", "eq": "eq", "ne": "ne"}
+
+
+def insert_pi_nodes(fn: Function) -> int:
+    """Insert π-assignments for C4 and C5; returns how many were inserted.
+
+    Must run on non-SSA IR (before renaming).
+    """
+    if fn.ssa_form != "none":
+        raise ValueError("π insertion must run before SSA renaming")
+    split_critical_edges(fn)
+    count = _insert_check_pis(fn)
+    count += _insert_branch_pis(fn)
+    return count
+
+
+# ----------------------------------------------------------------------
+# C5: π after bounds checks.
+# ----------------------------------------------------------------------
+
+
+def _insert_check_pis(fn: Function) -> int:
+    count = 0
+    for block in fn.blocks.values():
+        new_body: List[Instr] = []
+        for instr in block.body:
+            new_body.append(instr)
+            if isinstance(instr, CheckLower) and isinstance(instr.index, Var):
+                name = instr.index.name
+                predicate = PiPredicate("ge", other=Const(0))
+                new_body.append(Pi(name, name, predicate))
+                count += 1
+            elif isinstance(instr, CheckUpper) and isinstance(instr.index, Var):
+                name = instr.index.name
+                predicate = PiPredicate("lt", arraylen_of=instr.array)
+                new_body.append(Pi(name, name, predicate))
+                count += 1
+        block.body = new_body
+    return count
+
+
+# ----------------------------------------------------------------------
+# C4: π on branch out-edges.
+# ----------------------------------------------------------------------
+
+
+def _branch_comparison(fn: Function, label: str) -> Optional[Cmp]:
+    """Find the comparison feeding this block's branch, if it is safe to
+    attach π constraints to.
+
+    The comparison must define the branch condition within the same block,
+    and neither of its variable operands may be redefined between the
+    comparison and the branch (otherwise the predicate would reference a
+    stale value).
+    """
+    block = fn.blocks[label]
+    term = block.terminator
+    if not isinstance(term, Branch) or not isinstance(term.cond, Var):
+        return None
+    cmp_index = None
+    for index in range(len(block.body) - 1, -1, -1):
+        instr = block.body[index]
+        if instr.defs() == term.cond.name:
+            if isinstance(instr, Cmp):
+                cmp_index = index
+            break
+    if cmp_index is None:
+        return None
+    cmp = block.body[cmp_index]
+    assert isinstance(cmp, Cmp)
+    operand_names = {op.name for op in (cmp.lhs, cmp.rhs) if isinstance(op, Var)}
+    for instr in block.body[cmp_index + 1 :]:
+        dest = instr.defs()
+        if dest in operand_names:
+            return None
+    return cmp
+
+
+def _insert_branch_pis(fn: Function) -> int:
+    count = 0
+    preds = fn.predecessors()
+    for label in list(fn.reachable_blocks()):
+        cmp = _branch_comparison(fn, label)
+        if cmp is None:
+            continue
+        block = fn.blocks[label]
+        term = block.terminator
+        assert isinstance(term, Branch)
+        if term.true_target == term.false_target:
+            continue
+        for target, rel in (
+            (term.true_target, cmp.op),
+            (term.false_target, NEGATED_REL[cmp.op]),
+        ):
+            if rel == "ne":
+                # x != y carries no difference constraint.
+                continue
+            if len(preds[target]) != 1:
+                # A multi-predecessor target would leak the constraint onto
+                # other paths; critical-edge splitting should have prevented
+                # this, but a branch arm jumping to a plain merge (the other
+                # pred being a fallthrough) is still possible when the branch
+                # block is the join's only multi-succ pred.  Skip safely.
+                continue
+            pis = _pis_for_edge(cmp, rel)
+            target_block = fn.blocks[target]
+            target_block.body[0:0] = pis
+            count += len(pis)
+    return count
+
+
+def _pis_for_edge(cmp: Cmp, rel: str) -> List[Pi]:
+    """Build the π-assignments for one branch out-edge.
+
+    For ``a REL b``: ``a`` gets predicate ``REL b`` and ``b`` gets the
+    swapped predicate ``SWAP(REL) a``.  Like the paper's Table 1, each π of
+    the pair ends up referring to the other π'd name after SSA renaming
+    when both operands are variables (the second π's predicate names the
+    first π's destination, and the first π's predicate is renamed to the
+    version reaching the edge — both encode the same difference constraint
+    and are individually sound).
+    """
+    pis: List[Pi] = []
+    pairs: List[Tuple[Operand, str, Operand]] = [
+        (cmp.lhs, rel, cmp.rhs),
+        (cmp.rhs, SWAPPED_REL[rel], cmp.lhs),
+    ]
+    for subject, relation, other in pairs:
+        if not isinstance(subject, Var):
+            continue
+        predicate = PiPredicate(relation, other=other)
+        pis.append(Pi(subject.name, subject.name, predicate))
+    return pis
+
+
+# ----------------------------------------------------------------------
+# Whole-function driver.
+# ----------------------------------------------------------------------
+
+
+def construct_essa(fn: Function) -> Function:
+    """Convert a non-SSA function into e-SSA form (πs, then pruned SSA)."""
+    insert_pi_nodes(fn)
+    construct_ssa(fn)
+    fn.ssa_form = "essa"
+    return fn
+
+
+def pi_assignments(fn: Function) -> Dict[str, Pi]:
+    """All π-assignments of an e-SSA function keyed by destination."""
+    found: Dict[str, Pi] = {}
+    for instr in fn.all_instructions():
+        if isinstance(instr, Pi):
+            found[instr.dest] = instr
+    return found

@@ -1,0 +1,80 @@
+"""Shared helpers for the test suite."""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple
+
+import pytest
+
+from repro.core.abcd import ABCDConfig, ABCDReport
+from repro.ir.function import Program
+from repro.pipeline import abcd, clone_program, compile_source, run
+from repro.runtime.interpreter import ExecutionResult
+from repro.runtime.profiler import collect_profile
+
+
+def compile_and_run(source: str, args: Sequence = (), fn: str = "main") -> ExecutionResult:
+    """Compile MiniJ source and execute one function."""
+    program = compile_source(source)
+    return run(program, fn, args)
+
+
+def optimize_and_compare(
+    source: str,
+    config: Optional[ABCDConfig] = None,
+    pre: bool = False,
+    args: Sequence = (),
+) -> Tuple[ExecutionResult, ExecutionResult, ABCDReport, Program]:
+    """Compile, optimize, and run both versions on the same input.
+
+    Asserts behavioural equivalence and returns
+    ``(base_result, opt_result, report, optimized_program)``.
+    """
+    program = compile_source(source)
+    base = clone_program(program)
+    profile = None
+    if pre:
+        profile = collect_profile(program, "main", list(args))
+    report = abcd(program, config=config, pre=pre, profile=profile)
+    base_result = run(base, "main", args)
+    opt_result = run(program, "main", args)
+    assert base_result.value == opt_result.value, (
+        f"optimization changed behaviour: {base_result.value} != {opt_result.value}"
+    )
+    return base_result, opt_result, report, program
+
+
+@pytest.fixture
+def bubble_source() -> str:
+    """The paper's running example (Figure 1, both inner loops)."""
+    return """
+fn sort(a: int[]): void {
+  let limit: int = len(a);
+  let st: int = 0 - 1;
+  while (st < limit) {
+    st = st + 1;
+    limit = limit - 1;
+    for (let j: int = st; j < limit; j = j + 1) {
+      if (a[j] > a[j + 1]) {
+        let t: int = a[j];
+        a[j] = a[j + 1];
+        a[j + 1] = t;
+      }
+    }
+  }
+}
+fn main(): int {
+  let a: int[] = new int[16];
+  for (let i: int = 0; i < len(a); i = i + 1) {
+    a[i] = 100 - i * 7;
+  }
+  sort(a);
+  let errors: int = 0;
+  for (let i: int = 0; i < len(a) - 1; i = i + 1) {
+    if (a[i] > a[i + 1]) {
+      errors = errors + 1;
+    }
+  }
+  return errors;
+}
+"""

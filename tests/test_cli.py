@@ -1,0 +1,139 @@
+"""CLI tests (direct invocation of repro.cli.main)."""
+
+import pytest
+
+from repro.cli import main
+
+SRC = """
+fn main(): int {
+  let a: int[] = new int[8];
+  let s: int = 0;
+  for (let i: int = 0; i < len(a); i = i + 1) {
+    a[i] = i;
+    s = s + a[i];
+  }
+  return s;
+}
+"""
+
+FAILING_SRC = """
+fn main(): int {
+  let a: int[] = new int[2];
+  let i: int = 5;
+  return a[i];
+}
+"""
+
+
+@pytest.fixture
+def source_file(tmp_path):
+    path = tmp_path / "prog.mj"
+    path.write_text(SRC)
+    return str(path)
+
+
+class TestRun:
+    def test_run_prints_result_and_checks(self, source_file, capsys):
+        assert main(["run", source_file]) == 0
+        out = capsys.readouterr().out
+        assert "result: 28" in out
+        assert "checks: 32" in out
+
+    def test_run_optimized_removes_checks(self, source_file, capsys):
+        assert main(["run", source_file, "--optimize"]) == 0
+        out = capsys.readouterr().out
+        assert "result: 28" in out
+        assert "checks: 0" in out
+
+    def test_runtime_error_reported(self, tmp_path, capsys):
+        path = tmp_path / "bad.mj"
+        path.write_text(FAILING_SRC)
+        assert main(["run", str(path)]) == 1
+        assert "bounds check" in capsys.readouterr().err
+
+    def test_missing_file(self, capsys):
+        assert main(["run", "/nonexistent/prog.mj"]) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_compile_error_reported(self, tmp_path, capsys):
+        path = tmp_path / "broken.mj"
+        path.write_text("fn main(): int { return true; }")
+        assert main(["run", str(path)]) == 2
+        assert "error" in capsys.readouterr().err
+
+
+class TestOptimize:
+    def test_report_table(self, source_file, capsys):
+        assert main(["optimize", source_file]) == 0
+        out = capsys.readouterr().out
+        assert "eliminated 4 of 4 checks" in out
+        assert "mean steps/check" in out
+
+    def test_compare_flag(self, source_file, capsys):
+        assert main(["optimize", source_file, "--compare"]) == 0
+        out = capsys.readouterr().out
+        assert "dynamic checks: 32 -> 0" in out
+
+    def test_emit_ir(self, source_file, capsys):
+        assert main(["optimize", source_file, "--emit-ir"]) == 0
+        out = capsys.readouterr().out
+        assert "fn main()" in out
+
+    def test_upper_only(self, source_file, capsys):
+        assert main(["optimize", source_file, "--upper-only"]) == 0
+        out = capsys.readouterr().out
+        assert "2/2 upper, 0/0 lower" in out
+
+    def test_pre_flag(self, tmp_path, capsys):
+        path = tmp_path / "pre.mj"
+        path.write_text("""
+fn kernel(a: int[], k: int, n: int): int {
+  let s: int = 0;
+  let r: int = 0;
+  while (r < n) {
+    s = s + a[k];
+    r = r + 1;
+  }
+  return s;
+}
+fn main(): int {
+  let a: int[] = new int[8];
+  return kernel(a, 3, 50);
+}
+""")
+        assert main(["optimize", str(path), "--pre", "--compare"]) == 0
+        out = capsys.readouterr().out
+        assert "pre(" in out
+
+
+class TestIRAndDot:
+    def test_ir_whole_program(self, source_file, capsys):
+        assert main(["ir", source_file]) == 0
+        out = capsys.readouterr().out
+        assert "checkupper" in out
+        assert ":= phi(" in out
+
+    def test_ir_single_function(self, source_file, capsys):
+        assert main(["ir", source_file, "--fn", "main"]) == 0
+        assert "fn main()" in capsys.readouterr().out
+
+    def test_dot_cfg(self, source_file, capsys):
+        assert main(["dot", source_file, "--fn", "main"]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("digraph")
+
+    def test_dot_inequality_graph(self, source_file, capsys):
+        assert main(["dot", source_file, "--fn", "main", "--graph", "upper"]) == 0
+        out = capsys.readouterr().out
+        assert "doublecircle" in out  # φ vertices present
+
+
+class TestBench:
+    def test_bench_subset(self, capsys):
+        assert main(["bench", "--names", "Sieve"]) == 0
+        out = capsys.readouterr().out
+        assert "Sieve" in out
+        assert "Figure 6" in out
+
+    def test_bench_unknown_name(self, capsys):
+        assert main(["bench", "--names", "nothing"]) == 1

@@ -1,0 +1,293 @@
+"""Constraint extraction (Table 1) tests: IR fragments to graph edges."""
+
+import pytest
+
+from repro.core.constraints import build_graphs, collect_array_vars
+from repro.core.graph import const_node, len_node, var_node
+from repro.frontend.parser import parse_source
+from repro.frontend.semantic import check_program
+from repro.ir.lowering import lower_program
+from repro.ssa.essa import construct_essa
+
+
+def graphs_for(source: str, fn_name: str = "f", **kwargs):
+    ast = parse_source(source)
+    info = check_program(ast)
+    program = lower_program(ast, info)
+    fn = program.function(fn_name)
+    construct_essa(fn)
+    return fn, build_graphs(fn, **kwargs)
+
+
+def edge_weights(graph, source, target):
+    return [e.weight for e in graph.in_edges(target) if e.source == source]
+
+
+def binop_dest(fn):
+    from repro.ir.instructions import BinOp
+
+    return next(i for i in fn.all_instructions() if isinstance(i, BinOp)).dest
+
+
+class TestC1ArrayLength:
+    def test_upper_edge_from_length(self):
+        fn, bundle = graphs_for("fn f(a: int[]): int { return len(a); }")
+        # n := arraylen a  =>  len(a) -> n / 0 in both graphs.
+        length_nodes = [
+            n for n in bundle.upper.nodes() if n.kind == "len"
+        ]
+        assert len(length_nodes) == 1
+        targets = [
+            e for e in bundle.upper.edges() if e.source == length_nodes[0]
+        ]
+        assert any(e.weight == 0 for e in targets)
+
+    def test_requires_essa(self):
+        ast = parse_source("fn f(): void { }")
+        info = check_program(ast)
+        program = lower_program(ast, info)
+        with pytest.raises(ValueError):
+            build_graphs(program.function("f"))
+
+
+class TestC2C3Assignments:
+    def test_constant_assignment_edge(self):
+        fn, bundle = graphs_for("fn f(): int { let x: int = 7; return x; }")
+        x = next(n for n in bundle.upper.nodes() if n.name.startswith("x"))
+        assert edge_weights(bundle.upper, const_node(7), x) == [0]
+        assert edge_weights(bundle.lower, const_node(7), x) == [0]
+
+    def test_increment_edges_dual_weights(self):
+        fn, bundle = graphs_for(
+            "fn f(y: int): int { let x: int = y + 3; return x; }"
+        )
+        y = var_node(fn.params[0])
+        x = var_node(binop_dest(fn))
+        assert edge_weights(bundle.upper, y, x) == [3]
+        assert edge_weights(bundle.lower, y, x) == [-3]
+
+    def test_decrement_edges(self):
+        fn, bundle = graphs_for(
+            "fn f(y: int): int { let x: int = y - 2; return x; }"
+        )
+        y = var_node(fn.params[0])
+        x = var_node(binop_dest(fn))
+        assert edge_weights(bundle.upper, y, x) == [-2]
+        assert edge_weights(bundle.lower, y, x) == [2]
+
+    def test_var_plus_var_unconstrained(self):
+        fn, bundle = graphs_for(
+            "fn f(y: int, z: int): int { let x: int = y + z; return x; }"
+        )
+        # x := y + z generates no difference constraint: the sum's
+        # destination never enters the graph as an edge target.
+        x = var_node(binop_dest(fn))
+        assert bundle.upper.in_edges(x) == []
+        assert bundle.lower.in_edges(x) == []
+
+    def test_multiplication_unconstrained(self):
+        fn, bundle = graphs_for(
+            "fn f(y: int): int { let x: int = y * 2; return x; }"
+        )
+        x = var_node(binop_dest(fn))
+        assert bundle.upper.in_edges(x) == []
+
+
+class TestC4Branches:
+    SRC = """
+fn f(x: int, y: int): int {
+  if (x < y) {
+    return x;
+  }
+  return y;
+}
+"""
+
+    def test_true_edge_strict_upper(self):
+        fn, bundle = graphs_for(self.SRC)
+        # On the true edge x' < y: an upper in-edge of weight -1 from the
+        # branch operand.
+        weights = [
+            e.weight
+            for e in bundle.upper.edges()
+            if e.target.kind == "var" and e.weight == -1
+        ]
+        assert weights
+
+    def test_false_edge_lower_constraint(self):
+        fn, bundle = graphs_for(self.SRC)
+        # On the false edge x'' >= y: lower-graph in-edge of weight 0.
+        lower_targets = [
+            e for e in bundle.lower.edges() if e.weight == 0 and e.target.kind == "var"
+        ]
+        assert lower_targets
+
+    def test_pi_value_flow_edges_in_both(self):
+        fn, bundle = graphs_for(self.SRC)
+        from repro.ir.instructions import Pi
+
+        for instr in fn.all_instructions():
+            if isinstance(instr, Pi):
+                dest, src = var_node(instr.dest), var_node(instr.src)
+                assert edge_weights(bundle.upper, src, dest) == [0]
+                assert edge_weights(bundle.lower, src, dest) == [0]
+
+
+class TestC5Checks:
+    def test_check_pi_edges(self):
+        fn, bundle = graphs_for("fn f(a: int[], i: int): int { return a[i]; }")
+        from repro.ir.instructions import Pi
+
+        upper_pi = next(
+            i
+            for i in fn.all_instructions()
+            if isinstance(i, Pi) and i.predicate.arraylen_of is not None
+        )
+        dest = var_node(upper_pi.dest)
+        length = len_node(upper_pi.predicate.arraylen_of)
+        assert edge_weights(bundle.upper, length, dest) == [-1]
+
+        lower_pi = next(
+            i
+            for i in fn.all_instructions()
+            if isinstance(i, Pi)
+            and i.predicate.rel == "ge"
+        )
+        dest = var_node(lower_pi.dest)
+        assert edge_weights(bundle.lower, const_node(0), dest) == [0]
+
+
+class TestPhi:
+    SRC = """
+fn f(c: int): int {
+  let x: int = 0;
+  if (c > 0) {
+    x = 5;
+  }
+  return x;
+}
+"""
+
+    def test_phi_marked_max_in_both_graphs(self):
+        fn, bundle = graphs_for(self.SRC)
+        assert bundle.upper.phi_nodes
+        assert bundle.upper.phi_nodes == bundle.lower.phi_nodes
+
+    def test_phi_in_edges_weight_zero(self):
+        fn, bundle = graphs_for(self.SRC)
+        phi = next(iter(bundle.upper.phi_nodes))
+        for edge in bundle.upper.in_edges(phi):
+            assert edge.weight == 0
+
+
+class TestAllocationFacts:
+    SRC = "fn f(n: int): int { let a: int[] = new int[n]; return len(a); }"
+
+    def test_enabled_by_default(self):
+        fn, bundle = graphs_for(self.SRC)
+        n = var_node(fn.params[0])
+        length_nodes = [x for x in bundle.upper.nodes() if x.kind == "len"]
+        assert any(
+            edge_weights(bundle.upper, ln, n) == [0] for ln in length_nodes
+        )
+
+    def test_disabled(self):
+        fn, bundle = graphs_for(self.SRC, allocation_facts=False)
+        n = var_node(fn.params[0])
+        assert bundle.upper.in_edges(n) == []
+
+    def test_const_zero_length_skipped_in_lower(self):
+        fn, bundle = graphs_for(
+            "fn f(): int { let a: int[] = new int[0]; return len(a); }"
+        )
+        assert edge_weights(bundle.lower, len_node_of(bundle), const_node(0)) == []
+
+    def test_length_nonneg_axiom_in_lower(self):
+        fn, bundle = graphs_for(self.SRC)
+        length_nodes = [x for x in bundle.lower.nodes() if x.kind == "len"]
+        for ln in length_nodes:
+            assert 0 in edge_weights(bundle.lower, const_node(0), ln)
+
+
+def len_node_of(bundle):
+    return next(n for n in bundle.lower.nodes() if n.kind == "len")
+
+
+class TestArrayVars:
+    def test_direct_and_flow_detection(self):
+        src = """
+fn f(a: int[]): int {
+  let b: int[] = a;
+  let n: int = len(b);
+  return n;
+}
+"""
+        ast = parse_source(src)
+        info = check_program(ast)
+        program = lower_program(ast, info)
+        fn = program.function("f")
+        construct_essa(fn)
+        arrays = collect_array_vars(fn)
+        assert any(v.startswith("a") for v in arrays)
+        assert any(v.startswith("b") for v in arrays)
+
+    def test_scalar_not_detected(self):
+        fn, bundle = graphs_for("fn f(x: int): int { return x + 1; }")
+        assert bundle.array_vars == set()
+
+
+class TestCycleInvariant:
+    """Every cycle of each graph must contain a φ vertex (the solver's
+    soundness precondition)."""
+
+    @pytest.mark.parametrize(
+        "source",
+        [
+            """
+fn f(a: int[]): int {
+  let s: int = 0;
+  for (let i: int = 0; i < len(a); i = i + 1) {
+    s = s + a[i];
+  }
+  return s;
+}
+""",
+            """
+fn f(n: int): int {
+  let a: int[] = new int[n];
+  let k: int = n - 1;
+  while (k >= 0) {
+    a[k] = k;
+    k = k - 1;
+  }
+  return len(a);
+}
+""",
+        ],
+    )
+    def test_no_phi_free_cycles(self, source):
+        fn, bundle = graphs_for(source)
+        for graph in (bundle.upper, bundle.lower):
+            assert_no_phi_free_cycle(graph)
+
+
+def assert_no_phi_free_cycle(graph):
+    """DFS over non-φ vertices only must be acyclic."""
+    color = {}
+
+    def visit(node):
+        color[node] = "grey"
+        for edge in graph.in_edges(node):
+            source = edge.source
+            if graph.is_phi(source):
+                continue
+            state = color.get(source)
+            if state == "grey":
+                raise AssertionError(f"φ-free cycle through {source}")
+            if state is None:
+                visit(source)
+        color[node] = "black"
+
+    for node in graph.nodes():
+        if node not in color and not graph.is_phi(node):
+            visit(node)

@@ -1,0 +1,84 @@
+"""Corpus integration tests: every benchmark compiles, runs, verifies, and
+is behaviour-preserving under the full optimization pipeline."""
+
+import pytest
+
+from repro.bench.corpus import CORPUS, get, names
+from repro.bench.harness import run_benchmark
+from repro.ir.verifier import verify_program
+from repro.pipeline import compile_source, run
+
+CORPUS_NAMES = [p.name for p in CORPUS]
+
+
+class TestCorpusRegistry:
+    def test_fifteen_programs(self):
+        assert len(CORPUS) == 15
+
+    def test_categories(self):
+        assert len(names("spec")) == 5
+        assert len(names("symantec")) == 7
+        assert len(names("other")) == 3
+
+    def test_lookup(self):
+        assert get("Sieve").filename == "sieve.mj"
+        with pytest.raises(KeyError):
+            get("nope")
+
+    def test_sources_exist(self):
+        for program in CORPUS:
+            assert program.path.exists(), program.name
+            assert program.source().strip()
+
+
+@pytest.mark.parametrize("name", CORPUS_NAMES)
+class TestCorpusPrograms:
+    def test_compiles_and_verifies(self, name):
+        program = compile_source(get(name).source())
+        verify_program(program)
+
+    def test_runs_with_checks(self, name):
+        program = compile_source(get(name).source())
+        result = run(program, "main", fuel=100_000_000)
+        assert result.stats.total_checks > 0
+        assert result.value is not None
+
+    def test_abcd_preserves_behaviour_and_removes_checks(self, name):
+        result = run_benchmark(get(name), pre=True)
+        assert result.behaviour_preserved, name
+        assert result.report.analyzed > 0
+        # Every corpus program has at least some removable checks.
+        assert result.report.eliminated_count() > 0
+        survived = (
+            result.opt_stats.total_checks + result.opt_stats.speculative_checks
+        )
+        assert survived < result.base_stats.total_checks
+
+
+class TestCorpusShape:
+    """Qualitative Figure-6 expectations that must stay stable."""
+
+    @pytest.fixture(scope="class")
+    def results(self):
+        return {
+            name: run_benchmark(get(name), pre=True)
+            for name in ("biDirBubbleSort", "Array", "Sieve", "Hanoi", "bytemark")
+        }
+
+    def test_running_example_near_total(self, results):
+        assert results["biDirBubbleSort"].dynamic_upper_removed_fraction > 0.95
+
+    def test_array_micro_near_total(self, results):
+        assert results["Array"].dynamic_upper_removed_fraction > 0.95
+
+    def test_sieve_near_total(self, results):
+        assert results["Sieve"].dynamic_upper_removed_fraction > 0.9
+
+    def test_hanoi_limited_by_interprocedural_params(self, results):
+        # Paper: Hanoi's residue is "not optimizable with intraprocedural
+        # analysis".
+        assert results["Hanoi"].dynamic_upper_removed_fraction < 0.7
+
+    def test_bytemark_has_partial_redundancy(self, results):
+        assert results["bytemark"].report.pre_transformed >= 1
+        assert results["bytemark"].static_partially_redundant_fraction > 0.05

@@ -1,0 +1,171 @@
+"""Section 7.2 merged unsigned checks: transformation and VM semantics."""
+
+import pytest
+
+from repro.core.extensions import merge_program_unsigned_checks, merge_unsigned_checks
+from repro.errors import BoundsCheckError
+from repro.ir.instructions import CheckLower, CheckUnsigned, CheckUpper
+from repro.ir.verifier import verify_program
+from repro.pipeline import abcd, clone_program, compile_source, run
+
+#: Checks that survive ABCD: the index comes from an opaque division.
+SURVIVOR_SRC = """
+fn probe(a: int[], x: int): int {
+  let idx: int = x / 3;
+  return a[idx];
+}
+fn main(): int {
+  let a: int[] = new int[16];
+  for (let i: int = 0; i < len(a); i = i + 1) {
+    a[i] = i * 11;
+  }
+  let s: int = 0;
+  for (let q: int = 0; q < 40; q = q + 1) {
+    s = s + probe(a, q);
+  }
+  return s;
+}
+"""
+
+
+def count_checks(program):
+    lowers = uppers = merged = 0
+    for fn in program.functions.values():
+        for instr in fn.all_instructions():
+            if isinstance(instr, CheckLower):
+                lowers += 1
+            elif isinstance(instr, CheckUpper):
+                uppers += 1
+            elif isinstance(instr, CheckUnsigned):
+                merged += 1
+    return lowers, uppers, merged
+
+
+class TestMergeTransformation:
+    def test_surviving_pair_merged(self):
+        program = compile_source(SURVIVOR_SRC)
+        abcd(program)
+        lowers_before, uppers_before, _ = count_checks(program)
+        assert lowers_before >= 1 and uppers_before >= 1
+        report = merge_program_unsigned_checks(program)
+        assert report.merged_pairs >= 1
+        lowers, uppers, merged = count_checks(program)
+        assert merged == report.merged_pairs
+        assert lowers == lowers_before - report.merged_pairs
+        assert uppers == uppers_before - report.merged_pairs
+        verify_program(program)
+
+    def test_behaviour_preserved(self):
+        program = compile_source(SURVIVOR_SRC)
+        baseline = clone_program(program)
+        abcd(program)
+        merge_program_unsigned_checks(program)
+        assert run(program, "main").value == run(baseline, "main").value
+
+    def test_cycles_reduced(self):
+        program = compile_source(SURVIVOR_SRC)
+        abcd(program)
+        unmerged = clone_program(program)
+        merge_program_unsigned_checks(program)
+        merged_run = run(program, "main")
+        unmerged_run = run(unmerged, "main")
+        assert merged_run.stats.cycles < unmerged_run.stats.cycles
+        assert merged_run.stats.unsigned_checks > 0
+
+    def test_check_counting_stays_comparable(self):
+        """A merged check still counts one lower + one upper execution so
+        Figure-6 accounting is unaffected."""
+        program = compile_source(SURVIVOR_SRC)
+        baseline = clone_program(program)
+        merge_program_unsigned_checks(program)
+        merged_run = run(program, "main")
+        base_run = run(baseline, "main")
+        assert merged_run.stats.lower_checks == base_run.stats.lower_checks
+        assert merged_run.stats.upper_checks == base_run.stats.upper_checks
+
+    def test_guarded_checks_not_merged(self):
+        src = """
+fn kernel(data: int[], probe: int, iters: int): int {
+  let acc: int = 0;
+  let iter: int = 0;
+  while (iter < iters) {
+    acc = acc + data[probe];
+    iter = iter + 1;
+  }
+  return acc;
+}
+fn main(): int {
+  let data: int[] = new int[32];
+  return kernel(data, 5, 20);
+}
+"""
+        from repro.runtime.profiler import collect_profile
+
+        program = compile_source(src)
+        profile = collect_profile(program, "main")
+        abcd(program, pre=True, profile=profile)
+        # The PRE-guarded originals must not be fused (their guard
+        # semantics differ); only unguarded pairs are candidates.
+        before = count_checks(program)
+        merge_program_unsigned_checks(program)
+        guarded = [
+            i
+            for fn in program.functions.values()
+            for i in fn.all_instructions()
+            if isinstance(i, (CheckLower, CheckUpper)) and i.guard_group is not None
+        ]
+        assert guarded  # still split and guarded
+        assert run(program, "main").value is not None
+        del before
+
+
+class TestMergedCheckSemantics:
+    def build(self):
+        program = compile_source(SURVIVOR_SRC)
+        merge_program_unsigned_checks(program)
+        return program
+
+    def test_negative_index_raises_lower(self):
+        from repro.runtime.values import ArrayValue
+
+        program = self.build()
+        with pytest.raises(BoundsCheckError) as excinfo:
+            run(program, "probe", [ArrayValue(4), -9])
+        assert excinfo.value.kind == "lower"
+        assert excinfo.value.index == -3
+
+    def test_overflow_index_raises_upper(self):
+        from repro.runtime.values import ArrayValue
+
+        program = self.build()
+        with pytest.raises(BoundsCheckError) as excinfo:
+            run(program, "probe", [ArrayValue(4), 30])
+        assert excinfo.value.kind == "upper"
+
+    def test_failure_ids_match_unmerged_program(self):
+        from repro.runtime.values import ArrayValue
+
+        merged = self.build()
+        unmerged = compile_source(SURVIVOR_SRC)
+        for bad in (-6, 50):
+            with pytest.raises(BoundsCheckError) as merged_exc:
+                run(merged, "probe", [ArrayValue(4), bad])
+            with pytest.raises(BoundsCheckError) as unmerged_exc:
+                run(unmerged, "probe", [ArrayValue(4), bad])
+            assert merged_exc.value.check_id == unmerged_exc.value.check_id
+
+    def test_in_range_passes(self):
+        from repro.runtime.values import ArrayValue
+
+        program = self.build()
+        array = ArrayValue.from_list([5, 6, 7, 8])
+        assert run(program, "probe", [array, 9]).value == 8
+
+
+class TestMergeIdempotence:
+    def test_second_run_is_noop(self):
+        program = compile_source(SURVIVOR_SRC)
+        first = merge_program_unsigned_checks(program)
+        second = merge_program_unsigned_checks(program)
+        assert first.merged_pairs >= 1
+        assert second.merged_pairs == 0

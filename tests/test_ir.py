@@ -1,0 +1,268 @@
+"""IR data structure, printer, and verifier tests."""
+
+import pytest
+
+from repro.errors import IRVerificationError
+from repro.frontend.types import INT, VOID
+from repro.ir.function import BasicBlock, Function, Program
+from repro.ir.instructions import (
+    ArrayLen,
+    ArrayLoad,
+    ArrayStore,
+    BinOp,
+    Branch,
+    CheckUpper,
+    Cmp,
+    Const,
+    Copy,
+    Jump,
+    Phi,
+    Pi,
+    PiPredicate,
+    Return,
+    Var,
+)
+from repro.ir.printer import format_function
+from repro.ir.verifier import verify_function
+
+
+def make_linear_function() -> Function:
+    fn = Function("f", ["x"], [INT], INT)
+    block = fn.new_block("entry")
+    fn.entry = block.label
+    block.body.append(BinOp("y", "add", Var("x"), Const(1)))
+    block.terminator = Return(Var("y"))
+    return fn
+
+
+class TestInstructions:
+    def test_copy_uses_and_defs(self):
+        instr = Copy("a", Var("b"))
+        assert instr.used_vars() == ["b"]
+        assert instr.defs() == "a"
+
+    def test_const_operand_not_a_use(self):
+        instr = Copy("a", Const(5))
+        assert instr.used_vars() == []
+
+    def test_binop_uses(self):
+        instr = BinOp("d", "add", Var("x"), Var("y"))
+        assert instr.used_vars() == ["x", "y"]
+
+    def test_rename_uses_binop(self):
+        instr = BinOp("d", "add", Var("x"), Const(1))
+        instr.rename_uses({"x": "x.3"})
+        assert instr.lhs == Var("x.3")
+
+    def test_rename_leaves_unmapped(self):
+        instr = BinOp("d", "add", Var("x"), Var("y"))
+        instr.rename_uses({"x": "x.1"})
+        assert instr.rhs == Var("y")
+
+    def test_array_store_uses_all_three(self):
+        instr = ArrayStore("a", Var("i"), Var("v"))
+        assert set(instr.used_vars()) == {"a", "i", "v"}
+        assert instr.defs() is None
+
+    def test_check_upper_uses_array_and_index(self):
+        instr = CheckUpper("a", Var("i"), 0)
+        assert set(instr.used_vars()) == {"a", "i"}
+
+    def test_phi_uses_and_rename(self):
+        phi = Phi("x", {"b1": Var("x1"), "b2": Const(0)})
+        assert phi.used_vars() == ["x1"] or set(phi.used_vars()) == {"x1"}
+        phi.rename_uses({"x1": "x1.0"})
+        assert phi.incomings["b1"] == Var("x1.0")
+
+    def test_pi_uses_include_predicate(self):
+        pi = Pi("i2", "i1", PiPredicate("lt", other=Var("n")))
+        assert set(pi.used_vars()) == {"i1", "n"}
+
+    def test_pi_arraylen_predicate_uses_array(self):
+        pi = Pi("i2", "i1", PiPredicate("lt", arraylen_of="a"))
+        assert set(pi.used_vars()) == {"i1", "a"}
+        pi.rename_uses({"a": "a.0", "i1": "i1.0"})
+        assert pi.predicate.arraylen_of == "a.0"
+        assert pi.src == "i1.0"
+
+    def test_terminator_flags(self):
+        assert Jump("x").is_terminator
+        assert Branch(Var("c"), "a", "b").is_terminator
+        assert Return(None).is_terminator
+        assert not Copy("a", Const(1)).is_terminator
+
+    def test_str_representations(self):
+        assert "phi" in str(Phi("x", {}))
+        assert "pi" in str(Pi("a", "b", PiPredicate("ge", other=Const(0))))
+        assert "checkupper" in str(CheckUpper("a", Var("i"), 3))
+        assert "#3" in str(CheckUpper("a", Var("i"), 3))
+
+
+class TestFunctionStructure:
+    def test_new_block_unique_labels(self):
+        fn = Function("f", [], [], VOID)
+        labels = {fn.new_block("b").label for _ in range(10)}
+        assert len(labels) == 10
+
+    def test_duplicate_block_rejected(self):
+        fn = Function("f", [], [], VOID)
+        block = fn.new_block("x")
+        with pytest.raises(ValueError):
+            fn.add_block(BasicBlock(block.label))
+
+    def test_new_temp_unique(self):
+        fn = Function("f", [], [], VOID)
+        temps = {fn.new_temp() for _ in range(10)}
+        assert len(temps) == 10
+
+    def test_successors_of_branch(self):
+        block = BasicBlock("b")
+        block.terminator = Branch(Var("c"), "t", "f")
+        assert block.successors() == ["t", "f"]
+
+    def test_replace_successor(self):
+        block = BasicBlock("b")
+        block.terminator = Branch(Var("c"), "t", "f")
+        block.replace_successor("f", "m")
+        assert block.successors() == ["t", "m"]
+
+    def test_predecessors(self):
+        fn = make_linear_function()
+        b2 = fn.new_block("next")
+        b2.terminator = Return(None)
+        fn.entry_block().terminator = Jump(b2.label)
+        preds = fn.predecessors()
+        assert preds[b2.label] == [fn.entry]
+
+    def test_reachable_blocks_reverse_postorder(self):
+        fn = Function("f", [], [], VOID)
+        a = fn.new_block("a")
+        b = fn.new_block("b")
+        c = fn.new_block("c")
+        fn.entry = a.label
+        a.terminator = Branch(Var("x"), b.label, c.label)
+        b.terminator = Jump(c.label)
+        c.terminator = Return(None)
+        order = fn.reachable_blocks()
+        assert order[0] == a.label
+        assert order.index(b.label) < order.index(c.label)
+
+    def test_remove_unreachable_blocks(self):
+        fn = make_linear_function()
+        dead = fn.new_block("dead")
+        dead.terminator = Return(None)
+        removed = fn.remove_unreachable_blocks()
+        assert dead.label in removed
+        assert dead.label not in fn.blocks
+
+    def test_remove_unreachable_prunes_phi_operands(self):
+        fn = Function("f", [], [], VOID)
+        a = fn.new_block("a")
+        dead = fn.new_block("dead")
+        join = fn.new_block("join")
+        fn.entry = a.label
+        a.terminator = Jump(join.label)
+        dead.terminator = Jump(join.label)
+        join.phis.append(Phi("x", {a.label: Const(1), dead.label: Const(2)}))
+        join.terminator = Return(None)
+        fn.remove_unreachable_blocks()
+        assert list(join.phis[0].incomings) == [a.label]
+
+    def test_variables_lists_params_and_defs(self):
+        fn = make_linear_function()
+        assert set(fn.variables()) == {"x", "y"}
+
+
+class TestProgram:
+    def test_check_id_counter(self):
+        program = Program()
+        assert program.new_check_id() == 0
+        assert program.new_check_id() == 1
+
+    def test_guard_group_counter(self):
+        program = Program()
+        assert program.new_guard_group() == 0
+        assert program.new_guard_group() == 1
+
+    def test_duplicate_function_rejected(self):
+        program = Program()
+        program.add_function(make_linear_function())
+        with pytest.raises(ValueError):
+            program.add_function(make_linear_function())
+
+
+class TestPrinter:
+    def test_format_contains_blocks_and_instrs(self):
+        fn = make_linear_function()
+        text = format_function(fn)
+        assert "fn f(x)" in text
+        assert "add" in text
+        assert "return" in text
+
+
+class TestVerifier:
+    def test_valid_function_passes(self):
+        verify_function(make_linear_function())
+
+    def test_missing_terminator_rejected(self):
+        fn = make_linear_function()
+        fn.entry_block().terminator = None
+        with pytest.raises(IRVerificationError, match="terminator"):
+            verify_function(fn)
+
+    def test_jump_to_unknown_block_rejected(self):
+        fn = make_linear_function()
+        fn.entry_block().terminator = Jump("nowhere")
+        with pytest.raises(IRVerificationError, match="unknown block"):
+            verify_function(fn)
+
+    def test_terminator_in_body_rejected(self):
+        fn = make_linear_function()
+        fn.entry_block().body.append(Jump(fn.entry))
+        with pytest.raises(IRVerificationError, match="terminator"):
+            verify_function(fn)
+
+    def test_double_definition_rejected_in_ssa(self):
+        fn = make_linear_function()
+        fn.ssa_form = "ssa"
+        fn.entry_block().body.append(BinOp("y", "add", Var("x"), Const(2)))
+        with pytest.raises(IRVerificationError, match="more than once"):
+            verify_function(fn)
+
+    def test_use_before_def_rejected_in_ssa(self):
+        fn = Function("f", [], [], INT)
+        block = fn.new_block("entry")
+        fn.entry = block.label
+        block.body.append(Copy("a", Var("b")))
+        block.body.append(Copy("b", Const(1)))
+        block.terminator = Return(Var("a"))
+        fn.ssa_form = "ssa"
+        with pytest.raises(IRVerificationError, match="before its definition"):
+            verify_function(fn)
+
+    def test_use_of_undefined_rejected_in_ssa(self):
+        fn = Function("f", [], [], INT)
+        block = fn.new_block("entry")
+        fn.entry = block.label
+        block.terminator = Return(Var("ghost"))
+        fn.ssa_form = "ssa"
+        with pytest.raises(IRVerificationError, match="undefined"):
+            verify_function(fn)
+
+    def test_phi_in_entry_rejected(self):
+        fn = make_linear_function()
+        fn.entry_block().phis.append(Phi("p", {}))
+        with pytest.raises(IRVerificationError, match="entry block"):
+            verify_function(fn)
+
+    def test_phi_incoming_mismatch_rejected(self):
+        fn = Function("f", [], [], VOID)
+        a = fn.new_block("a")
+        b = fn.new_block("b")
+        fn.entry = a.label
+        a.terminator = Jump(b.label)
+        b.phis.append(Phi("x", {"wrong": Const(1)}))
+        b.terminator = Return(None)
+        fn.ssa_form = "ssa"
+        with pytest.raises(IRVerificationError, match="incoming"):
+            verify_function(fn)

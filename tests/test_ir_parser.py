@@ -1,0 +1,181 @@
+"""Textual IR parser tests: printer/parser round-trips."""
+
+import pytest
+
+from repro.bench.corpus import get
+from repro.errors import ParseError
+from repro.ir.parser import parse_function, parse_ir_program
+from repro.ir.printer import format_function, format_program
+from repro.ir.verifier import verify_function, verify_program
+from repro.pipeline import abcd, compile_source, run
+from repro.runtime.interpreter import run_program
+
+
+def roundtrip_function(fn):
+    text = format_function(fn)
+    parsed = parse_function(text)
+    assert format_function(parsed) == text
+    return parsed
+
+
+class TestRoundTrip:
+    def test_simple_function(self):
+        program = compile_source("fn main(): int { return 2 + 3; }")
+        roundtrip_function(program.function("main"))
+
+    def test_loop_with_checks(self, bubble_source):
+        program = compile_source(bubble_source)
+        for fn in program.functions.values():
+            parsed = roundtrip_function(fn)
+            assert parsed.ssa_form == "essa"
+            verify_function(parsed)
+
+    def test_whole_program(self, bubble_source):
+        program = compile_source(bubble_source)
+        text = format_program(program)
+        parsed = parse_ir_program(text)
+        assert format_program(parsed) == text
+        verify_program(parsed)
+
+    def test_parsed_program_executes_identically(self, bubble_source):
+        program = compile_source(bubble_source)
+        parsed = parse_ir_program(format_program(program))
+        original = run_program(program, "main")
+        reparsed = run_program(parsed, "main")
+        assert original.value == reparsed.value
+        assert original.stats.total_checks == reparsed.stats.total_checks
+
+    def test_optimized_program_roundtrips(self, bubble_source):
+        program = compile_source(bubble_source)
+        abcd(program)
+        parsed = parse_ir_program(format_program(program))
+        assert run_program(parsed, "main").value == run_program(program, "main").value
+
+    def test_pre_artifacts_roundtrip(self):
+        src = """
+fn kernel(data: int[], probe: int, iters: int): int {
+  let acc: int = 0;
+  let iter: int = 0;
+  while (iter < iters) {
+    acc = acc + data[probe];
+    iter = iter + 1;
+  }
+  return acc;
+}
+fn main(): int {
+  let data: int[] = new int[16];
+  return kernel(data, 5, 30);
+}
+"""
+        from repro.runtime.profiler import collect_profile
+
+        program = compile_source(src)
+        profile = collect_profile(program, "main")
+        abcd(program, pre=True, profile=profile)
+        text = format_program(program)
+        assert "speculate" in text and "guard=" in text
+        parsed = parse_ir_program(text)
+        assert format_program(parsed) == text
+        assert run_program(parsed, "main").value == 0
+
+    def test_unsigned_checks_roundtrip(self):
+        from repro.core.extensions import merge_program_unsigned_checks
+
+        src = """
+fn probe(a: int[], x: int): int {
+  let idx: int = x / 2;
+  return a[idx];
+}
+fn main(): int {
+  let a: int[] = new int[8];
+  return probe(a, 6);
+}
+"""
+        program = compile_source(src)
+        merge_program_unsigned_checks(program)
+        text = format_program(program)
+        assert "checkunsigned" in text
+        parsed = parse_ir_program(text)
+        assert format_program(parsed) == text
+
+    @pytest.mark.parametrize("name", ["Sieve", "Qsort", "jess"])
+    def test_corpus_roundtrip(self, name):
+        program = compile_source(get(name).source())
+        text = format_program(program)
+        parsed = parse_ir_program(text)
+        assert format_program(parsed) == text
+        assert (
+            run_program(parsed, "main", fuel=100_000_000).value
+            == run_program(program, "main", fuel=100_000_000).value
+        )
+
+
+class TestHandWrittenIR:
+    def test_minimal_function(self):
+        fn = parse_function("""
+fn answer() {
+entry:
+    x := 42
+    return x
+}
+""")
+        assert fn.name == "answer"
+        assert fn.entry == "entry"
+        from repro.ir.function import Program
+
+        program = Program()
+        program.add_function(fn)
+        assert run_program(program, "answer").value == 42
+
+    def test_check_ids_advance_program_counter(self):
+        program = parse_ir_program("""
+fn f(a, i) {
+entry:
+    checklower #7 i
+    checkupper #9 a[i]
+    v := load a[i]
+    return v
+}
+""")
+        assert program.new_check_id() == 10
+
+    def test_negative_constants(self):
+        fn = parse_function("""
+fn f() {
+entry:
+    x := -5
+    y := add x, -3
+    return y
+}
+""")
+        from repro.ir.function import Program
+
+        program = Program()
+        program.add_function(fn)
+        assert run_program(program, "f").value == -8
+
+    def test_bad_header_rejected(self):
+        with pytest.raises(ParseError):
+            parse_function("not a function")
+
+    def test_instruction_before_label_rejected(self):
+        with pytest.raises(ParseError):
+            parse_function("fn f() {\n    x := 1\n}")
+
+    def test_bad_predicate_rejected(self):
+        with pytest.raises(ParseError):
+            parse_function("""
+fn f(x) {
+entry:
+    y := pi(x) [?? z]
+    return y
+}
+""")
+
+    def test_ssa_form_inference(self):
+        plain = parse_function("fn f() {\ne:\n    x := 1\n    return x\n}")
+        assert plain.ssa_form == "none"
+        with_phi = parse_function(
+            "fn f(c) {\na:\n    branch c ? b : b\nb:\n    x := phi(a: 1)\n    return x\n}"
+        )
+        assert with_phi.ssa_form == "ssa"

@@ -1,0 +1,189 @@
+"""Lexer unit tests."""
+
+import pytest
+
+from repro.errors import LexError
+from repro.frontend.lexer import tokenize
+from repro.frontend.tokens import TokenKind
+
+
+def kinds(source):
+    return [t.kind for t in tokenize(source)]
+
+
+def texts(source):
+    return [t.text for t in tokenize(source)[:-1]]  # drop EOF
+
+
+class TestBasicTokens:
+    def test_empty_input_yields_eof(self):
+        tokens = tokenize("")
+        assert len(tokens) == 1
+        assert tokens[0].kind is TokenKind.EOF
+
+    def test_whitespace_only_yields_eof(self):
+        assert kinds("  \t\n  ") == [TokenKind.EOF]
+
+    def test_integer_literal(self):
+        token = tokenize("42")[0]
+        assert token.kind is TokenKind.INT_LITERAL
+        assert token.value == 42
+
+    def test_zero_literal(self):
+        assert tokenize("0")[0].value == 0
+
+    def test_large_literal(self):
+        assert tokenize("123456789012345")[0].value == 123456789012345
+
+    def test_identifier(self):
+        token = tokenize("counter")[0]
+        assert token.kind is TokenKind.IDENT
+        assert token.text == "counter"
+
+    def test_identifier_with_underscore_and_digits(self):
+        token = tokenize("_hash_2x")[0]
+        assert token.kind is TokenKind.IDENT
+        assert token.text == "_hash_2x"
+
+    def test_identifier_may_not_start_with_digit(self):
+        with pytest.raises(LexError):
+            tokenize("2x")
+
+
+class TestKeywords:
+    @pytest.mark.parametrize(
+        "word,kind",
+        [
+            ("fn", TokenKind.KW_FN),
+            ("let", TokenKind.KW_LET),
+            ("if", TokenKind.KW_IF),
+            ("else", TokenKind.KW_ELSE),
+            ("while", TokenKind.KW_WHILE),
+            ("for", TokenKind.KW_FOR),
+            ("return", TokenKind.KW_RETURN),
+            ("break", TokenKind.KW_BREAK),
+            ("continue", TokenKind.KW_CONTINUE),
+            ("true", TokenKind.KW_TRUE),
+            ("false", TokenKind.KW_FALSE),
+            ("int", TokenKind.KW_INT),
+            ("bool", TokenKind.KW_BOOL),
+            ("void", TokenKind.KW_VOID),
+            ("new", TokenKind.KW_NEW),
+            ("len", TokenKind.KW_LEN),
+        ],
+    )
+    def test_keyword(self, word, kind):
+        assert tokenize(word)[0].kind is kind
+
+    def test_keyword_prefix_is_identifier(self):
+        assert tokenize("iffy")[0].kind is TokenKind.IDENT
+
+    def test_keywords_are_case_sensitive(self):
+        assert tokenize("If")[0].kind is TokenKind.IDENT
+
+
+class TestOperators:
+    @pytest.mark.parametrize(
+        "text,kind",
+        [
+            ("<=", TokenKind.LE),
+            (">=", TokenKind.GE),
+            ("==", TokenKind.EQ),
+            ("!=", TokenKind.NE),
+            ("&&", TokenKind.AND),
+            ("||", TokenKind.OR),
+            ("<", TokenKind.LT),
+            (">", TokenKind.GT),
+            ("=", TokenKind.ASSIGN),
+            ("!", TokenKind.NOT),
+            ("+", TokenKind.PLUS),
+            ("-", TokenKind.MINUS),
+            ("*", TokenKind.STAR),
+            ("/", TokenKind.SLASH),
+            ("%", TokenKind.PERCENT),
+        ],
+    )
+    def test_operator(self, text, kind):
+        assert tokenize(text)[0].kind is kind
+
+    def test_two_char_operators_win_over_one_char(self):
+        assert kinds("<= < ==")[:3] == [TokenKind.LE, TokenKind.LT, TokenKind.EQ]
+
+    def test_adjacent_operators_split_correctly(self):
+        # "a<=b" must not lex "<" then "=b".
+        assert kinds("a<=b")[:3] == [TokenKind.IDENT, TokenKind.LE, TokenKind.IDENT]
+
+    def test_unknown_character_raises(self):
+        with pytest.raises(LexError):
+            tokenize("a $ b")
+
+
+class TestComments:
+    def test_line_comment_skipped(self):
+        assert texts("a // comment here\n b") == ["a", "b"]
+
+    def test_line_comment_at_eof(self):
+        assert texts("a // trailing") == ["a"]
+
+    def test_block_comment_skipped(self):
+        assert texts("a /* x\ny */ b") == ["a", "b"]
+
+    def test_unterminated_block_comment_raises(self):
+        with pytest.raises(LexError):
+            tokenize("a /* never closed")
+
+    def test_division_not_confused_with_comment(self):
+        assert kinds("a / b")[:3] == [
+            TokenKind.IDENT,
+            TokenKind.SLASH,
+            TokenKind.IDENT,
+        ]
+
+
+class TestLocations:
+    def test_first_token_location(self):
+        token = tokenize("abc")[0]
+        assert (token.location.line, token.location.column) == (1, 1)
+
+    def test_location_advances_by_columns(self):
+        tokens = tokenize("ab cd")
+        assert tokens[1].location.column == 4
+
+    def test_location_advances_by_lines(self):
+        tokens = tokenize("a\nb\n  c")
+        assert tokens[1].location.line == 2
+        assert tokens[2].location.line == 3
+        assert tokens[2].location.column == 3
+
+    def test_error_carries_location(self):
+        with pytest.raises(LexError) as excinfo:
+            tokenize("ok\n   $")
+        assert "2:4" in str(excinfo.value)
+
+
+class TestRealisticInput:
+    def test_function_header(self):
+        expected = [
+            TokenKind.KW_FN,
+            TokenKind.IDENT,
+            TokenKind.LPAREN,
+            TokenKind.IDENT,
+            TokenKind.COLON,
+            TokenKind.KW_INT,
+            TokenKind.LBRACKET,
+            TokenKind.RBRACKET,
+            TokenKind.RPAREN,
+            TokenKind.COLON,
+            TokenKind.KW_VOID,
+            TokenKind.EOF,
+        ]
+        assert kinds("fn f(a: int[]): void") == expected
+
+    def test_array_access_statement(self):
+        assert kinds("a[i] = a[i + 1];")[:5] == [
+            TokenKind.IDENT,
+            TokenKind.LBRACKET,
+            TokenKind.IDENT,
+            TokenKind.RBRACKET,
+            TokenKind.ASSIGN,
+        ]

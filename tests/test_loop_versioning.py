@@ -1,0 +1,211 @@
+"""Loop versioning baseline tests."""
+
+import pytest
+
+from repro.baselines.loop_versioning import (
+    version_loops,
+    version_program_loops,
+)
+from repro.errors import BoundsCheckError
+from repro.frontend.parser import parse_source
+from repro.frontend.semantic import check_program
+from repro.ir.instructions import CheckLower, CheckUpper
+from repro.ir.lowering import lower_program
+from repro.ir.verifier import verify_program
+from repro.runtime.interpreter import run_program
+from repro.runtime.values import ArrayValue
+from repro.ssa.essa import construct_essa
+
+
+def lowered(source: str):
+    ast = parse_source(source)
+    info = check_program(ast)
+    return lower_program(ast, info)
+
+
+COUNTING_SRC = """
+fn sum(a: int[], n: int): int {
+  let s: int = 0;
+  let i: int = 0;
+  while (i < n) {
+    s = s + a[i];
+    i = i + 1;
+  }
+  return s;
+}
+fn main(): int {
+  let a: int[] = new int[16];
+  for (let j: int = 0; j < len(a); j = j + 1) {
+    a[j] = j * 2;
+  }
+  return sum(a, 16);
+}
+"""
+
+
+class TestVersioningTransformation:
+    def test_counting_loop_versioned(self):
+        program = lowered(COUNTING_SRC)
+        report = version_program_loops(program)
+        assert report.loops_versioned >= 2  # sum's while and main's for
+        assert report.checks_removed_in_fast_path >= 2
+        assert report.blocks_added > 0
+        verify_program(program)
+
+    def test_behaviour_preserved_in_range(self):
+        program = lowered(COUNTING_SRC)
+        expected = run_program(program, "main").value
+        version_program_loops(program)
+        assert run_program(program, "main").value == expected == 240
+
+    def test_fast_path_taken_when_safe(self):
+        program = lowered(COUNTING_SRC)
+        base_checks = run_program(program, "main").stats.total_checks
+        version_program_loops(program)
+        versioned_checks = run_program(program, "main").stats.total_checks
+        # The candidate checks disappear dynamically on the fast path.
+        assert versioned_checks < base_checks / 2
+
+    def test_slow_path_on_unsafe_bound(self):
+        program = lowered(COUNTING_SRC)
+        version_program_loops(program)
+        # n exceeds the array length: the version test fails, the slow
+        # (checked) loop runs, and the original check raises.
+        array = ArrayValue(4)
+        with pytest.raises(BoundsCheckError) as excinfo:
+            run_program(program, "sum", [array, 10])
+        assert excinfo.value.kind == "upper"
+        assert excinfo.value.index == 4
+
+    def test_same_check_id_as_unversioned_on_failure(self):
+        plain = lowered(COUNTING_SRC)
+        versioned = lowered(COUNTING_SRC)
+        version_program_loops(versioned)
+        array = ArrayValue(4)
+        with pytest.raises(BoundsCheckError) as plain_exc:
+            run_program(plain, "sum", [array, 10])
+        with pytest.raises(BoundsCheckError) as versioned_exc:
+            run_program(versioned, "sum", [array, 10])
+        assert plain_exc.value.check_id == versioned_exc.value.check_id
+
+    def test_offset_accesses_covered(self):
+        src = """
+fn pairs(a: int[], n: int): int {
+  let s: int = 0;
+  let i: int = 0;
+  while (i < n - 1) {
+    s = s + a[i] + a[i + 1];
+    i = i + 1;
+  }
+  return s;
+}
+fn main(): int {
+  let a: int[] = new int[8];
+  for (let j: int = 0; j < len(a); j = j + 1) {
+    a[j] = j;
+  }
+  return pairs(a, 8);
+}
+"""
+        program = lowered(src)
+        expected = run_program(program, "main").value
+        version_program_loops(program)
+        assert run_program(program, "main").value == expected
+        # a[i+1] in-range boundary: i <= n-3, index <= n-2 < len; and the
+        # version test must accept the full-range call.
+        result = run_program(program, "pairs", [ArrayValue(8), 8])
+        assert result.value == 0
+
+
+class TestVersioningLimits:
+    def test_downward_loop_not_versioned(self):
+        # Decreasing induction variables are outside this baseline's
+        # pattern (ABCD handles them fine).
+        src = """
+fn main(): int {
+  let a: int[] = new int[8];
+  let s: int = 0;
+  let i: int = 7;
+  while (i >= 0) {
+    s = s + a[i];
+    i = i - 1;
+  }
+  return s;
+}
+"""
+        program = lowered(src)
+        report = version_program_loops(program)
+        assert report.loops_versioned == 0
+
+    def test_data_dependent_index_not_candidate(self):
+        src = """
+fn main(): int {
+  let a: int[] = new int[8];
+  let idx: int[] = new int[8];
+  let s: int = 0;
+  let i: int = 0;
+  while (i < 8) {
+    s = s + a[idx[i]];
+    i = i + 1;
+  }
+  return s;
+}
+"""
+        program = lowered(src)
+        report = version_program_loops(program)
+        # idx[i] is a candidate; a[idx[i]] is not.
+        fn = program.function("main")
+        fast_checks = [
+            i
+            for label in fn.blocks
+            if label.startswith("fast")
+            for i in fn.blocks[label].body
+            if isinstance(i, (CheckLower, CheckUpper))
+        ]
+        assert fast_checks  # the a[...] checks survive in the fast clone
+        assert run_program(program, "main").value == 0
+        del report
+
+    def test_variant_bound_not_versioned(self):
+        src = """
+fn main(): int {
+  let a: int[] = new int[8];
+  let s: int = 0;
+  let i: int = 0;
+  let n: int = 8;
+  while (i < n) {
+    s = s + a[i];
+    n = n - 1;
+    i = i + 1;
+  }
+  return s;
+}
+"""
+        program = lowered(src)
+        report = version_program_loops(program)
+        assert report.loops_versioned == 0
+
+    def test_requires_non_ssa(self):
+        program = lowered(COUNTING_SRC)
+        for fn in program.functions.values():
+            construct_essa(fn)
+        with pytest.raises(ValueError):
+            version_loops(program.function("main"), program)
+
+
+class TestVersioningDownstream:
+    def test_essa_builds_after_versioning(self):
+        program = lowered(COUNTING_SRC)
+        version_program_loops(program)
+        for fn in program.functions.values():
+            construct_essa(fn)
+        verify_program(program)
+        assert run_program(program, "main").value == 240
+
+    def test_code_growth_measured(self):
+        program = lowered(COUNTING_SRC)
+        before = sum(1 for fn in program.functions.values() for _ in fn.all_instructions())
+        report = version_program_loops(program)
+        after = sum(1 for fn in program.functions.values() for _ in fn.all_instructions())
+        assert after > before
+        assert report.blocks_added > 0

@@ -1,0 +1,214 @@
+"""AST-to-IR lowering tests."""
+
+import pytest
+
+from repro.frontend.parser import parse_source
+from repro.frontend.semantic import check_program
+from repro.ir.instructions import (
+    ArrayLoad,
+    ArrayStore,
+    Branch,
+    CheckLower,
+    CheckUpper,
+    Cmp,
+    Const,
+    Copy,
+    Jump,
+    Return,
+    Var,
+)
+from repro.ir.lowering import lower_program
+from repro.ir.verifier import verify_program
+
+
+def lower(source: str):
+    ast = parse_source(source)
+    info = check_program(ast)
+    program = lower_program(ast, info)
+    verify_program(program)
+    return program
+
+
+def lower_fn(body: str, header: str = "fn f(): void"):
+    return lower(f"{header} {{ {body} }}").function("f")
+
+
+def instrs_of(fn, cls):
+    return [i for i in fn.all_instructions() if isinstance(i, cls)]
+
+
+class TestChecksEmitted:
+    def test_load_emits_both_checks_before_access(self):
+        fn = lower_fn("let v: int = a[i];", "fn f(a: int[], i: int): void")
+        body = fn.entry_block().body
+        kinds = [type(i).__name__ for i in body]
+        load_at = kinds.index("ArrayLoad")
+        assert "CheckLower" in kinds[:load_at]
+        assert "CheckUpper" in kinds[:load_at]
+
+    def test_store_emits_both_checks(self):
+        fn = lower_fn("a[i] = 1;", "fn f(a: int[], i: int): void")
+        assert len(instrs_of(fn, CheckLower)) == 1
+        assert len(instrs_of(fn, CheckUpper)) == 1
+        assert len(instrs_of(fn, ArrayStore)) == 1
+
+    def test_check_ids_are_unique_across_functions(self):
+        program = lower(
+            "fn f(a: int[]): void { a[0] = 1; } fn g(a: int[]): void { a[1] = 2; }"
+        )
+        ids = [c.check_id for c in program.all_checks()]
+        assert len(ids) == len(set(ids))
+
+    def test_constant_index_materialized_to_variable(self):
+        fn = lower_fn("let v: int = a[3];", "fn f(a: int[]): void")
+        check = instrs_of(fn, CheckUpper)[0]
+        assert isinstance(check.index, Var)
+
+    def test_upper_check_references_array_variable(self):
+        fn = lower_fn("let v: int = a[0];", "fn f(a: int[]): void")
+        check = instrs_of(fn, CheckUpper)[0]
+        assert check.array == "a"
+
+    def test_nested_index_checks_inner_first(self):
+        fn = lower_fn("let v: int = a[a[0]];", "fn f(a: int[]): void")
+        uppers = instrs_of(fn, CheckUpper)
+        loads = instrs_of(fn, ArrayLoad)
+        assert len(uppers) == 2 and len(loads) == 2
+
+
+class TestControlFlow:
+    def test_if_creates_branch_and_join(self):
+        fn = lower_fn("let x: int = 0; if (x < 1) { x = 1; }")
+        branches = instrs_of(fn, Branch)
+        assert len(branches) == 1
+
+    def test_comparison_feeds_branch_directly(self):
+        fn = lower_fn("let x: int = 0; if (x < 1) { x = 1; }")
+        for label in fn.reachable_blocks():
+            block = fn.blocks[label]
+            if isinstance(block.terminator, Branch):
+                cond = block.terminator.cond
+                assert isinstance(cond, Var)
+                cmp = next(
+                    i for i in block.body if i.defs() == cond.name
+                )
+                assert isinstance(cmp, Cmp)
+                return
+        pytest.fail("no branch found")
+
+    def test_while_loop_shape(self):
+        fn = lower_fn("let i: int = 0; while (i < 5) { i = i + 1; }")
+        # header must be reachable from the body (a back edge exists).
+        preds = fn.predecessors()
+        has_back_edge = any(len(p) > 1 for p in preds.values())
+        assert has_back_edge
+
+    def test_for_desugars_continue_to_step(self):
+        result_src = """
+fn main(): int {
+  let total: int = 0;
+  for (let i: int = 0; i < 10; i = i + 1) {
+    if (i % 2 == 0) { continue; }
+    total = total + i;
+  }
+  return total;
+}
+"""
+        from repro.runtime.interpreter import run_program
+
+        program = lower(result_src)
+        assert run_program(program, "main").value == 25
+
+    def test_break_exits_loop(self):
+        src = """
+fn main(): int {
+  let i: int = 0;
+  while (true) {
+    if (i >= 7) { break; }
+    i = i + 1;
+  }
+  return i;
+}
+"""
+        from repro.runtime.interpreter import run_program
+
+        assert run_program(lower(src), "main").value == 7
+
+    def test_unreachable_code_after_return_dropped(self):
+        fn = lower_fn("return; let x: int = 1;", "fn f(): void")
+        copies = instrs_of(fn, Copy)
+        assert all(
+            not (isinstance(c.src, Const) and c.src.value == 1) for c in copies
+        )
+
+    def test_void_function_gets_implicit_return(self):
+        fn = lower_fn("let x: int = 1;")
+        returns = instrs_of(fn, Return)
+        assert len(returns) == 1 and returns[0].value is None
+
+
+class TestShortCircuit:
+    def test_and_skips_rhs(self):
+        src = """
+fn main(): int {
+  let a: int[] = new int[4];
+  let i: int = 9;
+  if (i < len(a) && a[i] == 0) {
+    return 1;
+  }
+  return 0;
+}
+"""
+        from repro.runtime.interpreter import run_program
+
+        # Without short-circuit, a[9] would raise.
+        assert run_program(lower(src), "main").value == 0
+
+    def test_or_skips_rhs(self):
+        src = """
+fn main(): int {
+  let a: int[] = new int[4];
+  let i: int = 9;
+  if (i >= len(a) || a[i] == 0) {
+    return 1;
+  }
+  return 0;
+}
+"""
+        from repro.runtime.interpreter import run_program
+
+        assert run_program(lower(src), "main").value == 1
+
+    def test_boolean_value_position(self):
+        src = """
+fn main(): int {
+  let x: int = 3;
+  let b: bool = x > 1 && x < 10;
+  if (b) { return 1; }
+  return 0;
+}
+"""
+        from repro.runtime.interpreter import run_program
+
+        assert run_program(lower(src), "main").value == 1
+
+
+class TestNegationFolding:
+    def test_unary_minus_of_literal_folds(self):
+        fn = lower_fn("let x: int = -5;")
+        copies = instrs_of(fn, Copy)
+        assert any(
+            isinstance(c.src, Const) and c.src.value == -5 for c in copies
+        )
+
+    def test_not_in_condition_swaps_targets(self):
+        src = """
+fn main(): int {
+  let x: int = 1;
+  if (!(x < 5)) { return 0; }
+  return 1;
+}
+"""
+        from repro.runtime.interpreter import run_program
+
+        assert run_program(lower(src), "main").value == 1

@@ -1,0 +1,223 @@
+"""Parser unit tests."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.frontend import ast
+from repro.frontend.parser import parse_source
+from repro.frontend.types import BOOL, INT, INT_ARRAY, VOID
+
+
+def parse_fn(body: str, header: str = "fn f(): void") -> ast.FunctionDecl:
+    program = parse_source(f"{header} {{ {body} }}")
+    return program.functions[0]
+
+
+def parse_expr(expr: str) -> ast.Expr:
+    fn = parse_fn(f"let x: int = {expr};")
+    stmt = fn.body[0]
+    assert isinstance(stmt, ast.LetStmt)
+    return stmt.value
+
+
+class TestDeclarations:
+    def test_empty_program(self):
+        assert parse_source("").functions == []
+
+    def test_function_with_params(self):
+        fn = parse_source("fn add(a: int, b: int): int { return a + b; }").functions[0]
+        assert fn.name == "add"
+        assert [p.name for p in fn.params] == ["a", "b"]
+        assert [p.type for p in fn.params] == [INT, INT]
+        assert fn.return_type is INT
+
+    def test_array_param_and_void_return(self):
+        fn = parse_source("fn g(a: int[]): void { }").functions[0]
+        assert fn.params[0].type is INT_ARRAY
+        assert fn.return_type is VOID
+
+    def test_bool_type(self):
+        fn = parse_source("fn g(flag: bool): bool { return flag; }").functions[0]
+        assert fn.params[0].type is BOOL
+
+    def test_void_param_rejected(self):
+        with pytest.raises(ParseError):
+            parse_source("fn g(x: void): void { }")
+
+    def test_multiple_functions(self):
+        program = parse_source("fn a(): void { } fn b(): void { }")
+        assert [f.name for f in program.functions] == ["a", "b"]
+
+    def test_program_lookup(self):
+        program = parse_source("fn a(): void { } fn b(): void { }")
+        assert program.function("b").name == "b"
+        with pytest.raises(KeyError):
+            program.function("missing")
+
+    def test_missing_return_type_rejected(self):
+        with pytest.raises(ParseError):
+            parse_source("fn f() { }")
+
+
+class TestStatements:
+    def test_let(self):
+        stmt = parse_fn("let x: int = 1;").body[0]
+        assert isinstance(stmt, ast.LetStmt)
+        assert stmt.name == "x"
+        assert stmt.declared_type is INT
+
+    def test_assignment(self):
+        fn = parse_fn("let x: int = 1; x = 2;")
+        assert isinstance(fn.body[1], ast.AssignStmt)
+
+    def test_array_store(self):
+        stmt = parse_fn("a[i] = 5;", header="fn f(a: int[], i: int): void").body[0]
+        assert isinstance(stmt, ast.ArrayStoreStmt)
+
+    def test_nested_array_store_target(self):
+        stmt = parse_fn(
+            "a[a[0]] = 5;", header="fn f(a: int[]): void"
+        ).body[0]
+        assert isinstance(stmt, ast.ArrayStoreStmt)
+        assert isinstance(stmt.index, ast.ArrayIndex)
+
+    def test_if_without_else(self):
+        stmt = parse_fn("if (true) { return; }").body[0]
+        assert isinstance(stmt, ast.IfStmt)
+        assert stmt.else_body == []
+
+    def test_if_else(self):
+        stmt = parse_fn("if (true) { return; } else { return; }").body[0]
+        assert len(stmt.else_body) == 1
+
+    def test_else_if_chains(self):
+        stmt = parse_fn(
+            "if (true) { return; } else if (false) { return; } else { return; }"
+        ).body[0]
+        assert isinstance(stmt.else_body[0], ast.IfStmt)
+
+    def test_while(self):
+        stmt = parse_fn("while (true) { }").body[0]
+        assert isinstance(stmt, ast.WhileStmt)
+
+    def test_for_full_header(self):
+        stmt = parse_fn("for (let i: int = 0; i < 10; i = i + 1) { }").body[0]
+        assert isinstance(stmt, ast.ForStmt)
+        assert isinstance(stmt.init, ast.LetStmt)
+        assert stmt.condition is not None
+        assert isinstance(stmt.step, ast.AssignStmt)
+
+    def test_for_empty_header(self):
+        stmt = parse_fn("for (;;) { break; }").body[0]
+        assert stmt.init is None and stmt.condition is None and stmt.step is None
+
+    def test_return_value(self):
+        stmt = parse_fn("return 1;", header="fn f(): int").body[0]
+        assert isinstance(stmt.value, ast.IntLiteral)
+
+    def test_return_bare(self):
+        stmt = parse_fn("return;").body[0]
+        assert stmt.value is None
+
+    def test_break_continue(self):
+        fn = parse_fn("while (true) { break; continue; }")
+        loop = fn.body[0]
+        assert isinstance(loop.body[0], ast.BreakStmt)
+        assert isinstance(loop.body[1], ast.ContinueStmt)
+
+    def test_call_statement(self):
+        stmt = parse_fn("g();", header="fn f(): void").body[0]
+        assert isinstance(stmt, ast.ExprStmt)
+        assert isinstance(stmt.expr, ast.Call)
+
+    def test_missing_semicolon_rejected(self):
+        with pytest.raises(ParseError):
+            parse_fn("let x: int = 1")
+
+    def test_unterminated_block_rejected(self):
+        with pytest.raises(ParseError):
+            parse_source("fn f(): void { let x: int = 1;")
+
+    def test_bare_expression_statement_rejected(self):
+        # Only calls are allowed in statement position.
+        with pytest.raises(ParseError):
+            parse_fn("let x: int = 1; x;")
+
+
+class TestExpressions:
+    def test_precedence_mul_over_add(self):
+        expr = parse_expr("1 + 2 * 3")
+        assert isinstance(expr, ast.BinaryOp) and expr.op == "+"
+        assert isinstance(expr.rhs, ast.BinaryOp) and expr.rhs.op == "*"
+
+    def test_left_associativity_of_sub(self):
+        expr = parse_expr("10 - 3 - 2")
+        assert expr.op == "-"
+        assert isinstance(expr.lhs, ast.BinaryOp) and expr.lhs.op == "-"
+
+    def test_parentheses_override_precedence(self):
+        expr = parse_expr("(1 + 2) * 3")
+        assert expr.op == "*"
+        assert isinstance(expr.lhs, ast.BinaryOp) and expr.lhs.op == "+"
+
+    def test_comparison_binds_looser_than_arithmetic(self):
+        fn = parse_fn("if (a + 1 < b * 2) { }", header="fn f(a: int, b: int): void")
+        cond = fn.body[0].condition
+        assert cond.op == "<"
+        assert cond.lhs.op == "+"
+
+    def test_and_binds_tighter_than_or(self):
+        fn = parse_fn(
+            "if (a || b && c) { }",
+            header="fn f(a: bool, b: bool, c: bool): void",
+        )
+        cond = fn.body[0].condition
+        assert cond.op == "||"
+        assert cond.rhs.op == "&&"
+
+    def test_unary_minus(self):
+        expr = parse_expr("-x + 1")
+        assert expr.op == "+"
+        assert isinstance(expr.lhs, ast.UnaryOp) and expr.lhs.op == "-"
+
+    def test_double_negation(self):
+        fn = parse_fn("if (!!a) { }", header="fn f(a: bool): void")
+        cond = fn.body[0].condition
+        assert cond.op == "!" and cond.operand.op == "!"
+
+    def test_array_index_chain(self):
+        expr = parse_expr("a[a[0]]")
+        assert isinstance(expr, ast.ArrayIndex)
+        assert isinstance(expr.index, ast.ArrayIndex)
+
+    def test_len(self):
+        expr = parse_expr("len(a)")
+        assert isinstance(expr, ast.ArrayLength)
+
+    def test_new_array(self):
+        expr = parse_expr("new int[10]")
+        assert isinstance(expr, ast.NewArray)
+
+    def test_call_with_args(self):
+        expr = parse_expr("g(1, x, a[0])")
+        assert isinstance(expr, ast.Call)
+        assert len(expr.args) == 3
+
+    def test_call_no_args(self):
+        expr = parse_expr("g()")
+        assert expr.args == []
+
+    def test_bool_literals(self):
+        assert parse_expr("true").value is True
+        assert parse_expr("false").value is False
+
+    def test_chained_comparison_rejected(self):
+        # MiniJ comparisons are non-associative: a < b < c is a parse error
+        # (the second '<' has no valid continuation).
+        with pytest.raises(ParseError):
+            parse_expr("1 < 2 < 3")
+
+    def test_error_mentions_location(self):
+        with pytest.raises(ParseError) as excinfo:
+            parse_source("fn f(): void {\n let x: int = ;\n}")
+        assert "2:" in str(excinfo.value)

@@ -1,0 +1,88 @@
+"""Profiler and hot-check selection tests."""
+
+from repro.pipeline import compile_source
+from repro.runtime.profiler import collect_profile, find_check, static_check_table
+
+SRC = """
+fn main(): int {
+  let a: int[] = new int[8];
+  let b: int[] = new int[8];
+  let s: int = 0;
+  for (let outer: int = 0; outer < 10; outer = outer + 1) {
+    for (let i: int = 0; i < len(a); i = i + 1) {
+      s = s + a[i];
+    }
+  }
+  s = s + b[0];
+  return s;
+}
+"""
+
+
+def profiled():
+    program = compile_source(SRC)
+    return program, collect_profile(program, "main")
+
+
+class TestProfile:
+    def test_check_counts_reflect_execution(self):
+        _, profile = profiled()
+        counts = sorted(profile.check_counts.values(), reverse=True)
+        assert counts[0] == 80  # inner loop body: 10 x 8
+        assert 1 in counts  # the single b[0] access
+
+    def test_hot_checks_ordering(self):
+        _, profile = profiled()
+        hot = profile.hot_checks()
+        freqs = [profile.check_frequency(c) for c in hot]
+        assert freqs == sorted(freqs, reverse=True)
+
+    def test_hot_checks_threshold(self):
+        _, profile = profiled()
+        hot = profile.hot_checks(threshold=10)
+        assert all(profile.check_frequency(c) >= 10 for c in hot)
+
+    def test_hottest_fraction_covers(self):
+        _, profile = profiled()
+        selected = profile.hottest_fraction(0.9)
+        covered = sum(profile.check_frequency(c) for c in selected)
+        total = sum(profile.check_counts.values())
+        assert covered >= 0.9 * total
+        # The hot set should exclude the cold b[0] checks.
+        assert len(selected) < len(profile.check_counts)
+
+    def test_hottest_fraction_empty_profile(self):
+        program = compile_source("fn main(): int { return 0; }")
+        profile = collect_profile(program, "main")
+        assert profile.hottest_fraction(0.9) == []
+
+    def test_edge_frequencies(self):
+        _, profile = profiled()
+        loop_edges = [
+            count for key, count in profile.edge_counts.items() if count >= 80
+        ]
+        assert loop_edges
+
+    def test_block_frequency_accessor(self):
+        program, profile = profiled()
+        fn = program.function("main")
+        assert profile.block_frequency("main", fn.entry) == 1
+
+
+class TestCheckTable:
+    def test_static_table_covers_all_checks(self):
+        program, _ = profiled()
+        table = static_check_table(program)
+        ids = {c.check_id for c in program.all_checks()}
+        assert set(table) == ids
+
+    def test_find_check(self):
+        program, _ = profiled()
+        some_id = next(iter({c.check_id for c in program.all_checks()}))
+        location = find_check(program, some_id)
+        assert location is not None
+        assert location[0] == "main"
+
+    def test_find_missing_check(self):
+        program, _ = profiled()
+        assert find_check(program, 10_000) is None

@@ -1,0 +1,205 @@
+"""Type checker and scoping tests."""
+
+import pytest
+
+from repro.errors import TypeCheckError
+from repro.frontend.parser import parse_source
+from repro.frontend.semantic import check_program
+from repro.frontend.types import BOOL, INT, INT_ARRAY
+
+
+def check(source: str):
+    return check_program(parse_source(source))
+
+
+def check_fn(body: str, header: str = "fn f(): void"):
+    return check(f"{header} {{ {body} }}")
+
+
+def expect_error(source: str, fragment: str):
+    with pytest.raises(TypeCheckError) as excinfo:
+        check(source)
+    assert fragment in str(excinfo.value)
+
+
+class TestDeclarations:
+    def test_duplicate_function(self):
+        expect_error("fn f(): void { } fn f(): void { }", "duplicate function")
+
+    def test_duplicate_parameter(self):
+        expect_error("fn f(a: int, a: int): void { }", "duplicate parameter")
+
+    def test_variable_redeclaration_rejected(self):
+        expect_error(
+            "fn f(): void { let x: int = 1; let x: int = 2; }",
+            "already declared",
+        )
+
+    def test_shadowing_in_nested_block_rejected(self):
+        expect_error(
+            "fn f(): void { let x: int = 1; if (true) { let x: int = 2; } }",
+            "already declared",
+        )
+
+    def test_sequential_scopes_allow_same_name(self):
+        # The first loop's `i` goes out of scope before the second.
+        check_fn(
+            "for (let i: int = 0; i < 3; i = i + 1) { } "
+            "for (let i: int = 0; i < 3; i = i + 1) { }"
+        )
+
+    def test_param_shadowing_rejected(self):
+        expect_error(
+            "fn f(x: int): void { let x: int = 1; }", "already declared"
+        )
+
+
+class TestExpressionTypes:
+    def test_arith_requires_int(self):
+        expect_error("fn f(): void { let x: int = true + 1; }", "'+'")
+
+    def test_comparison_yields_bool(self):
+        check_fn("let b: bool = 1 < 2;")
+
+    def test_comparison_requires_int(self):
+        expect_error("fn f(): void { let b: bool = true < false; }", "'<'")
+
+    def test_eq_on_bools_allowed(self):
+        check_fn("let b: bool = true == false;")
+
+    def test_eq_on_arrays_rejected(self):
+        expect_error(
+            "fn f(a: int[], b: int[]): void { let c: bool = a == b; }", "'=='"
+        )
+
+    def test_logical_ops_require_bool(self):
+        expect_error("fn f(): void { let b: bool = 1 && true; }", "'&&'")
+
+    def test_not_requires_bool(self):
+        expect_error("fn f(): void { let b: bool = !3; }", "'!'")
+
+    def test_unary_minus_requires_int(self):
+        expect_error("fn f(): void { let x: int = -true; }", "unary '-'")
+
+    def test_index_requires_array(self):
+        expect_error("fn f(x: int): void { let v: int = x[0]; }", "non-array")
+
+    def test_index_must_be_int(self):
+        expect_error(
+            "fn f(a: int[]): void { let v: int = a[true]; }", "index must be int"
+        )
+
+    def test_len_requires_array(self):
+        expect_error("fn f(x: int): void { let n: int = len(x); }", "len()")
+
+    def test_new_array_length_must_be_int(self):
+        expect_error(
+            "fn f(): void { let a: int[] = new int[true]; }", "length must be int"
+        )
+
+    def test_expr_types_recorded(self):
+        info = check("fn f(a: int[]): void { let v: int = a[0]; let b: bool = v < 1; }")
+        recorded = set(info.expr_types.values())
+        assert INT in recorded and BOOL in recorded and INT_ARRAY in recorded
+
+
+class TestStatements:
+    def test_let_type_mismatch(self):
+        expect_error("fn f(): void { let x: int = true; }", "cannot initialize")
+
+    def test_assign_undeclared(self):
+        expect_error("fn f(): void { x = 1; }", "undeclared variable")
+
+    def test_assign_type_mismatch(self):
+        expect_error(
+            "fn f(): void { let x: int = 1; x = true; }", "cannot assign"
+        )
+
+    def test_use_before_declaration(self):
+        expect_error("fn f(): void { let y: int = x; let x: int = 1; }", "undeclared")
+
+    def test_condition_must_be_bool(self):
+        expect_error("fn f(): void { if (1) { } }", "must be bool")
+
+    def test_while_condition_must_be_bool(self):
+        expect_error("fn f(): void { while (1) { } }", "must be bool")
+
+    def test_store_value_must_be_int(self):
+        expect_error(
+            "fn f(a: int[]): void { a[0] = true; }", "element must be int"
+        )
+
+    def test_break_outside_loop(self):
+        expect_error("fn f(): void { break; }", "'break'")
+
+    def test_continue_outside_loop(self):
+        expect_error("fn f(): void { continue; }", "'continue'")
+
+    def test_let_scoped_to_block(self):
+        expect_error(
+            "fn f(): void { if (true) { let x: int = 1; } x = 2; }", "undeclared"
+        )
+
+
+class TestCalls:
+    def test_unknown_callee(self):
+        expect_error("fn f(): void { g(); }", "unknown function")
+
+    def test_arity_mismatch(self):
+        expect_error(
+            "fn g(a: int): void { } fn f(): void { g(); }", "expects 1 argument"
+        )
+
+    def test_argument_type_mismatch(self):
+        expect_error(
+            "fn g(a: int): void { } fn f(): void { g(true); }", "argument to 'g'"
+        )
+
+    def test_void_call_as_value_rejected(self):
+        expect_error(
+            "fn g(): void { } fn f(): void { let x: int = g(); }",
+            "used as a value",
+        )
+
+    def test_forward_reference_allowed(self):
+        check("fn f(): int { return g(); } fn g(): int { return 1; }")
+
+    def test_recursion_allowed(self):
+        check("fn f(n: int): int { if (n <= 0) { return 0; } return f(n - 1); }")
+
+
+class TestReturnPaths:
+    def test_missing_return_rejected(self):
+        expect_error("fn f(): int { let x: int = 1; }", "without returning")
+
+    def test_return_in_both_branches_accepted(self):
+        check("fn f(c: bool): int { if (c) { return 1; } else { return 2; } }")
+
+    def test_return_only_in_then_rejected(self):
+        expect_error("fn f(c: bool): int { if (c) { return 1; } }", "without returning")
+
+    def test_infinite_loop_counts_as_return(self):
+        check("fn f(): int { while (true) { } }")
+
+    def test_infinite_loop_with_break_rejected(self):
+        expect_error(
+            "fn f(c: bool): int { while (true) { if (c) { break; } } }",
+            "without returning",
+        )
+
+    def test_void_function_needs_no_return(self):
+        check("fn f(): void { let x: int = 1; }")
+
+    def test_return_value_from_void_rejected(self):
+        expect_error("fn f(): void { return 1; }", "void function")
+
+    def test_bare_return_from_int_rejected(self):
+        expect_error("fn f(): int { return; }", "return without value")
+
+    def test_return_type_mismatch(self):
+        expect_error("fn f(): int { return true; }", "return type mismatch")
+
+    def test_var_types_recorded(self):
+        info = check("fn f(a: int[]): void { let n: int = len(a); }")
+        assert info.var_type("f", "a") is INT_ARRAY
+        assert info.var_type("f", "n") is INT

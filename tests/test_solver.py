@@ -1,0 +1,289 @@
+"""Demand-driven solver (Figure 5) tests on hand-built inequality graphs."""
+
+from repro.core.graph import InequalityGraph, const_node, len_node, var_node
+from repro.core.lattice import ProofResult, join_all, meet_all
+from repro.core.solver import DemandProver, demand_prove
+
+A = len_node("A")
+
+
+def prove(graph, source, target, budget):
+    return demand_prove(graph, source, target, budget)
+
+
+class TestLattice:
+    def test_ordering(self):
+        assert ProofResult.TRUE.meet(ProofResult.REDUCED) is ProofResult.REDUCED
+        assert ProofResult.REDUCED.meet(ProofResult.FALSE) is ProofResult.FALSE
+        assert ProofResult.TRUE.join(ProofResult.FALSE) is ProofResult.TRUE
+        assert ProofResult.REDUCED.join(ProofResult.FALSE) is ProofResult.REDUCED
+
+    def test_proven(self):
+        assert ProofResult.TRUE.proven
+        assert ProofResult.REDUCED.proven
+        assert not ProofResult.FALSE.proven
+
+    def test_meet_all_join_all(self):
+        assert meet_all([]) is ProofResult.TRUE
+        assert join_all([]) is ProofResult.FALSE
+        assert meet_all([ProofResult.TRUE, ProofResult.FALSE]) is ProofResult.FALSE
+        assert join_all([ProofResult.FALSE, ProofResult.REDUCED]) is ProofResult.REDUCED
+
+
+class TestSimplePaths:
+    def test_direct_edge_within_budget(self):
+        graph = InequalityGraph()
+        graph.add_edge(A, var_node("x"), -1)  # x <= len(A) - 1
+        assert prove(graph, A, var_node("x"), -1).proven
+
+    def test_direct_edge_exceeding_budget(self):
+        graph = InequalityGraph()
+        graph.add_edge(A, var_node("x"), 0)  # only x <= len(A)
+        assert not prove(graph, A, var_node("x"), -1).proven
+
+    def test_chain_accumulates_weights(self):
+        graph = InequalityGraph()
+        graph.add_edge(A, var_node("n"), 0)
+        graph.add_edge(var_node("n"), var_node("i"), -2)
+        assert prove(graph, A, var_node("i"), -1).proven
+        assert prove(graph, A, var_node("i"), -2).proven
+        assert not prove(graph, A, var_node("i"), -3).proven
+
+    def test_source_equals_target(self):
+        graph = InequalityGraph()
+        assert prove(graph, A, A, 0).proven
+        assert prove(graph, A, A, 5).proven
+        assert not prove(graph, A, A, -1).proven
+
+    def test_disconnected_target_fails(self):
+        graph = InequalityGraph()
+        graph.add_edge(A, var_node("x"), -1)
+        assert not prove(graph, A, var_node("unrelated"), 100).proven
+
+    def test_min_node_any_path_suffices(self):
+        graph = InequalityGraph()
+        graph.add_edge(var_node("bad"), var_node("x"), 0)  # dead end
+        graph.add_edge(A, var_node("x"), -1)
+        assert prove(graph, A, var_node("x"), -1).proven
+
+    def test_min_node_all_paths_failing(self):
+        graph = InequalityGraph()
+        graph.add_edge(var_node("dead1"), var_node("x"), 0)
+        graph.add_edge(var_node("dead2"), var_node("x"), -5)
+        assert not prove(graph, A, var_node("x"), 0).proven
+
+
+class TestPhiSemantics:
+    def test_phi_needs_all_arguments(self):
+        graph = InequalityGraph()
+        phi = var_node("p")
+        graph.mark_phi(phi)
+        graph.add_edge(var_node("a1"), phi, 0)
+        graph.add_edge(var_node("a2"), phi, 0)
+        graph.add_edge(A, var_node("a1"), -1)
+        # a2 unreachable from A: the φ must fail.
+        assert not prove(graph, A, phi, -1).proven
+
+    def test_phi_takes_weakest_argument(self):
+        graph = InequalityGraph()
+        phi = var_node("p")
+        graph.mark_phi(phi)
+        graph.add_edge(var_node("a1"), phi, 0)
+        graph.add_edge(var_node("a2"), phi, 0)
+        graph.add_edge(A, var_node("a1"), -3)
+        graph.add_edge(A, var_node("a2"), -1)
+        assert prove(graph, A, phi, -1).proven
+        assert not prove(graph, A, phi, -2).proven  # weakest arg is -1
+
+
+class TestCycles:
+    def build_loop(self, increment):
+        """φ(entry, back) with back = φ + increment (a loop induction)."""
+        graph = InequalityGraph()
+        phi = var_node("i1")
+        back = var_node("i2")
+        graph.mark_phi(phi)
+        graph.add_edge(var_node("i0"), phi, 0)
+        graph.add_edge(back, phi, 0)
+        graph.add_edge(phi, back, increment)
+        graph.add_edge(A, var_node("i0"), -1)
+        return graph, phi
+
+    def test_amplifying_cycle_fails(self):
+        graph, phi = self.build_loop(increment=1)  # i = i + 1
+        assert not prove(graph, A, phi, -1).proven
+
+    def test_zero_cycle_reduces(self):
+        graph, phi = self.build_loop(increment=0)
+        outcome = prove(graph, A, phi, -1)
+        assert outcome.proven
+        assert outcome.result is ProofResult.REDUCED
+
+    def test_negative_cycle_reduces(self):
+        graph, phi = self.build_loop(increment=-1)  # i = i - 1
+        assert prove(graph, A, phi, -1).proven
+
+    def test_amplifying_cycle_broken_by_min_escape(self):
+        # The running example's j: an incrementing loop var additionally
+        # bounded through a π edge to something reachable from A.
+        graph, phi = self.build_loop(increment=1)
+        pi = var_node("j2")
+        graph.add_edge(phi, pi, 0)        # value flow through π
+        graph.add_edge(var_node("limit"), pi, -1)  # π predicate j2 < limit
+        graph.add_edge(A, var_node("limit"), 0)
+        assert prove(graph, A, pi, -1).proven
+
+    def test_unreachable_cycle_is_not_proven(self):
+        # A φ-cycle with its entry argument NOT connected to the source
+        # must fail even though the cycle itself reduces.
+        graph = InequalityGraph()
+        phi = var_node("p")
+        back = var_node("b")
+        graph.mark_phi(phi)
+        graph.add_edge(var_node("outside"), phi, 0)
+        graph.add_edge(back, phi, 0)
+        graph.add_edge(phi, back, 0)
+        assert not prove(graph, A, phi, 10).proven
+
+
+class TestConstants:
+    def test_const_to_const_arithmetic(self):
+        graph = InequalityGraph()
+        assert prove(graph, const_node(0), const_node(5), 5).proven
+        assert prove(graph, const_node(0), const_node(5), 4).proven is False
+        assert prove(graph, const_node(10), const_node(5), -5).proven
+
+    def test_lower_graph_negated_arithmetic(self):
+        graph = InequalityGraph("lower")
+        # Proving x >= 0 for x = 5 : (-5) - (-0) <= 0.
+        assert prove(graph, const_node(0), const_node(5), 0).proven
+        assert not prove(graph, const_node(0), const_node(-3), 0).proven
+
+    def test_path_through_anchored_const(self):
+        graph = InequalityGraph()
+        # a := new int[10]  gives  10 <= len(a).
+        graph.add_edge(A, const_node(10), 0)
+        # x := 5  gives  x <= 5.
+        graph.add_edge(const_node(5), var_node("x"), 0)
+        # x <= 5 <= 10 - 5 <= len(A) - 5: provable at budget -1.
+        assert prove(graph, A, var_node("x"), -1).proven
+
+    def test_lower_check_via_const_chain(self):
+        graph = InequalityGraph("lower")
+        graph.add_edge(const_node(5), var_node("x"), 0)  # x >= 5
+        assert prove(graph, const_node(0), var_node("x"), 0).proven
+
+
+class TestMemoization:
+    def test_subsumption_true(self):
+        graph = InequalityGraph()
+        graph.add_edge(A, var_node("x"), -2)
+        prover = DemandProver(graph)
+        assert prover.demand_prove(A, var_node("x"), -2).proven
+        steps_before = prover.steps
+        # A weaker query must be answered from the memo.
+        assert prover.demand_prove(A, var_node("x"), -1).proven
+        assert prover.steps == steps_before + 1
+
+    def test_subsumption_false(self):
+        graph = InequalityGraph()
+        graph.add_edge(A, var_node("x"), 0)
+        prover = DemandProver(graph)
+        assert not prover.demand_prove(A, var_node("x"), -1).proven
+        steps_before = prover.steps
+        assert not prover.demand_prove(A, var_node("x"), -2).proven
+        assert prover.steps == steps_before + 1
+
+    def test_steps_counted(self):
+        graph = InequalityGraph()
+        graph.add_edge(A, var_node("n"), 0)
+        graph.add_edge(var_node("n"), var_node("i"), -1)
+        outcome = demand_prove(graph, A, var_node("i"), -1)
+        assert outcome.steps >= 2
+
+
+class TestEdgeFilter:
+    def test_filter_restricts_proof(self):
+        graph = InequalityGraph()
+        graph.add_edge(A, var_node("x"), -1, block="b1")
+        ok = demand_prove(graph, A, var_node("x"), -1, edge_filter=lambda e: e.block == "b1")
+        assert ok.proven
+        blocked = demand_prove(
+            graph, A, var_node("x"), -1, edge_filter=lambda e: e.block == "b2"
+        )
+        assert not blocked.proven
+
+
+class TestPaperFigure4:
+    """The inequality graph of the running example (paper, Figure 4)."""
+
+    def build(self):
+        g = InequalityGraph()
+        # Vertices named as in the paper.
+        st0, st1, st2, st3 = (var_node(f"st{i}") for i in range(4))
+        j0, j1, j2, j3, j4 = (var_node(f"j{i}") for i in range(5))
+        t0 = var_node("t0")
+        limit0, limit1, limit2, limit3, limit4 = (
+            var_node(f"limit{i}") for i in range(5)
+        )
+        length = len_node("A")
+        minus1 = const_node(-1)
+
+        g.mark_phi(st1)
+        g.mark_phi(j1)
+        g.mark_phi(limit1)
+
+        # limit0 := A.length ; st0 := -1.
+        g.add_edge(length, limit0, 0)
+        g.add_edge(minus1, st0, 0)
+        # while-φs.
+        g.add_edge(st0, st1, 0)
+        g.add_edge(st3, st1, 0)
+        g.add_edge(limit0, limit1, 0)
+        g.add_edge(limit3, limit1, 0)
+        # st2 := π(st1) [st1 < limit1] ; limit2 := π(limit1).
+        g.add_edge(st1, st2, 0)
+        g.add_edge(limit2, st2, -1)
+        g.add_edge(limit1, limit2, 0)
+        # st3 := st2 + 1 ; limit3 := limit2 - 1 ; j0 := st3.
+        g.add_edge(st2, st3, 1)
+        g.add_edge(limit2, limit3, -1)
+        g.add_edge(st3, j0, 0)
+        # for-φ.
+        g.add_edge(j0, j1, 0)
+        g.add_edge(j4, j1, 0)
+        # j2 := π(j1) [j1 < limit3] ; limit4 := π(limit3).
+        g.add_edge(j1, j2, 0)
+        g.add_edge(limit4, j2, -1)
+        g.add_edge(limit3, limit4, 0)
+        # j3 := π(j2) [checked] ; t0 := j3 + 1 ; j4 := j3 + 1.
+        g.add_edge(j2, j3, 0)
+        g.add_edge(length, j3, -1)
+        g.add_edge(j3, t0, 1)
+        g.add_edge(j3, j4, 1)
+        return g, length
+
+    def test_check_j2_redundant(self):
+        """Paper: the distance between A.length and j2 is -2."""
+        g, length = self.build()
+        assert demand_prove(g, length, var_node("j2"), -1).proven
+        assert demand_prove(g, length, var_node("j2"), -2).proven
+        assert not demand_prove(g, length, var_node("j2"), -3).proven
+
+    def test_check_t0_redundant(self):
+        """check A[j+1]: t0 <= A.length - 1 via the limit chain."""
+        g, length = self.build()
+        assert demand_prove(g, length, var_node("t0"), -1).proven
+
+    def test_st_amplifying_cycle_alone_insufficient(self):
+        """Without the limit path, st's incrementing cycle proves nothing."""
+        g, length = self.build()
+        # st1 is bounded only through limit2 - 1 via st2's π edge.
+        assert demand_prove(g, length, var_node("st1"), 0).proven
+
+    def test_j1_unbounded_at_strong_budget(self):
+        g, length = self.build()
+        # j1's φ merges j0 and the incremented j4: it is <= A.length - 1
+        # only after the π; j1 itself is <= A.length (weakest argument
+        # bound is j4 = j3+1 <= A.length - 1 + 1).
+        assert demand_prove(g, length, var_node("j1"), 0).proven
