@@ -7,10 +7,44 @@ by the benchmark files.
 
 from __future__ import annotations
 
+import signal
+
 import pytest
 
 from repro.bench.corpus import CORPUS, get
 from repro.bench.harness import BenchResult, run_benchmark
+
+#: Hard wall-clock ceiling per benchmark test.  A solver or interpreter
+#: regression that hangs would otherwise stall the whole suite; with the
+#: alarm it surfaces as one failing test.  Generous because the first test
+#: to request ``corpus_results`` pays for the whole session-scoped sweep.
+BENCH_TIMEOUT_SECONDS = 600
+
+
+@pytest.fixture(autouse=True)
+def per_benchmark_timeout(request):
+    """Fail any benchmark that runs longer than ``BENCH_TIMEOUT_SECONDS``.
+
+    Uses SIGALRM (no external timeout plugin needed); on platforms without
+    it the fixture is a no-op.
+    """
+    if not hasattr(signal, "SIGALRM"):
+        yield
+        return
+
+    def on_timeout(signum, frame):
+        raise TimeoutError(
+            f"benchmark {request.node.name} exceeded "
+            f"{BENCH_TIMEOUT_SECONDS}s wall-clock budget"
+        )
+
+    previous = signal.signal(signal.SIGALRM, on_timeout)
+    signal.alarm(BENCH_TIMEOUT_SECONDS)
+    try:
+        yield
+    finally:
+        signal.alarm(0)
+        signal.signal(signal.SIGALRM, previous)
 
 
 @pytest.fixture(scope="session")

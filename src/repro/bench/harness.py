@@ -20,9 +20,10 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
 from repro.bench.corpus import CORPUS, BenchmarkProgram
-from repro.core.abcd import ABCDConfig, ABCDReport, optimize_program
+from repro.core.abcd import ABCDConfig, ABCDReport
 from repro.ir.function import Program
 from repro.pipeline import clone_program, compile_source
+from repro.robustness.guard import guarded_optimize_program
 from repro.runtime.interpreter import ExecutionStats, run_program
 from repro.runtime.profiler import Profile, collect_profile
 
@@ -145,6 +146,18 @@ class BenchResult:
     def behaviour_preserved(self) -> bool:
         return self.base_value == self.opt_value
 
+    # ------------------------------------------------------------------
+    # Robustness telemetry (pass rollbacks, solver budget exhaustion).
+    # ------------------------------------------------------------------
+
+    @property
+    def pass_rollbacks(self) -> int:
+        return self.report.rollback_count
+
+    @property
+    def budget_exhausted_checks(self) -> int:
+        return self.report.budget_exhausted_count
+
 
 def run_benchmark(
     program: BenchmarkProgram,
@@ -181,7 +194,9 @@ def measure_program(
         config = ABCDConfig()
     if pre:
         config.pre = True
-    report = optimize_program(optimized, config, profile if config.pre else None)
+    report = guarded_optimize_program(
+        optimized, config, profile if config.pre else None
+    )
     opt_result = run_program(optimized, "main", fuel=fuel)
 
     speculative_upper_ids = {
@@ -250,4 +265,10 @@ def format_figure6(results: List[BenchResult]) -> str:
             lines.append(f"{result.name:<18}{frac:>8.1%}{'-':>9}{'-':>9}  {bar}")
     mean = sum(r.dynamic_upper_removed_fraction for r in results) / len(results)
     lines.append(f"{'MEAN':<18}{mean:>8.1%}")
+    rollbacks = sum(r.pass_rollbacks for r in results)
+    exhausted = sum(r.budget_exhausted_checks for r in results)
+    lines.append(
+        f"robustness: {rollbacks} pass rollback(s), "
+        f"{exhausted} budget-exhausted check(s)"
+    )
     return "\n".join(lines)

@@ -18,10 +18,12 @@ import argparse
 import sys
 from typing import List, Optional
 
-from repro.core.abcd import ABCDConfig, optimize_program
-from repro.errors import MiniJRuntimeError, ReproError
+from repro.core.abcd import ABCDConfig
+from repro.core.solver import DEFAULT_MAX_STEPS
+from repro.errors import CompileError, MiniJRuntimeError, ReproError
 from repro.ir.printer import format_function, format_program
 from repro.pipeline import clone_program, compile_source, run
+from repro.robustness.guard import PassGuard, guarded_optimize_program
 from repro.runtime.profiler import collect_profile
 
 
@@ -40,13 +42,44 @@ def _add_compile_flags(parser: argparse.ArgumentParser) -> None:
         action="store_true",
         help="skip copy propagation / constant folding / DCE",
     )
+    parser.add_argument(
+        "--strict",
+        action="store_true",
+        help="turn pass-guard rollbacks into hard errors",
+    )
 
 
-def _compile(args) -> "Program":
+def _add_budget_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--max-steps",
+        type=int,
+        default=DEFAULT_MAX_STEPS,
+        metavar="N",
+        help="solver step budget per proof (exhaustion keeps the check)",
+    )
+    parser.add_argument(
+        "--max-depth",
+        type=int,
+        default=None,
+        metavar="N",
+        help="solver recursion-depth budget per proof",
+    )
+    parser.add_argument(
+        "--deadline",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="wall-clock deadline per proof session",
+    )
+
+
+def _compile(args, guard: Optional[PassGuard] = None) -> "Program":
     return compile_source(
         _read_source(args.file),
         standard_opts=not args.no_std_opts,
         inline=args.inline,
+        guard=guard,
+        strict=getattr(args, "strict", False),
     )
 
 
@@ -57,6 +90,10 @@ def _config_from(args) -> ABCDConfig:
         gvn_mode=getattr(args, "gvn", "consult"),
         allocation_facts=not getattr(args, "no_allocation_facts", False),
         pre=getattr(args, "pre", False),
+        max_steps=getattr(args, "max_steps", DEFAULT_MAX_STEPS),
+        max_depth=getattr(args, "max_depth", None),
+        deadline=getattr(args, "deadline", None),
+        strict=getattr(args, "strict", False),
     )
 
 
@@ -70,7 +107,7 @@ def cmd_run(args) -> int:
     if args.optimize:
         config = _config_from(args)
         profile = collect_profile(program, args.fn, args.args) if config.pre else None
-        optimize_program(program, config, profile)
+        guarded_optimize_program(program, config, profile)
     try:
         result = run(program, args.fn, args.args)
     except MiniJRuntimeError as exc:
@@ -88,13 +125,14 @@ def cmd_run(args) -> int:
 
 
 def cmd_optimize(args) -> int:
-    program = _compile(args)
+    compile_guard = PassGuard(strict=args.strict)
+    program = _compile(args, guard=compile_guard)
     baseline = clone_program(program)
     config = _config_from(args)
     profile = None
     if config.pre:
         profile = collect_profile(program, args.fn)
-    report = optimize_program(program, config, profile)
+    report = guarded_optimize_program(program, config, profile)
 
     print(f"{'check':>6} {'kind':<6} {'function':<16} {'verdict':<8} "
           f"{'steps':>6} {'scope':<7} notes")
@@ -104,6 +142,8 @@ def cmd_optimize(args) -> int:
             notes.append("gvn")
         if analysis.pre_applied:
             notes.append(f"pre({analysis.pre_insertions})")
+        if analysis.budget_exhausted:
+            notes.append("budget!")
         print(
             f"#{analysis.check_id:>5} {analysis.kind:<6} "
             f"{analysis.function:<16} {analysis.result.name:<8} "
@@ -116,6 +156,13 @@ def cmd_optimize(args) -> int:
         f"{report.eliminated_count('lower')}/{report.analyzed_count('lower')} lower); "
         f"mean steps/check: {report.mean_steps:.1f}"
     )
+    rollbacks = compile_guard.rollback_count + report.rollback_count
+    print(
+        f"robustness: {rollbacks} pass rollback(s), "
+        f"{report.budget_exhausted_count} budget-exhausted check(s)"
+    )
+    for failure in list(compile_guard.failures) + list(report.pass_failures):
+        print(f"  rolled back: {failure}")
 
     if args.compare:
         base_stats = run(baseline, args.fn).stats
@@ -197,6 +244,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--optimize", action="store_true", help="run ABCD before executing"
     )
     run_parser.add_argument("--pre", action="store_true", help="enable PRE")
+    _add_budget_flags(run_parser)
     run_parser.set_defaults(handler=cmd_run)
 
     opt_parser = commands.add_parser("optimize", help="run ABCD and report")
@@ -215,6 +263,7 @@ def build_parser() -> argparse.ArgumentParser:
     opt_parser.add_argument(
         "--emit-ir", action="store_true", help="print the optimized IR"
     )
+    _add_budget_flags(opt_parser)
     opt_parser.set_defaults(handler=cmd_optimize)
 
     ir_parser = commands.add_parser("ir", help="print compiled IR")
@@ -238,6 +287,20 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _format_diagnostic(args, exc: ReproError) -> str:
+    """One-line ``file:line:col: message`` diagnostic for user errors.
+
+    :class:`CompileError` already embeds ``line:col:`` in its message, so
+    prefixing the source path yields the canonical compiler format; other
+    :class:`ReproError` subclasses (runtime traps, guard escalations) have
+    no source location and keep the plain ``error:`` prefix.
+    """
+    source_file = getattr(args, "file", None)
+    if isinstance(exc, CompileError) and exc.location is not None and source_file:
+        return f"{source_file}:{exc}"
+    return f"error: {exc}"
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
@@ -247,8 +310,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(f"error: {exc}", file=sys.stderr)
         return 2
     except ReproError as exc:
-        print(f"error: {exc}", file=sys.stderr)
-        return 2
+        print(_format_diagnostic(args, exc), file=sys.stderr)
+        return 1
 
 
 if __name__ == "__main__":

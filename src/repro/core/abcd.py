@@ -25,7 +25,7 @@ from typing import Dict, List, Optional, Sequence, Set
 from repro.core.constraints import GraphBundle, build_graphs
 from repro.core.graph import Edge, InequalityGraph, Node, const_node, len_node, var_node
 from repro.core.lattice import ProofResult
-from repro.core.solver import DemandProver
+from repro.core.solver import DEFAULT_MAX_STEPS, DemandProver
 from repro.ir.function import Function, Program
 from repro.ir.instructions import CheckLower, CheckUpper, Var
 from repro.runtime.profiler import Profile
@@ -62,6 +62,16 @@ class ABCDConfig:
     #: reducing e-SSA to plain SSA value flow (expected: collapse of the
     #: Figure-6 numbers).
     pi_constraints: bool = True
+    #: Resource budgets for every proof session (a JIT must never hang in
+    #: the optimizer).  Exhausting any budget conservatively keeps the
+    #: check and flags ``budget_exhausted`` on its analysis record.
+    max_steps: int = DEFAULT_MAX_STEPS
+    max_depth: Optional[int] = None
+    #: Optional wall-clock deadline (seconds) per proof session.
+    deadline: Optional[float] = None
+    #: Escalate contained pass failures (e.g. a PRE insertion that fails
+    #: verification) into hard errors instead of rolling back.
+    strict: bool = False
 
 
 @dataclass
@@ -80,6 +90,33 @@ class CheckAnalysis:
     via_gvn: bool = False
     pre_applied: bool = False
     pre_insertions: int = 0
+    #: The proof session hit a resource budget (steps/depth/deadline) and
+    #: conservatively kept the check.
+    budget_exhausted: bool = False
+
+
+@dataclass
+class PassFailure:
+    """One detected-and-contained transformation failure.
+
+    Recorded by the pass-guard layer (``repro.robustness.guard``) whenever
+    a transforming pass raised or produced IR that fails verification; the
+    function was rolled back to its pre-pass snapshot.
+    """
+
+    pass_name: str
+    function: str
+    #: "exception" — the pass raised mid-flight;
+    #: "verify" — the pass completed but left malformed IR.
+    stage: str
+    error_type: str
+    message: str
+
+    def __str__(self) -> str:
+        return (
+            f"{self.pass_name}({self.function}): {self.stage} failure "
+            f"[{self.error_type}] {self.message}"
+        )
 
 
 @dataclass
@@ -87,6 +124,9 @@ class ABCDReport:
     """Aggregated outcome of one ``abcd_optimize`` run."""
 
     analyses: List[CheckAnalysis] = field(default_factory=list)
+    #: Robustness telemetry: pass failures contained by rollback during
+    #: this run (one entry per rollback).
+    pass_failures: List[PassFailure] = field(default_factory=list)
 
     @property
     def analyzed(self) -> int:
@@ -121,8 +161,29 @@ class ABCDReport:
     def by_scope(self, scope: str) -> int:
         return sum(1 for a in self.analyses if a.eliminated and a.scope == scope)
 
+    # ------------------------------------------------------------------
+    # Robustness telemetry.
+    # ------------------------------------------------------------------
+
+    @property
+    def rollback_count(self) -> int:
+        """Transformation failures contained by rolling back a snapshot."""
+        return len(self.pass_failures)
+
+    def rollbacks_by_pass(self) -> Dict[str, int]:
+        counts: Dict[str, int] = {}
+        for failure in self.pass_failures:
+            counts[failure.pass_name] = counts.get(failure.pass_name, 0) + 1
+        return counts
+
+    @property
+    def budget_exhausted_count(self) -> int:
+        """Checks kept because a solver resource budget ran out."""
+        return sum(1 for a in self.analyses if a.budget_exhausted)
+
     def merge(self, other: "ABCDReport") -> None:
         self.analyses.extend(other.analyses)
+        self.pass_failures.extend(other.pass_failures)
 
 
 @dataclass
@@ -165,8 +226,6 @@ def optimize_function(
 ) -> ABCDReport:
     """Run ABCD over one e-SSA function, removing redundant checks in
     place, and return the per-check report."""
-    from repro.core.pre import attempt_pre  # local import: pre depends on us
-
     config = config or ABCDConfig()
     report = ABCDReport()
     if fn.ssa_form != "essa":
@@ -199,7 +258,7 @@ def optimize_function(
         target = site.target
 
         started = time.perf_counter()
-        prover = DemandProver(graph)
+        prover = _new_prover(config, graph)
         outcome = prover.demand_prove(source, target, budget)
         analysis = CheckAnalysis(
             check_id=check_id,
@@ -209,22 +268,23 @@ def optimize_function(
             result=outcome.result,
             steps=outcome.steps,
             seconds=0.0,
+            budget_exhausted=outcome.budget_exhausted,
         )
 
         if not outcome.proven and site.kind == "upper" and gvn is not None:
-            if _gvn_retry(bundle, gvn, site, budget):
+            if _gvn_retry(bundle, gvn, site, budget, config):
                 analysis.result = ProofResult.TRUE
                 analysis.via_gvn = True
                 outcome = None  # proof came from the congruent source
 
         if analysis.result.proven:
             analysis.eliminated = True
-            analysis.scope = _classify_scope(graph, source, target, budget, site.block)
+            analysis.scope = _classify_scope(
+                graph, source, target, budget, site.block, config
+            )
             to_remove.append(site)
         elif config.pre and profile is not None:
-            decision = attempt_pre(
-                fn, program, bundle, site, profile, config.pre_gain_ratio
-            )
+            decision = _guarded_pre(fn, program, bundle, site, profile, config, report)
             if decision is not None:
                 analysis.pre_applied = True
                 analysis.pre_insertions = decision.insertion_count
@@ -265,8 +325,90 @@ def _query_for(bundle: GraphBundle, site: _CheckSite):
     return bundle.lower, const_node(0), 0
 
 
+def _new_prover(
+    config: ABCDConfig,
+    graph: InequalityGraph,
+    edge_filter: Optional[callable] = None,
+) -> DemandProver:
+    """A proof session carrying the config's resource budgets."""
+    return DemandProver(
+        graph,
+        edge_filter=edge_filter,
+        max_steps=config.max_steps,
+        max_depth=config.max_depth,
+        deadline=config.deadline,
+    )
+
+
+def _guarded_pre(
+    fn: Function,
+    program: Program,
+    bundle: GraphBundle,
+    site: _CheckSite,
+    profile: Profile,
+    config: ABCDConfig,
+    report: ABCDReport,
+):
+    """Attempt PRE under a targeted guard.
+
+    PRE only appends compensating instructions to predecessor blocks and
+    tags the original check with a guard group, so a failure (an exception
+    mid-transformation or malformed IR afterwards) is undone exactly by
+    truncating those appends and restoring the tag.  The failure is
+    recorded as robustness telemetry and the check simply stays in.
+    """
+    from repro.core.pre import attempt_pre  # local import: pre depends on us
+    from repro.ir.verifier import verify_function
+
+    body_lengths = {label: len(block.body) for label, block in fn.blocks.items()}
+    old_guard_group = site.instr.guard_group
+    try:
+        decision = attempt_pre(
+            fn,
+            program,
+            bundle,
+            site,
+            profile,
+            config.pre_gain_ratio,
+            max_steps=config.max_steps,
+        )
+        changed = any(
+            len(fn.blocks[label].body) != length
+            for label, length in body_lengths.items()
+            if label in fn.blocks
+        )
+        if changed:
+            verify_function(fn)
+        return decision
+    except Exception as exc:  # guard layer: contain anything but escape hatches
+        if config.strict:
+            raise
+        for label, length in body_lengths.items():
+            block = fn.blocks.get(label)
+            if block is not None and len(block.body) > length:
+                del block.body[length:]
+        site.instr.guard_group = old_guard_group
+        from repro.errors import IRVerificationError
+
+        report.pass_failures.append(
+            PassFailure(
+                pass_name="pre",
+                function=fn.name,
+                stage="verify" if isinstance(exc, IRVerificationError) else "exception",
+                error_type=type(exc).__name__,
+                message=str(exc),
+            )
+        )
+        return None
+
+
 def _classify_scope(
-    graph: InequalityGraph, source: Node, target: Node, budget: int, block: str
+    graph: InequalityGraph,
+    source: Node,
+    target: Node,
+    budget: int,
+    block: str,
+    config: ABCDConfig,
 ) -> str:
     """"local" when provable with constraints from the check's block only
     (virtual constant edges, having no block, stay available)."""
@@ -274,7 +416,7 @@ def _classify_scope(
     def same_block(edge: Edge) -> bool:
         return edge.block is None or edge.block == block
 
-    local = DemandProver(graph, edge_filter=same_block)
+    local = _new_prover(config, graph, edge_filter=same_block)
     if local.demand_prove(source, target, budget).proven:
         return "local"
     return "global"
@@ -285,6 +427,7 @@ def _gvn_retry(
     gvn,
     site: _CheckSite,
     budget: int,
+    config: ABCDConfig,
 ) -> bool:
     """Section 7.1 (restricted form): on failure against ``len(A)``, retry
     against the lengths of arrays value-congruent to ``A``."""
@@ -294,7 +437,7 @@ def _gvn_retry(
     for other in sorted(congruent):
         if other == site.array or other not in bundle.array_vars:
             continue
-        prover = DemandProver(bundle.upper)
+        prover = _new_prover(config, bundle.upper)
         if prover.demand_prove(len_node(other), target, budget).proven:
             return True
     return False

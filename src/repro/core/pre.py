@@ -36,7 +36,7 @@ from repro.analysis.dominance import DominatorTree
 from repro.core.constraints import GraphBundle
 from repro.core.graph import InequalityGraph, Node, const_node, len_node, var_node
 from repro.core.lattice import ProofResult
-from repro.core.solver import _Memo
+from repro.core.solver import DEFAULT_MAX_STEPS, _Memo
 from repro.ir.function import Function, Program
 from repro.ir.instructions import (
     BinOp,
@@ -97,11 +97,13 @@ class PREProver:
         fn: Function,
         profile: Profile,
         kind: str,
+        max_steps: int = DEFAULT_MAX_STEPS,
     ) -> None:
         self._graph = graph
         self._fn = fn
         self._profile = profile
         self._kind = kind
+        self._max_steps = max_steps
         self._memo: Dict[Node, _Memo] = {}
         self._active: Dict[Node, int] = {}
         self.steps = 0
@@ -120,7 +122,9 @@ class PREProver:
 
     def _prove(self, a: Node, v: Node, c: int) -> PREValue:
         self.steps += 1
-        if self.steps > 200_000:
+        if self.steps > self._max_steps:
+            # Conservative bail-out: the check simply stays partially
+            # redundant (same fail-safe contract as the main solver).
             return PREValue(ProofResult.FALSE)
 
         memo = self._memo.get(v)
@@ -269,6 +273,7 @@ def attempt_pre(
     site,
     profile: Profile,
     gain_ratio: float,
+    max_steps: int = DEFAULT_MAX_STEPS,
 ) -> Optional[PREDecision]:
     """Try to make ``site``'s check fully redundant via insertion.
 
@@ -280,7 +285,7 @@ def attempt_pre(
     else:
         graph, source, budget = bundle.lower, const_node(0), 0
 
-    prover = PREProver(graph, fn, profile, site.kind)
+    prover = PREProver(graph, fn, profile, site.kind, max_steps=max_steps)
     value = prover.prove(source, site.target, budget)
     if not value.proven or not value.insertions:
         return None

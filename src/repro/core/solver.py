@@ -24,15 +24,28 @@ answers every ``c <= e``; a ``Reduced`` at ``e`` answers ``c >= e``.
 
 ``steps`` counts ``prove()`` invocations — the unit behind the paper's
 "fewer than 10 analysis steps per bounds check" result.
+
+Resource budgets (``max_steps``, ``max_depth``, ``deadline``) bound every
+proof session: a JIT must never hang inside the optimizer, so exhausting
+any budget abandons the proof with the conservative answer ``False``
+("keep the check") and flags ``budget_exhausted`` on the outcome.
 """
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Optional
 
 from repro.core.graph import Edge, InequalityGraph, Node
 from repro.core.lattice import ProofResult
+
+#: Default per-session step budget; generous compared to the paper's
+#: "fewer than 10 steps per check" observation.
+DEFAULT_MAX_STEPS = 200_000
+
+#: How many steps pass between wall-clock deadline checks.
+_DEADLINE_STRIDE = 256
 
 
 @dataclass
@@ -41,6 +54,10 @@ class ProveOutcome:
 
     result: ProofResult
     steps: int
+    #: True when the session abandoned the proof because a resource budget
+    #: (steps, depth, or wall-clock deadline) ran out; the result is then a
+    #: conservative ``False``.
+    budget_exhausted: bool = False
 
     @property
     def proven(self) -> bool:
@@ -88,30 +105,57 @@ class DemandProver:
         self,
         graph: InequalityGraph,
         edge_filter: Optional[Callable[[Edge], bool]] = None,
-        max_steps: int = 200_000,
+        max_steps: int = DEFAULT_MAX_STEPS,
+        max_depth: Optional[int] = None,
+        deadline: Optional[float] = None,
     ) -> None:
         self._graph = graph
         self._edge_filter = edge_filter
         self._max_steps = max_steps
+        self._max_depth = max_depth
+        self._deadline_at = (
+            time.monotonic() + deadline if deadline is not None else None
+        )
         self._memo: Dict[Node, _Memo] = {}
         self._active: Dict[Node, int] = {}
+        self._depth = 0
         self.steps = 0
+        #: Set when any resource budget ran out during this session.
+        self.budget_exhausted = False
+        #: "steps" | "depth" | "deadline" — first budget that ran out.
+        self.exhausted_budget: Optional[str] = None
 
     def demand_prove(self, source: Node, target: Node, budget: int) -> ProveOutcome:
         """Figure 5's ``demandProve``: is ``target - source <= budget``?"""
         result = self._prove(source, target, budget)
-        return ProveOutcome(result, self.steps)
+        return ProveOutcome(result, self.steps, self.budget_exhausted)
 
     # ------------------------------------------------------------------
     # Figure 5's ``prove``.
     # ------------------------------------------------------------------
 
+    def _exhaust(self, which: str) -> ProofResult:
+        # A conservative False is always sound: the check merely stays in.
+        self.budget_exhausted = True
+        if self.exhausted_budget is None:
+            self.exhausted_budget = which
+        return ProofResult.FALSE
+
     def _prove(self, a: Node, v: Node, c: int) -> ProofResult:
         self.steps += 1
         if self.steps > self._max_steps:
             # Defensive fuel: the algorithm terminates on well-formed
-            # graphs, but a conservative False is always sound.
-            return ProofResult.FALSE
+            # graphs, but corrupted graphs or adversarial inputs must not
+            # hang the compiler.
+            return self._exhaust("steps")
+        if self._max_depth is not None and self._depth > self._max_depth:
+            return self._exhaust("depth")
+        if (
+            self._deadline_at is not None
+            and self.steps % _DEADLINE_STRIDE == 0
+            and time.monotonic() > self._deadline_at
+        ):
+            return self._exhaust("deadline")
 
         memo = self._memo.get(v)
         if memo is not None:
@@ -153,11 +197,15 @@ class DemandProver:
             return ProofResult.REDUCED
 
         self._active[v] = c
-        if self._graph.is_phi(v):
-            result = self._merge_phi(a, v, c, in_edges)
-        else:
-            result = self._merge_min(a, v, c, in_edges)
-        del self._active[v]
+        self._depth += 1
+        try:
+            if self._graph.is_phi(v):
+                result = self._merge_phi(a, v, c, in_edges)
+            else:
+                result = self._merge_min(a, v, c, in_edges)
+        finally:
+            self._depth -= 1
+            del self._active[v]
 
         self._memo.setdefault(v, _Memo()).record(c, result)
         return result

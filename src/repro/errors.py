@@ -75,6 +75,21 @@ class IRVerificationError(ReproError):
     """Raised by the IR verifier when a function violates an IR invariant."""
 
 
+class PassGuardError(ReproError):
+    """A sandboxed optimization pass failed while strict mode was on.
+
+    Outside strict mode the pass-guard layer contains the failure: it
+    rolls the function back to its pre-pass snapshot and records a
+    ``PassFailure`` instead of raising.
+    """
+
+
+class SoundnessGateError(ReproError):
+    """The differential soundness gate found an optimized program whose
+    behavior diverges from its unoptimized baseline (strict mode only;
+    otherwise the gate silently reverts to the baseline)."""
+
+
 class MiniJRuntimeError(ReproError):
     """Base class for errors raised while interpreting a MiniJ program."""
 

@@ -1,0 +1,32 @@
+"""Process-global resource limits, managed without leaking.
+
+Both the SSA renaming walk (one frame per dominator-tree node) and
+generated-code execution (one Python frame per MiniJ call) can exceed
+CPython's default recursion limit on deep inputs.  Raising
+``sys.setrecursionlimit`` is a *global* side effect, so it must always be
+paired with a restore — this context manager is the single place that
+pattern lives.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import sys
+from typing import Iterator
+
+
+@contextlib.contextmanager
+def recursion_headroom(needed: int) -> Iterator[None]:
+    """Temporarily ensure the recursion limit is at least ``needed``.
+
+    The previous limit is restored on exit even when the body raises, so
+    the (interpreter-wide) setting never leaks past the work that needed
+    it.  A limit already at or above ``needed`` is left untouched.
+    """
+    old_limit = sys.getrecursionlimit()
+    if old_limit < needed:
+        sys.setrecursionlimit(needed)
+    try:
+        yield
+    finally:
+        sys.setrecursionlimit(old_limit)

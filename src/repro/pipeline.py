@@ -19,13 +19,12 @@ from __future__ import annotations
 import copy
 from typing import Optional, Sequence
 
-from repro.core.abcd import ABCDConfig, ABCDReport, optimize_program
+from repro.core.abcd import ABCDConfig, ABCDReport
 from repro.frontend.parser import parse_source
 from repro.frontend.semantic import check_program
 from repro.ir.function import Program
 from repro.ir.lowering import lower_program
 from repro.ir.verifier import verify_program
-from repro.opt import run_standard_pipeline
 from repro.runtime.interpreter import ExecutionResult, run_program
 from repro.runtime.profiler import Profile, collect_profile
 from repro.ssa.essa import construct_essa
@@ -36,6 +35,8 @@ def compile_source(
     standard_opts: bool = True,
     verify: bool = True,
     inline: bool = False,
+    guard: Optional["PassGuard"] = None,
+    strict: bool = False,
 ) -> Program:
     """Compile MiniJ source to an e-SSA program ready for ABCD.
 
@@ -43,18 +44,30 @@ def compile_source(
     construction — the interprocedural extension the paper lists as
     future infrastructure work (callee array parameters then resolve to
     caller allocations, exposing their length facts to ABCD).
+
+    Every transforming pass runs inside a pass guard (see
+    :mod:`repro.robustness.guard`): a pass that raises or emits malformed
+    IR is rolled back and compilation continues with the unoptimized-but-
+    correct function.  Pass a :class:`PassGuard` to collect the failure
+    telemetry, or ``strict=True`` to turn rollbacks into hard errors.
     """
+    from repro.robustness.guard import PassGuard, guarded_standard_pipeline
+
+    if guard is None:
+        guard = PassGuard(strict=strict)
     ast = parse_source(source)
     info = check_program(ast)
     program = lower_program(ast, info)
     if inline:
         from repro.opt.inline import inline_program
 
-        inline_program(program)
+        guard.run_program_pass(
+            "inline", program, lambda: inline_program(program)
+        )
     for fn in program.functions.values():
         construct_essa(fn)
         if standard_opts:
-            run_standard_pipeline(fn)
+            guarded_standard_pipeline(fn, guard)
     if verify:
         verify_program(program)
     return program
@@ -81,19 +94,31 @@ def abcd(
     profile: Optional[Profile] = None,
     pre: bool = False,
     verify: bool = True,
+    strict: bool = False,
 ) -> ABCDReport:
     """Run the ABCD optimizer over every function of ``program``.
 
     ``pre=True`` is a convenience that flips the config flag (a profile
     must then be supplied).
+
+    Each function is optimized inside a pass guard: if ABCD raises or
+    produces IR that fails verification, that function rolls back to its
+    unoptimized (checked, correct) form and the failure is recorded in
+    ``report.pass_failures`` — the pipeline itself never crashes.  With
+    ``strict=True`` (or ``config.strict``) such rollbacks raise
+    :class:`~repro.errors.PassGuardError` instead.
     """
+    from repro.robustness.guard import guarded_optimize_program
+
     if config is None:
         config = ABCDConfig()
     if pre:
         config.pre = True
+    if strict:
+        config.strict = True
     if config.pre and profile is None:
         raise ValueError("PRE requires a profile (pass profile=...)")
-    report = optimize_program(program, config, profile)
+    report = guarded_optimize_program(program, config, profile)
     if verify:
         verify_program(program)
     return report

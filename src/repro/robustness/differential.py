@@ -1,0 +1,280 @@
+"""Differential soundness gating: optimized vs. unoptimized execution.
+
+The ultimate safety property of ABCD is behavioral: on every input the
+optimized program must produce the same value, trap at the same bounds
+check (same ``check_id``), and raise the same runtime error class as the
+unoptimized program.  This module makes that property executable:
+
+* :func:`execute_outcome` runs one program and captures its observable
+  outcome (value or trap) in a comparable record;
+* :func:`compare_programs` runs base and optimized side by side;
+* :func:`gated_optimize` is the fail-safe entry point: clone, optimize
+  under pass guards, differentially execute, and **revert to the
+  unoptimized program** when behavior diverges — an unsound optimization
+  can then never escape the compiler;
+* :func:`run_corpus_differential` sweeps the Figure-6 ``.mj`` corpus.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+from repro.core.abcd import ABCDConfig, ABCDReport, PassFailure
+from repro.errors import BoundsCheckError, MiniJRuntimeError, SoundnessGateError
+from repro.ir.function import Program
+from repro.runtime.interpreter import run_program
+from repro.runtime.profiler import Profile
+
+#: Differential runs get a bounded fuel so a corrupted optimization that
+#: introduces non-termination still lets the gate reach its verdict.
+DEFAULT_FUEL = 100_000_000
+
+
+@dataclass(frozen=True)
+class ExecutionOutcome:
+    """The observable behavior of one program run.
+
+    ``trap`` is the runtime error class name (``None`` for a normal
+    return); for bounds failures ``check_id``/``index``/``length``/``kind``
+    pin down *which* check fired and with what values — ABCD must never
+    move or change a trap, only remove checks that cannot fire.
+    """
+
+    value: object = None
+    trap: Optional[str] = None
+    trap_message: str = ""
+    check_id: Optional[int] = None
+    index: Optional[int] = None
+    length: Optional[int] = None
+    kind: Optional[str] = None
+
+    def describe(self) -> str:
+        if self.trap is None:
+            return f"returned {self.value!r}"
+        if self.check_id is not None:
+            return (
+                f"trapped {self.trap} at check #{self.check_id} "
+                f"({self.kind}, index {self.index}, length {self.length})"
+            )
+        return f"trapped {self.trap}: {self.trap_message}"
+
+
+def execute_outcome(
+    program: Program,
+    entry: str = "main",
+    args: Sequence = (),
+    fuel: int = DEFAULT_FUEL,
+) -> ExecutionOutcome:
+    """Run ``program`` and capture its observable outcome, trap included."""
+    try:
+        result = run_program(program, entry, args, fuel=fuel)
+    except BoundsCheckError as exc:
+        return ExecutionOutcome(
+            trap=type(exc).__name__,
+            trap_message=str(exc),
+            check_id=exc.check_id,
+            index=exc.index,
+            length=exc.length,
+            kind=exc.kind,
+        )
+    except MiniJRuntimeError as exc:
+        return ExecutionOutcome(trap=type(exc).__name__, trap_message=str(exc))
+    return ExecutionOutcome(value=result.value)
+
+
+@dataclass
+class DifferentialResult:
+    """Verdict of one base-vs-optimized comparison."""
+
+    entry: str
+    args: tuple
+    base: ExecutionOutcome
+    optimized: ExecutionOutcome
+
+    @property
+    def matched(self) -> bool:
+        return self.base == self.optimized
+
+    def explain(self) -> str:
+        if self.matched:
+            return f"{self.entry}{self.args}: identical ({self.base.describe()})"
+        return (
+            f"{self.entry}{self.args}: DIVERGED — base {self.base.describe()}, "
+            f"optimized {self.optimized.describe()}"
+        )
+
+
+class DifferentialMismatch(AssertionError):
+    """Raised by :func:`assert_equivalent` when behavior diverges."""
+
+
+def compare_programs(
+    base: Program,
+    optimized: Program,
+    entry: str = "main",
+    args: Sequence = (),
+    fuel: int = DEFAULT_FUEL,
+) -> DifferentialResult:
+    """Execute both programs on one input and compare outcomes."""
+    return DifferentialResult(
+        entry=entry,
+        args=tuple(args),
+        base=execute_outcome(base, entry, args, fuel),
+        optimized=execute_outcome(optimized, entry, args, fuel),
+    )
+
+
+def assert_equivalent(
+    base: Program,
+    optimized: Program,
+    entry: str = "main",
+    inputs: Sequence[Sequence] = ((),),
+    fuel: int = DEFAULT_FUEL,
+) -> List[DifferentialResult]:
+    """Compare on every input; raise :class:`DifferentialMismatch` on the
+    first divergence.  Returns all (matching) results."""
+    results = []
+    for args in inputs:
+        result = compare_programs(base, optimized, entry, args, fuel)
+        if not result.matched:
+            raise DifferentialMismatch(result.explain())
+        results.append(result)
+    return results
+
+
+# ----------------------------------------------------------------------
+# The gate: optimize, test, keep-or-revert.
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class GatedResult:
+    """Outcome of one :func:`gated_optimize` call."""
+
+    program: Program
+    report: ABCDReport
+    differentials: List[DifferentialResult] = field(default_factory=list)
+    #: True when the gate found a divergence and reverted to the
+    #: unoptimized program.
+    reverted: bool = False
+
+    @property
+    def sound(self) -> bool:
+        return all(result.matched for result in self.differentials)
+
+
+def gated_optimize(
+    program: Program,
+    config: Optional[ABCDConfig] = None,
+    profile: Optional[Profile] = None,
+    entry: str = "main",
+    inputs: Sequence[Sequence] = ((),),
+    fuel: int = DEFAULT_FUEL,
+    strict: bool = False,
+) -> GatedResult:
+    """Optimize ``program`` in place behind the full safety net.
+
+    The optimization runs on a clone under pass guards; the clone is then
+    differentially executed against the original on every input.  Only
+    when all outcomes match is the optimized code committed back into
+    ``program`` — otherwise ``program`` is left untouched (the divergence
+    is recorded as a ``PassFailure`` in the report, or raised as
+    :class:`~repro.errors.SoundnessGateError` in strict mode).
+    """
+    from repro.pipeline import clone_program
+    from repro.robustness.guard import PassGuard, guarded_optimize_program
+
+    if config is None:
+        config = ABCDConfig()
+    if strict:
+        config.strict = True
+
+    candidate = clone_program(program)
+    guard = PassGuard(strict=strict)
+    report = guarded_optimize_program(candidate, config, profile, guard=guard)
+
+    differentials = []
+    reverted = False
+    for args in inputs:
+        result = compare_programs(program, candidate, entry, args, fuel)
+        differentials.append(result)
+        if not result.matched:
+            if strict:
+                raise SoundnessGateError(result.explain())
+            reverted = True
+            break
+
+    if reverted:
+        report.pass_failures.append(
+            PassFailure(
+                pass_name="differential-gate",
+                function=entry,
+                stage="verify",
+                error_type="DifferentialMismatch",
+                message=differentials[-1].explain(),
+            )
+        )
+    else:
+        # Commit: move the optimized bodies into the caller's program
+        # without changing the Program object's identity.
+        program.__dict__.clear()
+        program.__dict__.update(candidate.__dict__)
+
+    return GatedResult(
+        program=program,
+        report=report,
+        differentials=differentials,
+        reverted=reverted,
+    )
+
+
+# ----------------------------------------------------------------------
+# Corpus sweep.
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class CorpusDifferential:
+    """Per-corpus-program differential verdict."""
+
+    name: str
+    result: DifferentialResult
+    report: ABCDReport
+
+    @property
+    def matched(self) -> bool:
+        return self.result.matched
+
+
+def run_corpus_differential(
+    config: Optional[ABCDConfig] = None,
+    pre: bool = True,
+    names: Optional[Sequence[str]] = None,
+    fuel: int = DEFAULT_FUEL,
+) -> List[CorpusDifferential]:
+    """Differentially execute every (or the named) Figure-6 corpus
+    programs, optimized vs. unoptimized."""
+    import dataclasses
+
+    from repro.bench.corpus import CORPUS
+    from repro.pipeline import clone_program, compile_source
+    from repro.robustness.guard import guarded_optimize_program
+    from repro.runtime.profiler import collect_profile
+
+    verdicts = []
+    for program_def in CORPUS:
+        if names is not None and program_def.name not in names:
+            continue
+        compiled = compile_source(program_def.source())
+        cfg = dataclasses.replace(config) if config is not None else ABCDConfig()
+        if pre:
+            cfg.pre = True
+        profile = (
+            collect_profile(compiled, "main", fuel=fuel) if cfg.pre else None
+        )
+        optimized = clone_program(compiled)
+        report = guarded_optimize_program(optimized, cfg, profile)
+        result = compare_programs(compiled, optimized, "main", (), fuel)
+        verdicts.append(CorpusDifferential(program_def.name, result, report))
+    return verdicts

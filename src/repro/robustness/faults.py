@@ -1,0 +1,499 @@
+"""Adversarial fault injection: corrupt the optimizer, prove the net holds.
+
+Each registered fault deliberately breaks one layer of the system the way
+a real bug would — wrong inequality-graph edge weights, poisoned solver
+memo entries, a PRE transformation that forgets its compensating check, an
+opt pass that raises or emits malformed IR.  The harness then runs the
+full fail-safe pipeline under the fault and reports how the safety net
+responded.
+
+Every fault carries its *expected containment*:
+
+* ``"rollback"`` — the pass guard must detect it (exception or verifier
+  failure) and roll the function back;
+* ``"gate"`` — the corruption produces well-formed but *unsound* IR; only
+  the differential soundness gate can catch it, by observing divergent
+  behavior and reverting to the unoptimized program;
+* ``"harmless"`` — the corruption is provably conservative (it can only
+  prevent eliminations, never enable wrong ones), so behavior is
+  preserved with no intervention.
+
+``tests/test_fault_injection.py`` asserts every fault lands in its
+expected bucket and that no fault ever crashes the pipeline or lets a
+behavioral divergence escape.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import dataclasses
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterator, List, Optional, Sequence
+
+from repro.core.abcd import ABCDConfig, ABCDReport
+from repro.core.graph import len_node
+from repro.core.lattice import ProofResult
+from repro.core.solver import ProveOutcome
+
+
+@contextlib.contextmanager
+def _patched(obj, name: str, replacement) -> Iterator[None]:
+    """Temporarily replace ``obj.name`` (module attribute or class
+    method); always restored, even when the body raises."""
+    original = getattr(obj, name)
+    setattr(obj, name, replacement)
+    try:
+        yield
+    finally:
+        setattr(obj, name, original)
+
+
+# ----------------------------------------------------------------------
+# Graph-construction faults (corrupt the bundle ``build_graphs`` returns).
+# ----------------------------------------------------------------------
+
+
+def _corrupting_build_graphs(mutator: Callable) -> contextlib.AbstractContextManager:
+    import repro.core.abcd as abcd_module
+    import repro.core.constraints as constraints_module
+
+    real = constraints_module.build_graphs
+
+    def wrapper(fn, **kwargs):
+        bundle = real(fn, **kwargs)
+        mutator(bundle)
+        return bundle
+
+    # ``abcd`` imported the builder by name, so patch its binding.
+    return _patched(abcd_module, "build_graphs", wrapper)
+
+
+def _tighten_all_weights(bundle) -> None:
+    """Every constraint claims one more than the program guarantees."""
+    for graph in (bundle.upper, bundle.lower):
+        for target, edges in graph._in_edges.items():
+            graph._in_edges[target] = [
+                dataclasses.replace(edge, weight=edge.weight - 1) for edge in edges
+            ]
+
+
+def _drop_min_vertex_edges(bundle) -> None:
+    """Drop one in-edge of every min vertex.
+
+    Min vertices join over alternatives (any constraint suffices), so
+    removing constraints can only *prevent* proofs — provably harmless.
+    """
+    for graph in (bundle.upper, bundle.lower):
+        for target in list(graph._in_edges):
+            if graph.is_phi(target):
+                continue
+            edges = graph._in_edges[target]
+            if len(edges) > 1:
+                graph._in_edges[target] = edges[1:]
+
+
+def _drop_phi_variant_edges(bundle) -> None:
+    """Keep only constant in-edges of φ vertices.
+
+    φ vertices meet over all control-flow paths; hiding the loop-carried
+    (variable) path makes an induction variable look like its initial
+    constant — a classically unsound graph bug.
+    """
+    for graph in (bundle.upper, bundle.lower):
+        for target in list(graph._in_edges):
+            if not graph.is_phi(target):
+                continue
+            edges = graph._in_edges[target]
+            consts = [edge for edge in edges if edge.source.kind == "const"]
+            if consts and len(consts) < len(edges):
+                graph._in_edges[target] = consts
+
+
+def _spurious_length_edges(bundle) -> None:
+    """Claim every variable is strictly below the first array's length."""
+    if not bundle.array_vars:
+        return
+    source = len_node(sorted(bundle.array_vars)[0])
+    graph = bundle.upper
+    for node in list(graph.nodes()):
+        if node.kind == "var":
+            graph.add_edge(source, node, -1, None)
+
+
+# ----------------------------------------------------------------------
+# Solver faults (memoization poisoning, lattice corruption).
+# ----------------------------------------------------------------------
+
+
+def _memo_lookup_poisoned_true() -> contextlib.AbstractContextManager:
+    from repro.core.solver import _Memo
+
+    def poisoned(self, budget):
+        return ProofResult.TRUE
+
+    return _patched(_Memo, "lookup", poisoned)
+
+
+def _memo_lookup_poisoned_false() -> contextlib.AbstractContextManager:
+    from repro.core.solver import _Memo
+
+    def poisoned(self, budget):
+        return ProofResult.FALSE
+
+    return _patched(_Memo, "lookup", poisoned)
+
+
+def _solver_always_true() -> contextlib.AbstractContextManager:
+    import repro.core.abcd as abcd_module
+
+    class AlwaysTrueProver:
+        def __init__(self, graph, edge_filter=None, **kwargs):
+            self.steps = 0
+            self.budget_exhausted = False
+
+        def demand_prove(self, source, target, budget):
+            self.steps += 1
+            return ProveOutcome(ProofResult.TRUE, self.steps)
+
+    return _patched(abcd_module, "DemandProver", AlwaysTrueProver)
+
+
+# ----------------------------------------------------------------------
+# PRE faults (corrupt the compensating-check transformation).
+# ----------------------------------------------------------------------
+
+
+def _pre_skip_insertion() -> contextlib.AbstractContextManager:
+    import repro.core.pre as pre_module
+
+    def skipped(fn, program, site, point, guard_group):
+        return None  # guard flag can now never be raised
+
+    return _patched(pre_module, "_insert_compensating_check", skipped)
+
+
+def _pre_weaken_offset() -> contextlib.AbstractContextManager:
+    import repro.core.pre as pre_module
+
+    real = pre_module._insert_compensating_check
+
+    def weakened(fn, program, site, point, guard_group):
+        weaker = dataclasses.replace(point, offset=point.offset - 2)
+        return real(fn, program, site, weaker, guard_group)
+
+    return _patched(pre_module, "_insert_compensating_check", weakened)
+
+
+# ----------------------------------------------------------------------
+# Opt-pass faults (exceptions mid-flight, malformed IR).
+# ----------------------------------------------------------------------
+
+
+def _opt_pass_raises() -> contextlib.AbstractContextManager:
+    import repro.opt as opt_module
+
+    def crashing(fn):
+        raise RuntimeError("injected fault: copy propagation crashed mid-flight")
+
+    return _patched(opt_module, "propagate_copies", crashing)
+
+
+def _opt_pass_malformed_ir() -> contextlib.AbstractContextManager:
+    import repro.opt as opt_module
+
+    real = opt_module.fold_constants
+
+    def corrupting(fn):
+        changes = real(fn)
+        for label in fn.reachable_blocks():
+            fn.blocks[label].terminator = None  # verifier must reject this
+            break
+        return changes + 1
+
+    return _patched(opt_module, "fold_constants", corrupting)
+
+
+def _abcd_raises() -> contextlib.AbstractContextManager:
+    import repro.core.abcd as abcd_module
+
+    def crashing(fn, **kwargs):
+        raise RuntimeError("injected fault: graph construction crashed")
+
+    return _patched(abcd_module, "build_graphs", crashing)
+
+
+# ----------------------------------------------------------------------
+# Registry.
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One registered fault kind."""
+
+    name: str
+    #: "graph" | "solver" | "pre" | "pass"
+    category: str
+    description: str
+    #: "rollback" | "gate" | "harmless" — expected containment.
+    expect: str
+    #: Scenario key (see :data:`SCENARIOS`).
+    scenario: str
+    inject: Callable[[], contextlib.AbstractContextManager]
+
+
+FAULTS: Dict[str, FaultSpec] = {
+    spec.name: spec
+    for spec in [
+        FaultSpec(
+            "graph-tighten-weights", "graph",
+            "every inequality edge claims 1 more slack than the program has",
+            "gate", "off_by_one",
+            lambda: _corrupting_build_graphs(_tighten_all_weights),
+        ),
+        FaultSpec(
+            "graph-drop-min-edges", "graph",
+            "one constraint dropped from every min vertex (conservative)",
+            "harmless", "off_by_one",
+            lambda: _corrupting_build_graphs(_drop_min_vertex_edges),
+        ),
+        FaultSpec(
+            "graph-drop-phi-variant-edges", "graph",
+            "loop-carried in-edges of phi vertices hidden",
+            "gate", "off_by_one",
+            lambda: _corrupting_build_graphs(_drop_phi_variant_edges),
+        ),
+        FaultSpec(
+            "graph-spurious-length-edge", "graph",
+            "every variable spuriously bounded below the array length",
+            "gate", "off_by_one",
+            lambda: _corrupting_build_graphs(_spurious_length_edges),
+        ),
+        FaultSpec(
+            "solver-memo-poison-true", "solver",
+            "memo lookups answer True regardless of the recorded result",
+            "gate", "diamond",
+            _memo_lookup_poisoned_true,
+        ),
+        FaultSpec(
+            "solver-memo-poison-false", "solver",
+            "memo lookups answer False regardless of the recorded result",
+            "harmless", "off_by_one",
+            _memo_lookup_poisoned_false,
+        ),
+        FaultSpec(
+            "solver-always-true", "solver",
+            "the prover claims every query holds",
+            "gate", "off_by_one",
+            _solver_always_true,
+        ),
+        FaultSpec(
+            "pre-skip-insertion", "pre",
+            "PRE guards the original check but never inserts the "
+            "compensating check",
+            "gate", "pre_trap",
+            _pre_skip_insertion,
+        ),
+        FaultSpec(
+            "pre-weaken-offset", "pre",
+            "compensating checks probe a smaller index than required",
+            "gate", "pre_trap",
+            _pre_weaken_offset,
+        ),
+        FaultSpec(
+            "opt-pass-raises", "pass",
+            "copy propagation raises mid-flight",
+            "rollback", "off_by_one",
+            _opt_pass_raises,
+        ),
+        FaultSpec(
+            "opt-pass-malformed-ir", "pass",
+            "constant folding deletes a block terminator",
+            "rollback", "off_by_one",
+            _opt_pass_malformed_ir,
+        ),
+        FaultSpec(
+            "abcd-raises", "pass",
+            "inequality-graph construction raises inside optimize_function",
+            "rollback", "off_by_one",
+            _abcd_raises,
+        ),
+    ]
+}
+
+
+# ----------------------------------------------------------------------
+# Trial scenarios: small programs whose behavior exposes the corruption.
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """A trial program plus the inputs the differential gate replays."""
+
+    source: str
+    pre: bool = False
+    inputs: Sequence[Sequence] = ((),)
+
+
+SCENARIOS: Dict[str, Scenario] = {
+    # Off-by-one loop: the final iteration's upper check MUST fire, so any
+    # unsound elimination changes observable behavior.
+    "off_by_one": Scenario(
+        source="""
+fn main(): int {
+  let a: int[] = new int[4];
+  let s: int = 0;
+  let i: int = 0;
+  while (i <= len(a)) {
+    a[i] = i;
+    s = s + a[i];
+    i = i + 1;
+  }
+  return s;
+}
+"""
+    ),
+    # Reconvergent inequality-graph diamond: the π vertex for ``a[t]`` has
+    # two in-edges (the source ``t`` and the predicate variable ``u``) and
+    # both paths reach the merge vertex ``t`` — so whichever edge the
+    # solver tries second re-queries ``t`` through the memo, which a
+    # poisoned lookup flips from a recorded False to True, unsoundly
+    # eliminating a check that must trap (a[7], length 3).
+    "diamond": Scenario(
+        source="""
+fn pick(q: int, n: int): int {
+  let a: int[] = new int[n];
+  let t: int = q + 1;
+  let u: int = t + 5;
+  let s: int = 0;
+  if (t < u) {
+    s = a[t];
+  }
+  return s;
+}
+
+fn main(): int {
+  return pick(6, 3);
+}
+"""
+    ),
+    # Loop-invariant check, hot enough for PRE; the second call traps, so
+    # a corrupted compensating check misses a mandatory bounds error.
+    "pre_trap": Scenario(
+        source="""
+fn kernel(a: int[], k: int, n: int): int {
+  let s: int = 0;
+  let r: int = 0;
+  while (r < n) {
+    s = s + a[k];
+    r = r + 1;
+  }
+  return s;
+}
+fn main(): int {
+  let a: int[] = new int[8];
+  let warm: int = kernel(a, 3, 40);
+  return warm + kernel(a, 8, 5);
+}
+""",
+        pre=True,
+    ),
+}
+
+
+# ----------------------------------------------------------------------
+# Trial driver.
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class FaultTrial:
+    """Everything observed while running one fault through the net."""
+
+    fault: FaultSpec
+    crashed: bool = False
+    crash_message: str = ""
+    report: Optional[ABCDReport] = None
+    compile_rollbacks: int = 0
+    gate_reverted: bool = False
+    #: Final program behaves identically to a clean (fault-free) compile.
+    final_matched: bool = False
+    final_detail: str = ""
+
+    @property
+    def rollbacks(self) -> int:
+        contained = self.compile_rollbacks
+        if self.report is not None:
+            contained += self.report.rollback_count
+        return contained
+
+    @property
+    def contained(self) -> bool:
+        """The net held: no crash, and the final program is sound."""
+        return not self.crashed and self.final_matched
+
+
+def run_trial(
+    fault_name: str,
+    config: Optional[ABCDConfig] = None,
+    fuel: int = 50_000_000,
+) -> FaultTrial:
+    """Run one fault through compile → guarded ABCD → differential gate.
+
+    The fault is active for the whole compile-and-optimize span.  The
+    final program (post-gate) is then differentially executed against a
+    clean compile of the same scenario — the ground truth the net must
+    preserve.
+    """
+    from repro.pipeline import compile_source
+    from repro.robustness.differential import compare_programs, gated_optimize
+    from repro.robustness.guard import PassGuard
+    from repro.runtime.profiler import collect_profile
+
+    fault = FAULTS[fault_name]
+    scenario = SCENARIOS[fault.scenario]
+    trial = FaultTrial(fault=fault)
+
+    clean = compile_source(scenario.source)
+
+    try:
+        with fault.inject():
+            guard = PassGuard()
+            program = compile_source(scenario.source, guard=guard)
+            trial.compile_rollbacks = guard.rollback_count
+
+            cfg = dataclasses.replace(config) if config is not None else ABCDConfig()
+            profile = None
+            if scenario.pre:
+                cfg.pre = True
+                profile = collect_profile(
+                    program, "main", fuel=fuel, on_trap="partial"
+                )
+            gated = gated_optimize(
+                program,
+                cfg,
+                profile,
+                entry="main",
+                inputs=scenario.inputs,
+                fuel=fuel,
+            )
+            trial.report = gated.report
+            trial.gate_reverted = gated.reverted
+    except Exception as exc:  # the net failed: a fault escaped as a crash
+        trial.crashed = True
+        trial.crash_message = f"{type(exc).__name__}: {exc}"
+        return trial
+
+    final = compare_programs(clean, program, "main", scenario.inputs[0], fuel)
+    trial.final_matched = final.matched
+    trial.final_detail = final.explain()
+    return trial
+
+
+def run_all_trials(
+    names: Optional[Sequence[str]] = None,
+) -> List[FaultTrial]:
+    """Run every registered fault (or the named subset)."""
+    selected = names if names is not None else list(FAULTS)
+    return [run_trial(name) for name in selected]

@@ -1,0 +1,200 @@
+"""Pass sandboxing: snapshot → transform → verify → keep or roll back.
+
+Every transforming pass (the standard opt suite, ABCD itself, inlining)
+runs inside a :class:`PassGuard`.  The guard deep-copies the function (or
+whole program) first, runs the pass, then re-runs the IR verifier.  If the
+pass raises *or* leaves malformed IR behind, the guard restores the
+snapshot in place, records a structured
+:class:`~repro.core.abcd.PassFailure`, and lets compilation continue with
+the unoptimized-but-correct code — graceful degradation, never a crash.
+
+In ``strict`` mode the guard re-raises as
+:class:`~repro.errors.PassGuardError` instead, turning every contained
+rollback into a hard error (useful in CI and while debugging a pass).
+"""
+
+from __future__ import annotations
+
+import copy
+from typing import Callable, List, Optional, Sequence, TypeVar
+
+from repro.core.abcd import ABCDConfig, ABCDReport, PassFailure, optimize_function
+from repro.errors import IRVerificationError, PassGuardError
+from repro.ir.function import Function, Program
+from repro.ir.verifier import verify_function
+from repro.runtime.profiler import Profile
+
+T = TypeVar("T")
+
+
+def _restore_in_place(target, snapshot) -> None:
+    """Restore ``target`` to ``snapshot`` without changing its identity,
+    so every outstanding reference (pipeline loops, program tables) keeps
+    seeing the rolled-back object."""
+    target.__dict__.clear()
+    target.__dict__.update(snapshot.__dict__)
+
+
+class PassGuard:
+    """Sandbox for transforming passes with rollback-on-failure.
+
+    One guard instance accumulates the failures of a whole compilation, so
+    callers get a single telemetry stream (``guard.failures``) across all
+    passes and functions.
+    """
+
+    def __init__(self, strict: bool = False) -> None:
+        self.strict = strict
+        self.failures: List[PassFailure] = []
+
+    # ------------------------------------------------------------------
+    # Core protocol.
+    # ------------------------------------------------------------------
+
+    def run_function_pass(
+        self,
+        pass_name: str,
+        fn: Function,
+        action: Callable[[], T],
+        verify: bool = True,
+    ) -> Optional[T]:
+        """Run ``action`` (which mutates ``fn``) under the guard.
+
+        Returns the action's result, or ``None`` when the pass failed and
+        ``fn`` was rolled back to its pre-pass state.
+        """
+        snapshot = copy.deepcopy(fn)
+        try:
+            result = action()
+            if verify:
+                verify_function(fn)
+            return result
+        except Exception as exc:
+            # Restore before the strict-mode escalation so even a hard
+            # error leaves the function in its consistent pre-pass state.
+            _restore_in_place(fn, snapshot)
+            self.contain(pass_name, fn.name, exc)
+            return None
+
+    def run_program_pass(
+        self,
+        pass_name: str,
+        program: Program,
+        action: Callable[[], T],
+        verify: bool = True,
+    ) -> Optional[T]:
+        """Like :meth:`run_function_pass` for whole-program transforms
+        (inlining); rollback restores every function."""
+        snapshot = copy.deepcopy(program)
+        try:
+            result = action()
+            if verify:
+                for fn in program.functions.values():
+                    verify_function(fn)
+            return result
+        except Exception as exc:
+            _restore_in_place(program, snapshot)
+            self.contain(pass_name, "<program>", exc)
+            return None
+
+    # ------------------------------------------------------------------
+    # Failure accounting.
+    # ------------------------------------------------------------------
+
+    def contain(self, pass_name: str, function: str, exc: Exception) -> None:
+        """Record one contained failure (or escalate in strict mode).
+
+        The caller is responsible for having rolled back already — this
+        only does the bookkeeping, so drivers with cheaper-than-deepcopy
+        rollback strategies can reuse the guard's telemetry and strict
+        semantics.
+        """
+        failure = PassFailure(
+            pass_name=pass_name,
+            function=function,
+            stage="verify" if isinstance(exc, IRVerificationError) else "exception",
+            error_type=type(exc).__name__,
+            message=str(exc),
+        )
+        if self.strict:
+            raise PassGuardError(str(failure)) from exc
+        self.failures.append(failure)
+
+    @property
+    def rollback_count(self) -> int:
+        return len(self.failures)
+
+
+# ----------------------------------------------------------------------
+# Guarded drivers for the pipeline.
+# ----------------------------------------------------------------------
+
+
+def guarded_standard_pipeline(
+    fn: Function,
+    guard: PassGuard,
+    max_rounds: int = 4,
+) -> int:
+    """The standard opt suite under the guard.
+
+    One snapshot and one verification per round (not per pass) keeps the
+    sandbox overhead low; an exception is still attributed to the pass
+    that raised it, while malformed IR discovered by the round-end
+    verification is attributed to the round.  Either way the whole round
+    rolls back and iteration stops — the function simply stays at its
+    last-known-good optimization level.
+    """
+    import repro.opt as opt
+
+    total = 0
+    for _ in range(max_rounds):
+        snapshot = copy.deepcopy(fn)
+        pass_name = "standard-pipeline"
+        try:
+            changes = 0
+            for pass_name, transform in (
+                ("copy-propagation", opt.propagate_copies),
+                ("constant-folding", opt.fold_constants),
+                ("dce", opt.eliminate_dead_code),
+            ):
+                changes += transform(fn)
+            pass_name = "standard-pipeline-verify"
+            verify_function(fn)
+        except Exception as exc:
+            _restore_in_place(fn, snapshot)
+            guard.contain(pass_name, fn.name, exc)
+            break
+        total += changes
+        if changes == 0:
+            break
+    return total
+
+
+def guarded_optimize_program(
+    program: Program,
+    config: Optional[ABCDConfig] = None,
+    profile: Optional[Profile] = None,
+    functions: Optional[Sequence[str]] = None,
+    guard: Optional[PassGuard] = None,
+) -> ABCDReport:
+    """Run ABCD over every (or the named) functions, each inside the guard.
+
+    A function whose optimization raises or emits malformed IR is rolled
+    back wholesale (keeping its checks — sound) and the failure lands in
+    ``report.pass_failures``; the remaining functions still get optimized.
+    """
+    guard = guard or PassGuard(strict=bool(config and config.strict))
+    already_recorded = len(guard.failures)
+    report = ABCDReport()
+    names = list(functions) if functions is not None else list(program.functions)
+    for name in names:
+        fn = program.functions[name]
+        fn_report = guard.run_function_pass(
+            "abcd", fn, lambda: optimize_function(fn, program, config, profile)
+        )
+        if fn_report is not None:
+            report.merge(fn_report)
+    # Only the failures contained during *this* run (an external guard may
+    # already carry compile-time failures).
+    report.pass_failures.extend(guard.failures[already_recorded:])
+    return report

@@ -323,14 +323,10 @@ class CompiledProgram:
             self._functions[fn.name] = namespace[fn.name]
 
     def run(self, function_name: str = "main", args: Sequence = ()) -> ExecutionResult:
-        import sys
+        from repro.limits import recursion_headroom
 
-        old_limit = sys.getrecursionlimit()
-        sys.setrecursionlimit(max(old_limit, 20_000))
-        try:
+        with recursion_headroom(20_000):
             value = self._functions[function_name](*args)
-        finally:
-            sys.setrecursionlimit(old_limit)
         return ExecutionResult(value, self.stats)
 
 

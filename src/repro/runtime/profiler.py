@@ -67,10 +67,24 @@ def collect_profile(
     function_name: str = "main",
     args: Sequence[Value] = (),
     fuel: int = 50_000_000,
+    on_trap: str = "raise",
 ) -> Profile:
-    """Run the program once with profiling switched on."""
+    """Run the program once with profiling switched on.
+
+    ``on_trap="partial"`` returns the counts gathered up to a runtime trap
+    instead of propagating it — a JIT's training run must never abort the
+    compile, and a partial profile is still a valid (if colder) profile.
+    """
+    if on_trap not in ("raise", "partial"):
+        raise ValueError(f"bad on_trap {on_trap!r}")
+    from repro.errors import MiniJRuntimeError
+
     interp = Interpreter(program, fuel=fuel, record_profile=True)
-    interp.run(function_name, args)
+    try:
+        interp.run(function_name, args)
+    except MiniJRuntimeError:
+        if on_trap == "raise":
+            raise
     stats = interp.stats
     return Profile(
         block_counts=dict(stats.block_counts),

@@ -161,11 +161,9 @@ def _set_dest(instr, new_dest: str) -> None:
 
 def construct_ssa(fn: Function) -> Function:
     """Convert ``fn`` to pruned SSA form in place and return it."""
-    import sys
+    from repro.limits import recursion_headroom
 
     # Dominator-tree renaming recurses once per block; deep CFGs (long
     # straight-line functions) need headroom beyond the default limit.
-    needed = len(fn.blocks) + 1000
-    if sys.getrecursionlimit() < needed:
-        sys.setrecursionlimit(needed)
-    return SSAConstructor(fn).run()
+    with recursion_headroom(len(fn.blocks) + 1000):
+        return SSAConstructor(fn).run()

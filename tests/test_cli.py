@@ -58,8 +58,18 @@ class TestRun:
     def test_compile_error_reported(self, tmp_path, capsys):
         path = tmp_path / "broken.mj"
         path.write_text("fn main(): int { return true; }")
-        assert main(["run", str(path)]) == 2
-        assert "error" in capsys.readouterr().err
+        assert main(["run", str(path)]) == 1
+        err = capsys.readouterr().err
+        # One-line file:line:col: message diagnostic, not a traceback.
+        assert err.startswith(f"{path}:1:")
+        assert "Traceback" not in err
+
+    def test_syntax_error_locates_offending_line(self, tmp_path, capsys):
+        path = tmp_path / "syntax.mj"
+        path.write_text("fn main(): int {\n  let x int = 3;\n  return x;\n}")
+        assert main(["run", str(path)]) == 1
+        err = capsys.readouterr().err
+        assert err.startswith(f"{path}:2:")
 
 
 class TestOptimize:
@@ -104,6 +114,24 @@ fn main(): int {
         assert main(["optimize", str(path), "--pre", "--compare"]) == 0
         out = capsys.readouterr().out
         assert "pre(" in out
+
+    def test_robustness_summary_line(self, source_file, capsys):
+        assert main(["optimize", source_file]) == 0
+        out = capsys.readouterr().out
+        assert "robustness: 0 pass rollback(s), 0 budget-exhausted check(s)" in out
+
+    def test_max_steps_budget_reports_exhaustion(self, source_file, capsys):
+        assert main(["optimize", source_file, "--max-steps", "1"]) == 0
+        out = capsys.readouterr().out
+        # Exhausted proofs keep their checks and are flagged in the table.
+        assert "budget!" in out
+        assert "eliminated 0 of 4 checks" in out
+
+    def test_max_steps_budget_still_executes_correctly(self, source_file, capsys):
+        assert main(["run", source_file, "--optimize", "--max-steps", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "result: 28" in out
+        assert "checks: 32" in out  # nothing proven, every check retained
 
 
 class TestIRAndDot:

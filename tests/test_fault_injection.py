@@ -1,0 +1,132 @@
+"""Fault-injection suite: deliberately break one optimizer layer at a time
+and assert the fail-safe net (pass guards + differential soundness gate)
+contains every fault.
+
+Containment contract, per fault's declared expectation:
+
+* ``rollback`` — the pass guard detects the fault (exception or verifier
+  failure) and rolls the function back; at least one rollback recorded.
+* ``gate`` — the fault yields well-formed but unsound IR that only the
+  differential gate can catch: the gate must revert the optimization.
+* ``harmless`` — the fault is conservative (can only lose eliminations),
+  so neither layer intervenes and behavior is untouched.
+
+In every case the pipeline must not crash and the final program must
+behave identically to a clean (fault-free) compile of the same source.
+"""
+
+import pytest
+
+from repro.robustness import faults
+from repro.robustness.faults import FAULTS, SCENARIOS, run_all_trials, run_trial
+
+ALL_FAULT_NAMES = sorted(FAULTS)
+
+
+def test_fault_registry_covers_required_layers():
+    categories = {spec.category for spec in FAULTS.values()}
+    assert {"graph", "solver", "pre", "pass"} <= categories
+    assert len(FAULTS) >= 8
+
+
+def test_every_fault_names_a_known_scenario():
+    for spec in FAULTS.values():
+        assert spec.scenario in SCENARIOS
+        assert spec.expect in ("rollback", "gate", "harmless")
+
+
+@pytest.mark.parametrize("fault_name", ALL_FAULT_NAMES)
+def test_fault_is_contained(fault_name):
+    trial = run_trial(fault_name)
+    assert not trial.crashed, (
+        f"{fault_name}: pipeline crashed instead of degrading: "
+        f"{trial.crash_message}"
+    )
+    assert trial.final_matched, (
+        f"{fault_name}: optimized program diverged from clean behavior: "
+        f"{trial.final_detail}"
+    )
+
+
+@pytest.mark.parametrize("fault_name", ALL_FAULT_NAMES)
+def test_fault_lands_in_expected_bucket(fault_name):
+    trial = run_trial(fault_name)
+    expect = trial.fault.expect
+    if expect == "rollback":
+        assert trial.rollbacks > 0, f"{fault_name}: expected a pass rollback"
+        assert not trial.gate_reverted
+    elif expect == "gate":
+        assert trial.gate_reverted, (
+            f"{fault_name}: unsound IR escaped the differential gate"
+        )
+    else:  # harmless
+        assert trial.rollbacks == 0, f"{fault_name}: spurious rollback"
+        assert not trial.gate_reverted, f"{fault_name}: spurious gate revert"
+
+
+def test_run_all_trials_summary():
+    trials = run_all_trials()
+    assert len(trials) == len(FAULTS)
+    assert all(t.contained for t in trials)
+
+
+def test_scenarios_trap_without_faults():
+    # The trial scenarios rely on a deterministic bounds trap; make sure a
+    # clean compile+optimize keeps that trap observable (otherwise the
+    # gate-detection assertions above would be vacuous).
+    from repro.pipeline import abcd, compile_source, run
+    from repro.errors import BoundsCheckError
+
+    for name in ("off_by_one", "diamond"):
+        program = compile_source(SCENARIOS[name].source)
+        abcd(program)
+        with pytest.raises(BoundsCheckError):
+            run(program, "main")
+
+
+def test_memo_poison_scenario_actually_exercises_the_memo():
+    # Guard against the diamond scenario silently regressing into one
+    # whose proof never consults the memo (the poison would then test
+    # nothing).
+    from repro.core.solver import _Memo
+    from repro.pipeline import abcd, compile_source
+
+    calls = []
+    original = _Memo.lookup
+
+    def counting(self, budget):
+        calls.append(budget)
+        return original(self, budget)
+
+    _Memo.lookup = counting
+    try:
+        program = compile_source(SCENARIOS["diamond"].source)
+        abcd(program)
+    finally:
+        _Memo.lookup = original
+    assert calls, "diamond scenario no longer reaches a memo lookup"
+
+
+def test_injection_is_scoped():
+    # After a trial the patched modules must be back to their originals —
+    # otherwise one test could corrupt every later one.
+    import repro.core.abcd as abcd_module
+    import repro.core.pre as pre_module
+    from repro.core.solver import DemandProver, _Memo
+
+    before = (
+        abcd_module.build_graphs,
+        abcd_module.DemandProver,
+        pre_module._insert_compensating_check,
+        _Memo.lookup,
+    )
+    for name in ALL_FAULT_NAMES:
+        run_trial(name)
+    after = (
+        abcd_module.build_graphs,
+        abcd_module.DemandProver,
+        pre_module._insert_compensating_check,
+        _Memo.lookup,
+    )
+    assert before == after
+    assert abcd_module.DemandProver is DemandProver
