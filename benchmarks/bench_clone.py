@@ -1,0 +1,64 @@
+"""Micro-benchmark: structural ``Program.clone()`` vs ``copy.deepcopy``.
+
+Guard snapshots and differential cloning used to go through
+``copy.deepcopy``, which walks every object (including shared immutable
+operands and type objects) with memo bookkeeping.  The structural clone
+duplicates only the mutable pieces — blocks, instruction objects, φ
+incoming maps — and shares the frozen ones, so a snapshot of the largest
+corpus program should be an order of magnitude cheaper.
+"""
+
+from __future__ import annotations
+
+import copy
+import time
+from typing import Callable
+
+from repro.bench.corpus import CORPUS
+from repro.ir.printer import format_program
+from repro.pipeline import compile_source
+
+#: Conservative floor — the measured speedup is ~20x; anything below this
+#: means the structural clone has regressed toward a full object walk.
+MIN_SPEEDUP = 3.0
+
+
+def _largest_corpus_program():
+    best = None
+    for program_def in CORPUS:
+        program = compile_source(program_def.source())
+        size = sum(
+            len(list(fn.all_instructions())) for fn in program.functions.values()
+        )
+        if best is None or size > best[1]:
+            best = (program_def.name, size, program)
+    return best
+
+
+def _best_of(action: Callable[[], object], reps: int = 30) -> float:
+    times = []
+    for _ in range(reps):
+        started = time.perf_counter()
+        action()
+        times.append(time.perf_counter() - started)
+    return min(times)
+
+
+def test_structural_clone_beats_deepcopy():
+    name, size, program = _largest_corpus_program()
+    deepcopy_seconds = _best_of(lambda: copy.deepcopy(program))
+    clone_seconds = _best_of(lambda: program.clone())
+    speedup = deepcopy_seconds / clone_seconds
+
+    print(f"\nclone micro-benchmark — largest corpus program: {name} ({size} instrs)")
+    print(f"{'strategy':<12}{'best of 30':>14}")
+    print(f"{'deepcopy':<12}{deepcopy_seconds * 1000:>12.3f}ms")
+    print(f"{'clone':<12}{clone_seconds * 1000:>12.3f}ms")
+    print(f"speedup: {speedup:.1f}x")
+
+    # The snapshot must be byte-identical in IR terms, not just faster.
+    assert format_program(program.clone()) == format_program(program)
+    assert speedup > MIN_SPEEDUP, (
+        f"structural clone only {speedup:.1f}x faster than deepcopy "
+        f"(expected > {MIN_SPEEDUP}x)"
+    )

@@ -17,25 +17,39 @@ scratch:
   and models check cost;
 * ``repro.baselines`` — value-range analysis, the classic full-redundancy
   competitor;
+* ``repro.passes`` — the pass-manager layer: compilation sessions, the
+  cached analysis manager, and the unified pass registry every driver
+  shares;
 * ``repro.bench`` — the benchmark corpus and the harness regenerating the
   paper's evaluation.
 
 Quick start::
 
+    from repro import CompilationSession, run
+
+    session = CompilationSession()
+    program = session.compile(open("prog.mj").read())
+    report = session.optimize(program)
+    print(report.eliminated_count("upper"), "upper checks removed")
+    print(session.stats.format_table())   # per-pass timing + cache stats
+    print(run(program, "main").value)
+
+The one-shot helpers remain::
+
     from repro import compile_source, abcd, run
 
     program = compile_source(open("prog.mj").read())
     report = abcd(program)
-    print(report.eliminated_count("upper"), "upper checks removed")
-    print(run(program, "main").value)
 """
 
 from repro.core.abcd import ABCDConfig, ABCDReport
+from repro.passes.session import CompilationSession
 from repro.pipeline import abcd, clone_program, compile_source, profile, run
 
 __version__ = "1.0.0"
 
 __all__ = [
+    "CompilationSession",
     "compile_source",
     "clone_program",
     "profile",

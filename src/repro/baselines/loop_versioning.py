@@ -111,27 +111,36 @@ class _LoopPlan:
         return [c.check for c in self.uppers] + [c.check for c in self.lowers]
 
 
-def version_loops(fn: Function, program: Program) -> VersioningReport:
-    """Apply loop versioning to one non-SSA function in place."""
+def version_loops(fn: Function, program: Program, analysis=None) -> VersioningReport:
+    """Apply loop versioning to one non-SSA function in place.
+
+    ``analysis`` (an :class:`~repro.passes.analysis.AnalysisManager`)
+    serves the natural-loop analysis from the session cache; versioning
+    mutates the CFG, so the function's cached analyses are dropped after
+    any transformation.
+    """
     if fn.ssa_form != "none":
         raise ValueError("loop versioning must run before SSA construction")
     report = VersioningReport()
+    loops = analysis.get("loops", fn) if analysis is not None else find_natural_loops(fn)
     # Plan against a stable snapshot: versioning adds loops (the clones),
     # which must not be re-versioned.
     plans = []
-    for loop in find_natural_loops(fn):
+    for loop in loops:
         plan = _plan_loop(fn, loop)
         if plan is not None and plan.candidate_checks:
             plans.append(plan)
     for plan in plans:
         _apply(fn, program, plan, report)
+    if plans and analysis is not None:
+        analysis.invalidate(fn)
     return report
 
 
-def version_program_loops(program: Program) -> VersioningReport:
+def version_program_loops(program: Program, analysis=None) -> VersioningReport:
     report = VersioningReport()
     for fn in program.functions.values():
-        report.merge(version_loops(fn, program))
+        report.merge(version_loops(fn, program, analysis=analysis))
     return report
 
 

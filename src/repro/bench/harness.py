@@ -22,8 +22,8 @@ from typing import Dict, List, Optional
 from repro.bench.corpus import CORPUS, BenchmarkProgram
 from repro.core.abcd import ABCDConfig, ABCDReport
 from repro.ir.function import Program
-from repro.pipeline import clone_program, compile_source
-from repro.robustness.guard import guarded_optimize_program
+from repro.passes.session import CompilationSession
+from repro.pipeline import clone_program
 from repro.runtime.interpreter import ExecutionStats, run_program
 from repro.runtime.profiler import Profile, collect_profile
 
@@ -40,6 +40,9 @@ class BenchResult:
     base_value: object
     opt_value: object
     profile: Profile
+    #: Per-pass timing / analysis-cache telemetry of the session that
+    #: compiled and optimized this program (``SessionStats.to_json()``).
+    session_stats: Optional[Dict] = None
 
     # ------------------------------------------------------------------
     # Dynamic metrics (Figure 6).
@@ -166,7 +169,8 @@ def run_benchmark(
     fuel: int = 100_000_000,
 ) -> BenchResult:
     """Run the full measurement pipeline for one corpus program."""
-    compiled = compile_source(program.source())
+    session = CompilationSession(config=config)
+    compiled = session.compile(program.source())
     return measure_program(
         compiled,
         name=program.name,
@@ -174,6 +178,7 @@ def run_benchmark(
         config=config,
         pre=pre,
         fuel=fuel,
+        session=session,
     )
 
 
@@ -184,19 +189,23 @@ def measure_program(
     config: Optional[ABCDConfig] = None,
     pre: bool = True,
     fuel: int = 100_000_000,
+    session: Optional[CompilationSession] = None,
 ) -> BenchResult:
-    """Measurement pipeline for an already-compiled program."""
+    """Measurement pipeline for an already-compiled program.
+
+    Pass the :class:`CompilationSession` that compiled ``compiled`` to get
+    combined compile+optimize pass statistics on the result.
+    """
     profile = collect_profile(compiled, "main", fuel=fuel)
     base_result = run_program(compiled, "main", fuel=fuel)
 
     optimized = clone_program(compiled)
-    if config is None:
-        config = ABCDConfig()
+    if session is None:
+        session = CompilationSession(config=config)
+    config = session.config
     if pre:
         config.pre = True
-    report = guarded_optimize_program(
-        optimized, config, profile if config.pre else None
-    )
+    report = session.optimize(optimized, profile=profile if config.pre else None)
     opt_result = run_program(optimized, "main", fuel=fuel)
 
     speculative_upper_ids = {
@@ -215,6 +224,7 @@ def measure_program(
         base_value=base_result.value,
         opt_value=opt_result.value,
         profile=profile,
+        session_stats=session.stats.to_json(),
     )
     result._speculative_upper_ids = speculative_upper_ids
     return result

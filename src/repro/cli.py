@@ -22,6 +22,7 @@ from repro.core.abcd import ABCDConfig
 from repro.core.solver import DEFAULT_MAX_STEPS
 from repro.errors import CompileError, MiniJRuntimeError, ReproError
 from repro.ir.printer import format_function, format_program
+from repro.passes.session import CompilationSession
 from repro.pipeline import clone_program, compile_source, run
 from repro.robustness.guard import PassGuard, guarded_optimize_program
 from repro.runtime.profiler import collect_profile
@@ -125,14 +126,20 @@ def cmd_run(args) -> int:
 
 
 def cmd_optimize(args) -> int:
-    compile_guard = PassGuard(strict=args.strict)
-    program = _compile(args, guard=compile_guard)
+    # One session drives compilation and optimization: both share the
+    # analysis cache, the guard, and the per-pass stats.
+    session = CompilationSession(config=_config_from(args), strict=args.strict)
+    program = session.compile(
+        _read_source(args.file),
+        standard_opts=not args.no_std_opts,
+        inline=args.inline,
+    )
+    compile_failures = list(session.guard.failures)
     baseline = clone_program(program)
-    config = _config_from(args)
     profile = None
-    if config.pre:
+    if session.config.pre:
         profile = collect_profile(program, args.fn)
-    report = guarded_optimize_program(program, config, profile)
+    report = session.optimize(program, profile=profile)
 
     print(f"{'check':>6} {'kind':<6} {'function':<16} {'verdict':<8} "
           f"{'steps':>6} {'scope':<7} notes")
@@ -156,13 +163,16 @@ def cmd_optimize(args) -> int:
         f"{report.eliminated_count('lower')}/{report.analyzed_count('lower')} lower); "
         f"mean steps/check: {report.mean_steps:.1f}"
     )
-    rollbacks = compile_guard.rollback_count + report.rollback_count
+    rollbacks = len(compile_failures) + report.rollback_count
     print(
         f"robustness: {rollbacks} pass rollback(s), "
         f"{report.budget_exhausted_count} budget-exhausted check(s)"
     )
-    for failure in list(compile_guard.failures) + list(report.pass_failures):
+    for failure in compile_failures + list(report.pass_failures):
         print(f"  rolled back: {failure}")
+    if args.time_passes:
+        print()
+        print(session.stats.format_table())
 
     if args.compare:
         base_stats = run(baseline, args.fn).stats
@@ -218,7 +228,27 @@ def cmd_bench(args) -> int:
     if not results:
         print("no matching corpus programs", file=sys.stderr)
         return 1
-    print(format_figure6(results))
+    if args.json:
+        import json
+
+        payload = [
+            {
+                "name": result.name,
+                "category": result.category,
+                "dynamic_upper_removed": result.dynamic_upper_removed_fraction,
+                "dynamic_total_removed": result.dynamic_total_removed_fraction,
+                "cycle_improvement": result.cycle_improvement,
+                "analyzed_checks": result.report.analyzed,
+                "eliminated_checks": result.report.eliminated_count(),
+                "pass_rollbacks": result.pass_rollbacks,
+                "budget_exhausted_checks": result.budget_exhausted_checks,
+                "session_stats": result.session_stats,
+            }
+            for result in results
+        ]
+        print(json.dumps(payload, indent=2))
+    else:
+        print(format_figure6(results))
     return 0
 
 
@@ -263,6 +293,11 @@ def build_parser() -> argparse.ArgumentParser:
     opt_parser.add_argument(
         "--emit-ir", action="store_true", help="print the optimized IR"
     )
+    opt_parser.add_argument(
+        "--time-passes",
+        action="store_true",
+        help="print per-pass timing and analysis-cache statistics",
+    )
     _add_budget_flags(opt_parser)
     opt_parser.set_defaults(handler=cmd_optimize)
 
@@ -282,6 +317,11 @@ def build_parser() -> argparse.ArgumentParser:
     bench_parser = commands.add_parser("bench", help="Figure-6 table")
     bench_parser.add_argument("--names", nargs="*", help="corpus subset")
     bench_parser.add_argument("--no-pre", action="store_true")
+    bench_parser.add_argument(
+        "--json",
+        action="store_true",
+        help="emit machine-readable results including per-pass session stats",
+    )
     bench_parser.set_defaults(handler=cmd_bench)
 
     return parser

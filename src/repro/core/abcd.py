@@ -127,6 +127,10 @@ class ABCDReport:
     #: Robustness telemetry: pass failures contained by rollback during
     #: this run (one entry per rollback).
     pass_failures: List[PassFailure] = field(default_factory=list)
+    #: Per-pass timing and analysis-cache telemetry of the session that
+    #: produced this report (a ``repro.passes.manager.SessionStats``), when
+    #: the run went through the pass manager.
+    session_stats: Optional[object] = None
 
     @property
     def analyzed(self) -> int:
@@ -218,33 +222,61 @@ def _check_sites(fn: Function) -> List[_CheckSite]:
     return sites
 
 
-def optimize_function(
+@dataclass
+class AbcdState:
+    """The outcome of :func:`analyze_checks`, consumed by the ``pre`` and
+    ``check-removal`` passes.
+
+    ``analyses`` holds one :class:`CheckAnalysis` per analyzed check in
+    site order; ``to_remove`` the sites whose checks were proven
+    redundant; ``pre_candidates`` the ``(site, record)`` pairs that failed
+    their proof and are eligible for the Section-6 PRE attempt.
+    """
+
+    bundle: GraphBundle
+    gvn: Optional[object]
+    analyses: List[CheckAnalysis] = field(default_factory=list)
+    to_remove: List[_CheckSite] = field(default_factory=list)
+    pre_candidates: List = field(default_factory=list)
+
+
+def analyze_checks(
     fn: Function,
     program: Program,
     config: Optional[ABCDConfig] = None,
-    profile: Optional[Profile] = None,
-) -> ABCDReport:
-    """Run ABCD over one e-SSA function, removing redundant checks in
-    place, and return the per-check report."""
+    analysis=None,
+) -> AbcdState:
+    """Run the demand-driven proofs over one e-SSA function.
+
+    Pure analysis: the function is not mutated.  ``analysis`` (an
+    :class:`~repro.passes.analysis.AnalysisManager`) serves GVN and
+    dominance results from the session cache.
+    """
     config = config or ABCDConfig()
-    report = ABCDReport()
     if fn.ssa_form != "essa":
         raise ValueError(f"{fn.name}: ABCD requires e-SSA form")
     if config.gvn_mode not in ("off", "consult", "augment"):
         raise ValueError(f"bad gvn_mode {config.gvn_mode!r}")
     gvn = None
     if config.gvn_mode != "off":
-        from repro.opt.gvn import value_number
+        if analysis is not None:
+            gvn = analysis.get("gvn", fn)
+        else:
+            from repro.opt.gvn import value_number
 
-        gvn = value_number(fn)
+            gvn = value_number(fn)
+    domtree = None
+    if config.gvn_mode == "augment" and analysis is not None:
+        domtree = analysis.get("domtree", fn)
     bundle = build_graphs(
         fn,
         allocation_facts=config.allocation_facts,
         gvn=gvn if config.gvn_mode == "augment" else None,
         pi_constraints=config.pi_constraints,
+        domtree=domtree,
     )
+    state = AbcdState(bundle=bundle, gvn=gvn)
 
-    to_remove: List[_CheckSite] = []
     for site in _check_sites(fn):
         if site.kind == "upper" and not config.upper:
             continue
@@ -260,7 +292,7 @@ def optimize_function(
         started = time.perf_counter()
         prover = _new_prover(config, graph)
         outcome = prover.demand_prove(source, target, budget)
-        analysis = CheckAnalysis(
+        record = CheckAnalysis(
             check_id=check_id,
             kind=site.kind,
             function=fn.name,
@@ -273,28 +305,83 @@ def optimize_function(
 
         if not outcome.proven and site.kind == "upper" and gvn is not None:
             if _gvn_retry(bundle, gvn, site, budget, config):
-                analysis.result = ProofResult.TRUE
-                analysis.via_gvn = True
-                outcome = None  # proof came from the congruent source
+                record.result = ProofResult.TRUE
+                record.via_gvn = True
 
-        if analysis.result.proven:
-            analysis.eliminated = True
-            analysis.scope = _classify_scope(
+        if record.result.proven:
+            record.eliminated = True
+            record.scope = _classify_scope(
                 graph, source, target, budget, site.block, config
             )
-            to_remove.append(site)
-        elif config.pre and profile is not None:
-            decision = _guarded_pre(fn, program, bundle, site, profile, config, report)
-            if decision is not None:
-                analysis.pre_applied = True
-                analysis.pre_insertions = decision.insertion_count
-                analysis.eliminated = True
-                analysis.scope = "global"
-        analysis.seconds = time.perf_counter() - started
-        report.analyses.append(analysis)
+            state.to_remove.append(site)
+        else:
+            state.pre_candidates.append((site, record))
+        record.seconds = time.perf_counter() - started
+        state.analyses.append(record)
+    return state
 
-    for site in to_remove:
+
+def apply_pre(
+    fn: Function,
+    program: Program,
+    state: AbcdState,
+    config: ABCDConfig,
+    profile: Profile,
+    report: ABCDReport,
+    analysis=None,
+) -> int:
+    """Attempt Section-6 PRE for every unproven check of ``state``.
+
+    Each successful attempt appends compensating checks, tags the original
+    check's guard group, and marks its record eliminated (scope
+    ``"global"``); the check instruction itself stays in place as the
+    guarded check.  Returns how many checks were transformed.
+    """
+    applied = 0
+    for site, record in state.pre_candidates:
+        started = time.perf_counter()
+        decision = _guarded_pre(
+            fn, program, state.bundle, site, profile, config, report, analysis=analysis
+        )
+        record.seconds += time.perf_counter() - started
+        if decision is not None:
+            record.pre_applied = True
+            record.pre_insertions = decision.insertion_count
+            record.eliminated = True
+            record.scope = "global"
+            applied += 1
+    return applied
+
+
+def remove_checks(fn: Function, state: AbcdState) -> int:
+    """Delete the checks ``analyze_checks`` proved redundant; returns the
+    number removed."""
+    for site in state.to_remove:
         _remove_instr(fn, site)
+    return len(state.to_remove)
+
+
+def optimize_function(
+    fn: Function,
+    program: Program,
+    config: Optional[ABCDConfig] = None,
+    profile: Optional[Profile] = None,
+    analysis=None,
+) -> ABCDReport:
+    """Run ABCD over one e-SSA function, removing redundant checks in
+    place, and return the per-check report.
+
+    Convenience wrapper over the three registered passes —
+    :func:`analyze_checks`, :func:`apply_pre`, :func:`remove_checks` —
+    for callers not driving a full pass-manager session.
+    """
+    config = config or ABCDConfig()
+    report = ABCDReport()
+    state = analyze_checks(fn, program, config, analysis=analysis)
+    if config.pre and profile is not None:
+        apply_pre(fn, program, state, config, profile, report, analysis=analysis)
+    remove_checks(fn, state)
+    report.analyses.extend(state.analyses)
     return report
 
 
@@ -348,6 +435,7 @@ def _guarded_pre(
     profile: Profile,
     config: ABCDConfig,
     report: ABCDReport,
+    analysis=None,
 ):
     """Attempt PRE under a targeted guard.
 
@@ -371,6 +459,7 @@ def _guarded_pre(
             profile,
             config.pre_gain_ratio,
             max_steps=config.max_steps,
+            domtree=analysis.get("domtree", fn) if analysis is not None else None,
         )
         changed = any(
             len(fn.blocks[label].body) != length

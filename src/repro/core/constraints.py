@@ -82,6 +82,7 @@ def build_graphs(
     allocation_facts: bool = True,
     gvn=None,
     pi_constraints: bool = True,
+    domtree=None,
 ) -> GraphBundle:
     """Build upper and lower inequality graphs for an e-SSA function.
 
@@ -99,14 +100,15 @@ def build_graphs(
     builder = _GraphBuilder(fn, allocation_facts, pi_constraints)
     bundle = builder.build()
     if gvn is not None:
-        _augment_with_gvn(fn, bundle, gvn)
+        _augment_with_gvn(fn, bundle, gvn, domtree=domtree)
     return bundle
 
 
-def _augment_with_gvn(fn: Function, bundle: GraphBundle, gvn) -> None:
-    from repro.analysis.dominance import DominatorTree
+def _augment_with_gvn(fn: Function, bundle: GraphBundle, gvn, domtree=None) -> None:
+    if domtree is None:
+        from repro.analysis.dominance import DominatorTree
 
-    domtree = DominatorTree.compute(fn)
+        domtree = DominatorTree.compute(fn)
     positions = {}
     for label in fn.reachable_blocks():
         for index, instr in enumerate(fn.blocks[label].instructions()):

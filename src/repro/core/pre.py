@@ -274,6 +274,7 @@ def attempt_pre(
     profile: Profile,
     gain_ratio: float,
     max_steps: int = DEFAULT_MAX_STEPS,
+    domtree=None,
 ) -> Optional[PREDecision]:
     """Try to make ``site``'s check fully redundant via insertion.
 
@@ -295,7 +296,7 @@ def attempt_pre(
     insertion_frequency = prover.insertion_cost(value.insertions)
     if check_frequency == 0 or insertion_frequency >= gain_ratio * check_frequency:
         return None
-    if not _insertions_safe(fn, site, value.insertions):
+    if not _insertions_safe(fn, site, value.insertions, domtree=domtree):
         return None
 
     guard_group = program.new_guard_group()
@@ -311,11 +312,12 @@ def attempt_pre(
     )
 
 
-def _insertions_safe(fn: Function, site, insertions) -> bool:
+def _insertions_safe(fn: Function, site, insertions, domtree=None) -> bool:
     """Every compensating check must be expressible at its edge: the
     array variable (for upper checks) must dominate the insertion block,
     and the insertion block must not be the φ block itself."""
-    domtree = DominatorTree.compute(fn)
+    if domtree is None:
+        domtree = DominatorTree.compute(fn)
     if site.kind == "upper":
         array_def = _defining_block(fn, site.array)
         if array_def is None:

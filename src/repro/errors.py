@@ -84,6 +84,17 @@ class PassGuardError(ReproError):
     """
 
 
+class AnalysisInvalidationError(ReproError):
+    """A pass's ``preserves`` declaration was wrong (debug mode only).
+
+    Raised by the :class:`~repro.passes.analysis.AnalysisManager` when its
+    recompute-and-compare check finds that an analysis a pass claimed to
+    preserve no longer matches a fresh computation.  Outside debug mode the
+    manager trusts the declarations and the lie would surface as a stale
+    cache, so the debug check exists to catch the declaration bug early.
+    """
+
+
 class SoundnessGateError(ReproError):
     """The differential soundness gate found an optimized program whose
     behavior diverges from its unoptimized baseline (strict mode only;

@@ -50,6 +50,15 @@ class BasicBlock:
             if term.false_target == old:
                 term.false_target = new
 
+    def clone(self) -> "BasicBlock":
+        """Structural copy: fresh instruction objects, shared operands."""
+        block = BasicBlock(self.label)
+        block.phis = [phi.clone() for phi in self.phis]
+        block.body = [instr.clone() for instr in self.body]
+        if self.terminator is not None:
+            block.terminator = self.terminator.clone()
+        return block
+
     def __repr__(self) -> str:
         return f"BasicBlock({self.label!r}, {len(self.body)} instrs)"
 
@@ -202,6 +211,21 @@ class Function:
                     found.append(instr)
         return found
 
+    def clone(self) -> "Function":
+        """Structural copy of the whole CFG.
+
+        Replaces ``copy.deepcopy`` for guard snapshots and program
+        cloning: instruction objects are duplicated, immutable pieces
+        (types, operand objects, label strings) are shared.
+        """
+        fn = Function(self.name, list(self.params), list(self.param_types), self.return_type)
+        fn.entry = self.entry
+        fn.ssa_form = self.ssa_form
+        fn._next_label = self._next_label
+        fn._next_temp = self._next_temp
+        fn.blocks = {label: block.clone() for label, block in self.blocks.items()}
+        return fn
+
     def __repr__(self) -> str:
         return f"Function({self.name!r}, {len(self.blocks)} blocks)"
 
@@ -238,6 +262,14 @@ class Program:
         for fn in self.functions.values():
             found.extend(fn.checks())
         return found
+
+    def clone(self) -> "Program":
+        """Structural copy of every function plus the global counters."""
+        program = Program()
+        program.functions = {name: fn.clone() for name, fn in self.functions.items()}
+        program._next_check_id = self._next_check_id
+        program._next_guard_group = self._next_guard_group
+        return program
 
     def __repr__(self) -> str:
         return f"Program({sorted(self.functions)})"

@@ -95,6 +95,16 @@ class Instr:
     def is_terminator(self) -> bool:
         return False
 
+    def clone(self) -> "Instr":
+        """Structural copy of this instruction.
+
+        Operands (:class:`Var`/:class:`Const`) are frozen and shared;
+        mutable containers (φ incomings, call argument lists, π
+        predicates) are copied so the clone can be rewritten without
+        aliasing the original.  Much cheaper than ``copy.deepcopy``.
+        """
+        raise NotImplementedError
+
 
 def _rename_operand(op: Operand, mapping: Dict[str, str]) -> Operand:
     if isinstance(op, Var) and op.name in mapping:
@@ -129,6 +139,9 @@ class Copy(Instr):
     def rename_uses(self, mapping: Dict[str, str]) -> None:
         self.src = _rename_operand(self.src, mapping)
 
+    def clone(self) -> "Copy":
+        return Copy(self.dest, self.src)
+
     def __str__(self) -> str:
         return f"{self.dest} := {self.src}"
 
@@ -154,6 +167,9 @@ class BinOp(Instr):
     def rename_uses(self, mapping: Dict[str, str]) -> None:
         self.lhs = _rename_operand(self.lhs, mapping)
         self.rhs = _rename_operand(self.rhs, mapping)
+
+    def clone(self) -> "BinOp":
+        return BinOp(self.dest, self.op, self.lhs, self.rhs)
 
     def __str__(self) -> str:
         return f"{self.dest} := {self.op} {self.lhs}, {self.rhs}"
@@ -182,6 +198,9 @@ class Cmp(Instr):
         self.lhs = _rename_operand(self.lhs, mapping)
         self.rhs = _rename_operand(self.rhs, mapping)
 
+    def clone(self) -> "Cmp":
+        return Cmp(self.dest, self.op, self.lhs, self.rhs)
+
     def __str__(self) -> str:
         return f"{self.dest} := cmp.{self.op} {self.lhs}, {self.rhs}"
 
@@ -207,6 +226,9 @@ class ArrayNew(Instr):
     def rename_uses(self, mapping: Dict[str, str]) -> None:
         self.length = _rename_operand(self.length, mapping)
 
+    def clone(self) -> "ArrayNew":
+        return ArrayNew(self.dest, self.length)
+
     def __str__(self) -> str:
         return f"{self.dest} := newarray {self.length}"
 
@@ -226,6 +248,9 @@ class ArrayLen(Instr):
 
     def rename_uses(self, mapping: Dict[str, str]) -> None:
         self.array = mapping.get(self.array, self.array)
+
+    def clone(self) -> "ArrayLen":
+        return ArrayLen(self.dest, self.array)
 
     def __str__(self) -> str:
         return f"{self.dest} := arraylen {self.array}"
@@ -249,6 +274,9 @@ class ArrayLoad(Instr):
         self.array = mapping.get(self.array, self.array)
         self.index = _rename_operand(self.index, mapping)
 
+    def clone(self) -> "ArrayLoad":
+        return ArrayLoad(self.dest, self.array, self.index)
+
     def __str__(self) -> str:
         return f"{self.dest} := load {self.array}[{self.index}]"
 
@@ -268,6 +296,9 @@ class ArrayStore(Instr):
         self.array = mapping.get(self.array, self.array)
         self.index = _rename_operand(self.index, mapping)
         self.value = _rename_operand(self.value, mapping)
+
+    def clone(self) -> "ArrayStore":
+        return ArrayStore(self.array, self.index, self.value)
 
     def __str__(self) -> str:
         return f"store {self.array}[{self.index}] := {self.value}"
@@ -299,6 +330,9 @@ class CheckLower(Instr):
     def rename_uses(self, mapping: Dict[str, str]) -> None:
         self.index = _rename_operand(self.index, mapping)
 
+    def clone(self) -> "CheckLower":
+        return CheckLower(self.index, self.check_id, self.guard_group)
+
     def __str__(self) -> str:
         guard = f" guard={self.guard_group}" if self.guard_group is not None else ""
         return f"checklower #{self.check_id} {self.index}{guard}"
@@ -319,6 +353,9 @@ class CheckUpper(Instr):
     def rename_uses(self, mapping: Dict[str, str]) -> None:
         self.array = mapping.get(self.array, self.array)
         self.index = _rename_operand(self.index, mapping)
+
+    def clone(self) -> "CheckUpper":
+        return CheckUpper(self.array, self.index, self.check_id, self.guard_group)
 
     def __str__(self) -> str:
         guard = f" guard={self.guard_group}" if self.guard_group is not None else ""
@@ -353,6 +390,11 @@ class CheckUnsigned(Instr):
     def rename_uses(self, mapping: Dict[str, str]) -> None:
         self.array = mapping.get(self.array, self.array)
         self.index = _rename_operand(self.index, mapping)
+
+    def clone(self) -> "CheckUnsigned":
+        return CheckUnsigned(
+            self.array, self.index, self.lower_id, self.upper_id, self.guard_group
+        )
 
     def __str__(self) -> str:
         guard = f" guard={self.guard_group}" if self.guard_group is not None else ""
@@ -394,6 +436,11 @@ class SpeculativeCheck(Instr):
         if self.array is not None:
             self.array = mapping.get(self.array, self.array)
 
+    def clone(self) -> "SpeculativeCheck":
+        return SpeculativeCheck(
+            self.kind, self.index, self.guard_group, self.check_id, self.array
+        )
+
     def __str__(self) -> str:
         target = f"{self.array}[{self.index}]" if self.array else f"[{self.index}]"
         return (
@@ -424,6 +471,9 @@ class Call(Instr):
     def rename_uses(self, mapping: Dict[str, str]) -> None:
         self.args = [_rename_operand(arg, mapping) for arg in self.args]
 
+    def clone(self) -> "Call":
+        return Call(self.dest, self.callee, list(self.args))
+
     def __str__(self) -> str:
         args = ", ".join(str(a) for a in self.args)
         prefix = f"{self.dest} := " if self.dest is not None else ""
@@ -445,6 +495,9 @@ class Jump(Instr):
     @property
     def is_terminator(self) -> bool:
         return True
+
+    def clone(self) -> "Jump":
+        return Jump(self.target)
 
     def __str__(self) -> str:
         return f"jump {self.target}"
@@ -469,6 +522,9 @@ class Branch(Instr):
     def is_terminator(self) -> bool:
         return True
 
+    def clone(self) -> "Branch":
+        return Branch(self.cond, self.true_target, self.false_target)
+
     def __str__(self) -> str:
         return f"branch {self.cond} ? {self.true_target} : {self.false_target}"
 
@@ -489,6 +545,9 @@ class Return(Instr):
     @property
     def is_terminator(self) -> bool:
         return True
+
+    def clone(self) -> "Return":
+        return Return(self.value)
 
     def __str__(self) -> str:
         return f"return {self.value}" if self.value is not None else "return"
@@ -523,6 +582,9 @@ class Phi(Instr):
             for label, op in self.incomings.items()
         }
 
+    def clone(self) -> "Phi":
+        return Phi(self.dest, dict(self.incomings))
+
     def __str__(self) -> str:
         inc = ", ".join(f"{label}: {op}" for label, op in sorted(self.incomings.items()))
         return f"{self.dest} := phi({inc})"
@@ -552,6 +614,9 @@ class PiPredicate:
             self.other = _rename_operand(self.other, mapping)
         if self.arraylen_of is not None:
             self.arraylen_of = mapping.get(self.arraylen_of, self.arraylen_of)
+
+    def clone(self) -> "PiPredicate":
+        return PiPredicate(self.rel, self.other, self.arraylen_of)
 
     def __str__(self) -> str:
         if self.arraylen_of is not None:
@@ -586,6 +651,9 @@ class Pi(Instr):
     def rename_uses(self, mapping: Dict[str, str]) -> None:
         self.src = mapping.get(self.src, self.src)
         self.predicate.rename(mapping)
+
+    def clone(self) -> "Pi":
+        return Pi(self.dest, self.src, self.predicate.clone())
 
     def __str__(self) -> str:
         return f"{self.dest} := pi({self.src}) [{self.predicate}]"

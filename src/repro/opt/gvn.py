@@ -60,11 +60,16 @@ class ValueNumbering:
         return {name: self.class_members(name) for name in self.class_of}
 
 
-def value_number(fn: Function) -> ValueNumbering:
-    """Run dominator-order value numbering over an SSA function."""
+def value_number(fn: Function, domtree=None) -> ValueNumbering:
+    """Run dominator-order value numbering over an SSA function.
+
+    Pass a precomputed ``domtree`` (e.g. from the session's
+    AnalysisManager) to avoid recomputing dominance here.
+    """
     if fn.ssa_form == "none":
         raise ValueError("value numbering requires SSA form")
-    domtree = DominatorTree.compute(fn)
+    if domtree is None:
+        domtree = DominatorTree.compute(fn)
 
     class_of: Dict[str, int] = {}
     next_class = [0]

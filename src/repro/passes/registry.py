@@ -1,0 +1,261 @@
+"""The unified pass registry: every transformation as a declared Pass.
+
+This is the single source of truth for pass order and invalidation
+semantics.  ``pipeline.compile_source``/``abcd``, the ``guarded_*``
+helpers, the CLI, and the bench harness all build their pipelines from
+these definitions — there is no second hand-rolled pass sequence
+anywhere.
+
+Invalidation declarations, in brief:
+
+* ``essa`` splits critical edges (a CFG change) but finishes by
+  recomputing dominance on the final CFG through the analysis manager, so
+  the CFG-shape analyses it leaves cached are exactly the ones it
+  preserves; SSA renaming invalidates name-sensitive analyses (liveness,
+  GVN).
+* ``constant-folding`` can fold a constant branch and prune unreachable
+  blocks — it preserves nothing.
+* ``copy-propagation`` and ``dce`` rewrite/remove straight-line
+  instructions only: CFG-shape analyses survive, name/value-sensitive
+  ones do not.
+* ``abcd`` is a pure analysis (``mutates=False``); ``pre`` appends
+  compensating checks without touching the CFG; ``check-removal`` deletes
+  check instructions without touching the CFG.
+
+Transformation functions are looked up through their defining modules at
+call time (``opt.propagate_copies``, not a captured reference) so the
+fault-injection harness — and monkeypatching tests — keep working against
+the module bindings.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.core.abcd import ABCDConfig
+from repro.ir.function import Function
+from repro.passes.manager import FixpointGroup, Pass, PassContext
+
+#: Analyses that only depend on the CFG's shape, not on instruction
+#: contents or variable names.
+_CFG_SHAPE = ("domtree", "frontiers", "loops")
+
+
+class InlinePass(Pass):
+    """Bounded function inlining (whole-program, before e-SSA)."""
+
+    name = "inline"
+    scope = "program"
+    preserves = ()
+
+    def run(self, fn: Optional[Function], ctx: PassContext) -> int:
+        from repro.opt.inline import inline_program
+
+        assert ctx.program is not None
+        return inline_program(ctx.program)
+
+
+class EssaConstructionPass(Pass):
+    """π insertion + pruned SSA renaming (paper Section 3)."""
+
+    name = "essa"
+    preserves = _CFG_SHAPE
+    # Whole-program verification runs at the end of compilation; a second
+    # per-function verify here would double the cost for nothing.
+    verify = False
+
+    def should_run(self, fn: Function, ctx: PassContext) -> bool:
+        return fn.ssa_form == "none"
+
+    def run(self, fn: Function, ctx: PassContext) -> None:
+        from repro.ssa.essa import construct_essa
+
+        construct_essa(fn, analysis=ctx.analysis)
+        return None
+
+
+class _StandardOptPass(Pass):
+    """Shared shape of the standard-suite members (run inside the
+    ``standard-pipeline`` fixpoint group, which owns snapshot/verify)."""
+
+    snapshot = False
+    verify = False
+    #: Name of the transform attribute on ``repro.opt`` (call-time lookup).
+    opt_attr = ""
+
+    def should_run(self, fn: Function, ctx: PassContext) -> bool:
+        # The suite assumes single-assignment form; a function whose e-SSA
+        # construction was rolled back stays untouched.
+        return fn.ssa_form != "none"
+
+    def run(self, fn: Function, ctx: PassContext) -> int:
+        import repro.opt as opt
+
+        return getattr(opt, self.opt_attr)(fn)
+
+
+class CopyPropagationPass(_StandardOptPass):
+    name = "copy-propagation"
+    preserves = _CFG_SHAPE
+    opt_attr = "propagate_copies"
+
+
+class ConstantFoldingPass(_StandardOptPass):
+    name = "constant-folding"
+    preserves = ()  # may fold branches and drop unreachable blocks
+    opt_attr = "fold_constants"
+
+
+class DeadCodeEliminationPass(_StandardOptPass):
+    name = "dce"
+    preserves = _CFG_SHAPE
+    opt_attr = "eliminate_dead_code"
+
+
+class AbcdAnalysisPass(Pass):
+    """The demand-driven proofs (paper Figure 2) — analysis only.
+
+    Builds the inequality graphs, proves each check, and stashes the
+    resulting :class:`~repro.core.abcd.AbcdState` in the context for the
+    ``pre`` and ``check-removal`` passes.  Nothing is mutated, so a crash
+    here needs no rollback — the guard records the failure and the
+    downstream passes simply find no state to act on.
+    """
+
+    name = "abcd"
+    mutates = False
+    snapshot = False
+    verify = False
+
+    def run(self, fn: Function, ctx: PassContext) -> None:
+        from repro.core import abcd as abcd_module
+
+        config = ctx.config or ABCDConfig()
+        state = abcd_module.analyze_checks(
+            fn, ctx.program, config, analysis=ctx.analysis
+        )
+        ctx.state[("abcd", id(fn))] = state
+        return None
+
+
+class PreInsertionPass(Pass):
+    """Section-6 PRE of partially redundant checks.
+
+    Self-guarded: each insertion attempt is individually rolled back on
+    failure inside :func:`repro.core.abcd._guarded_pre` (the failure lands
+    in ``ctx.report.pass_failures`` as pass ``"pre"``), so the manager
+    adds no snapshot/verify of its own.
+    """
+
+    name = "pre"
+    snapshot = False
+    verify = False
+    preserves = _CFG_SHAPE  # appends instructions; never touches the CFG
+
+    def should_run(self, fn: Function, ctx: PassContext) -> bool:
+        state = ctx.state.get(("abcd", id(fn)))
+        return (
+            state is not None
+            and ctx.config is not None
+            and ctx.config.pre
+            and ctx.profile is not None
+            and bool(state.pre_candidates)
+        )
+
+    def run(self, fn: Function, ctx: PassContext) -> int:
+        from repro.core import abcd as abcd_module
+
+        state = ctx.state[("abcd", id(fn))]
+        return abcd_module.apply_pre(
+            fn,
+            ctx.program,
+            state,
+            ctx.config,
+            ctx.profile,
+            ctx.report,
+            analysis=ctx.analysis,
+        )
+
+
+class CheckRemovalPass(Pass):
+    """Delete the checks the analysis proved redundant and publish the
+    per-check records into the context's report.
+
+    Verification happens *inside* the run, before publishing: if removal
+    left malformed IR, the manager rolls the function back and the records
+    are never published — the report stays consistent with the IR.
+    """
+
+    name = "check-removal"
+    verify = False  # verified in run(), before the records are published
+    preserves = _CFG_SHAPE  # removes straight-line instructions only
+
+    def should_run(self, fn: Function, ctx: PassContext) -> bool:
+        return ("abcd", id(fn)) in ctx.state
+
+    def run(self, fn: Function, ctx: PassContext) -> int:
+        from repro.core import abcd as abcd_module
+        from repro.ir.verifier import verify_function
+
+        state = ctx.state.pop(("abcd", id(fn)))
+        removed = abcd_module.remove_checks(fn, state)
+        verify_function(fn)
+        ctx.report.analyses.extend(state.analyses)
+        return removed
+
+
+# ----------------------------------------------------------------------
+# Registry and default pipelines.
+# ----------------------------------------------------------------------
+
+#: Every registered pass by name (instances are stateless).
+PASS_REGISTRY: Dict[str, Pass] = {
+    p.name: p
+    for p in [
+        InlinePass(),
+        EssaConstructionPass(),
+        CopyPropagationPass(),
+        ConstantFoldingPass(),
+        DeadCodeEliminationPass(),
+        AbcdAnalysisPass(),
+        PreInsertionPass(),
+        CheckRemovalPass(),
+    ]
+}
+
+
+def standard_opt_group(max_rounds: int = 4) -> FixpointGroup:
+    """The Jalapeño pre-pass suite as a bounded fixpoint group."""
+    return FixpointGroup(
+        "standard-pipeline",
+        [
+            PASS_REGISTRY["copy-propagation"],
+            PASS_REGISTRY["constant-folding"],
+            PASS_REGISTRY["dce"],
+        ],
+        max_rounds=max_rounds,
+    )
+
+
+def default_compile_passes(
+    standard_opts: bool = True,
+    inline: bool = False,
+    max_rounds: int = 4,
+) -> List:
+    """The pass list ``compile_source`` runs after lowering."""
+    passes: List = []
+    if inline:
+        passes.append(PASS_REGISTRY["inline"])
+    passes.append(PASS_REGISTRY["essa"])
+    if standard_opts:
+        passes.append(standard_opt_group(max_rounds))
+    return passes
+
+
+def default_optimize_passes() -> List[Pass]:
+    """The pass list ``abcd``/``guarded_optimize_program`` run."""
+    return [
+        PASS_REGISTRY["abcd"],
+        PASS_REGISTRY["pre"],
+        PASS_REGISTRY["check-removal"],
+    ]

@@ -16,18 +16,13 @@ the state in which a dynamic compiler would hand code to ABCD.
 
 from __future__ import annotations
 
-import copy
 from typing import Optional, Sequence
 
 from repro.core.abcd import ABCDConfig, ABCDReport
-from repro.frontend.parser import parse_source
-from repro.frontend.semantic import check_program
 from repro.ir.function import Program
-from repro.ir.lowering import lower_program
 from repro.ir.verifier import verify_program
 from repro.runtime.interpreter import ExecutionResult, run_program
 from repro.runtime.profiler import Profile, collect_profile
-from repro.ssa.essa import construct_essa
 
 
 def compile_source(
@@ -37,6 +32,7 @@ def compile_source(
     inline: bool = False,
     guard: Optional["PassGuard"] = None,
     strict: bool = False,
+    session: Optional["CompilationSession"] = None,
 ) -> Program:
     """Compile MiniJ source to an e-SSA program ready for ABCD.
 
@@ -45,37 +41,29 @@ def compile_source(
     future infrastructure work (callee array parameters then resolve to
     caller allocations, exposing their length facts to ABCD).
 
-    Every transforming pass runs inside a pass guard (see
-    :mod:`repro.robustness.guard`): a pass that raises or emits malformed
-    IR is rolled back and compilation continues with the unoptimized-but-
-    correct function.  Pass a :class:`PassGuard` to collect the failure
-    telemetry, or ``strict=True`` to turn rollbacks into hard errors.
+    Compilation runs through a :class:`~repro.passes.session.
+    CompilationSession`: every transforming pass is registered in
+    :mod:`repro.passes.registry` and driven by the pass manager under the
+    uniform guard protocol — a pass that raises or emits malformed IR is
+    rolled back and compilation continues with the unoptimized-but-correct
+    function.  Pass a :class:`PassGuard` to collect the failure telemetry,
+    ``strict=True`` to turn rollbacks into hard errors, or an explicit
+    ``session`` to share its analysis cache and stats with a later
+    ``session.optimize`` call.
     """
-    from repro.robustness.guard import PassGuard, guarded_standard_pipeline
+    from repro.passes.session import CompilationSession
 
-    if guard is None:
-        guard = PassGuard(strict=strict)
-    ast = parse_source(source)
-    info = check_program(ast)
-    program = lower_program(ast, info)
-    if inline:
-        from repro.opt.inline import inline_program
-
-        guard.run_program_pass(
-            "inline", program, lambda: inline_program(program)
-        )
-    for fn in program.functions.values():
-        construct_essa(fn)
-        if standard_opts:
-            guarded_standard_pipeline(fn, guard)
-    if verify:
-        verify_program(program)
-    return program
+    if session is None:
+        session = CompilationSession(guard=guard, strict=strict)
+    return session.compile(
+        source, standard_opts=standard_opts, verify=verify, inline=inline
+    )
 
 
 def clone_program(program: Program) -> Program:
-    """A deep copy, for unoptimized/optimized differential comparisons."""
-    return copy.deepcopy(program)
+    """A structural copy, for unoptimized/optimized differential
+    comparisons and guard snapshots (see :meth:`Program.clone`)."""
+    return program.clone()
 
 
 def profile(

@@ -1,24 +1,27 @@
 """Pass sandboxing: snapshot → transform → verify → keep or roll back.
 
 Every transforming pass (the standard opt suite, ABCD itself, inlining)
-runs inside a :class:`PassGuard`.  The guard deep-copies the function (or
-whole program) first, runs the pass, then re-runs the IR verifier.  If the
-pass raises *or* leaves malformed IR behind, the guard restores the
-snapshot in place, records a structured
+runs inside a :class:`PassGuard`.  The guard snapshots the function (or
+whole program) with a structural clone first, runs the pass, then re-runs
+the IR verifier.  If the pass raises *or* leaves malformed IR behind, the
+guard restores the snapshot in place, records a structured
 :class:`~repro.core.abcd.PassFailure`, and lets compilation continue with
 the unoptimized-but-correct code — graceful degradation, never a crash.
 
 In ``strict`` mode the guard re-raises as
 :class:`~repro.errors.PassGuardError` instead, turning every contained
 rollback into a hard error (useful in CI and while debugging a pass).
+
+The :class:`~repro.passes.manager.PassManager` applies this protocol
+uniformly to every registered pass; the ``guarded_*`` helpers below are
+compatibility wrappers that drive the same registered pass lists.
 """
 
 from __future__ import annotations
 
-import copy
 from typing import Callable, List, Optional, Sequence, TypeVar
 
-from repro.core.abcd import ABCDConfig, ABCDReport, PassFailure, optimize_function
+from repro.core.abcd import ABCDConfig, ABCDReport, PassFailure
 from repro.errors import IRVerificationError, PassGuardError
 from repro.ir.function import Function, Program
 from repro.ir.verifier import verify_function
@@ -63,7 +66,7 @@ class PassGuard:
         Returns the action's result, or ``None`` when the pass failed and
         ``fn`` was rolled back to its pre-pass state.
         """
-        snapshot = copy.deepcopy(fn)
+        snapshot = fn.clone()
         try:
             result = action()
             if verify:
@@ -85,7 +88,7 @@ class PassGuard:
     ) -> Optional[T]:
         """Like :meth:`run_function_pass` for whole-program transforms
         (inlining); rollback restores every function."""
-        snapshot = copy.deepcopy(program)
+        snapshot = program.clone()
         try:
             result = action()
             if verify:
@@ -137,37 +140,24 @@ def guarded_standard_pipeline(
 ) -> int:
     """The standard opt suite under the guard.
 
-    One snapshot and one verification per round (not per pass) keeps the
-    sandbox overhead low; an exception is still attributed to the pass
-    that raised it, while malformed IR discovered by the round-end
-    verification is attributed to the round.  Either way the whole round
-    rolls back and iteration stops — the function simply stays at its
-    last-known-good optimization level.
+    Compatibility wrapper: drives the registered ``standard-pipeline``
+    fixpoint group through a one-off pass-manager context.  One snapshot
+    and one verification per round (not per pass) keeps the sandbox
+    overhead low; an exception is still attributed to the member that
+    raised it, while malformed IR discovered by the round-end verification
+    is attributed to ``standard-pipeline-verify``.  Either way the whole
+    round rolls back and iteration stops — the function simply stays at
+    its last-known-good optimization level.
     """
-    import repro.opt as opt
+    from repro.passes.analysis import AnalysisManager
+    from repro.passes.manager import PassContext, PassManager, SessionStats
+    from repro.passes.registry import standard_opt_group
 
-    total = 0
-    for _ in range(max_rounds):
-        snapshot = copy.deepcopy(fn)
-        pass_name = "standard-pipeline"
-        try:
-            changes = 0
-            for pass_name, transform in (
-                ("copy-propagation", opt.propagate_copies),
-                ("constant-folding", opt.fold_constants),
-                ("dce", opt.eliminate_dead_code),
-            ):
-                changes += transform(fn)
-            pass_name = "standard-pipeline-verify"
-            verify_function(fn)
-        except Exception as exc:
-            _restore_in_place(fn, snapshot)
-            guard.contain(pass_name, fn.name, exc)
-            break
-        total += changes
-        if changes == 0:
-            break
-    return total
+    analysis = AnalysisManager()
+    ctx = PassContext(
+        program=None, analysis=analysis, guard=guard, stats=SessionStats(analysis)
+    )
+    return PassManager(ctx).run_group(standard_opt_group(max_rounds), fn)
 
 
 def guarded_optimize_program(
@@ -177,24 +167,16 @@ def guarded_optimize_program(
     functions: Optional[Sequence[str]] = None,
     guard: Optional[PassGuard] = None,
 ) -> ABCDReport:
-    """Run ABCD over every (or the named) functions, each inside the guard.
+    """Run the ABCD pass list over every (or the named) functions, each
+    pass inside the guard.
 
-    A function whose optimization raises or emits malformed IR is rolled
-    back wholesale (keeping its checks — sound) and the failure lands in
+    Compatibility wrapper over :class:`~repro.passes.session.
+    CompilationSession.optimize`.  A function whose analysis raises is
+    skipped (keeping its checks — sound), a removal that emits malformed
+    IR is rolled back, and every contained failure lands in
     ``report.pass_failures``; the remaining functions still get optimized.
     """
-    guard = guard or PassGuard(strict=bool(config and config.strict))
-    already_recorded = len(guard.failures)
-    report = ABCDReport()
-    names = list(functions) if functions is not None else list(program.functions)
-    for name in names:
-        fn = program.functions[name]
-        fn_report = guard.run_function_pass(
-            "abcd", fn, lambda: optimize_function(fn, program, config, profile)
-        )
-        if fn_report is not None:
-            report.merge(fn_report)
-    # Only the failures contained during *this* run (an external guard may
-    # already carry compile-time failures).
-    report.pass_failures.extend(guard.failures[already_recorded:])
-    return report
+    from repro.passes.session import CompilationSession
+
+    session = CompilationSession(config=config, guard=guard)
+    return session.optimize(program, profile=profile, functions=functions)

@@ -33,13 +33,19 @@ def base_name(versioned: str) -> str:
 class SSAConstructor:
     """Converts a non-SSA function into pruned SSA form in place."""
 
-    def __init__(self, fn: Function) -> None:
+    def __init__(self, fn: Function, analysis=None) -> None:
         if fn.ssa_form != "none":
             raise ValueError(f"{fn.name} is already in {fn.ssa_form} form")
         self._fn = fn
-        self._domtree = DominatorTree.compute(fn)
-        self._frontiers = dominance_frontiers(fn, self._domtree)
-        self._liveness = compute_liveness(fn)
+        if analysis is not None:
+            # Served from the session's AnalysisManager cache.
+            self._domtree = analysis.get("domtree", fn)
+            self._frontiers = analysis.get("frontiers", fn)
+            self._liveness = analysis.get("liveness", fn)
+        else:
+            self._domtree = DominatorTree.compute(fn)
+            self._frontiers = dominance_frontiers(fn, self._domtree)
+            self._liveness = compute_liveness(fn)
         self._counters: Dict[str, int] = {}
         self._stacks: Dict[str, List[str]] = {}
         self._phi_base: Dict[int, str] = {}
@@ -159,11 +165,16 @@ def _set_dest(instr, new_dest: str) -> None:
     instr.dest = new_dest
 
 
-def construct_ssa(fn: Function) -> Function:
-    """Convert ``fn`` to pruned SSA form in place and return it."""
+def construct_ssa(fn: Function, analysis=None) -> Function:
+    """Convert ``fn`` to pruned SSA form in place and return it.
+
+    ``analysis`` (an :class:`~repro.passes.analysis.AnalysisManager`)
+    serves dominance/frontier/liveness results from the session cache
+    instead of recomputing them here.
+    """
     from repro.limits import recursion_headroom
 
     # Dominator-tree renaming recurses once per block; deep CFGs (long
     # straight-line functions) need headroom beyond the default limit.
     with recursion_headroom(len(fn.blocks) + 1000):
-        return SSAConstructor(fn).run()
+        return SSAConstructor(fn, analysis=analysis).run()

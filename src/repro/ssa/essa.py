@@ -186,10 +186,22 @@ def _pis_for_edge(cmp: Cmp, rel: str) -> List[Pi]:
 # ----------------------------------------------------------------------
 
 
-def construct_essa(fn: Function) -> Function:
-    """Convert a non-SSA function into e-SSA form (πs, then pruned SSA)."""
+def construct_essa(fn: Function, analysis=None) -> Function:
+    """Convert a non-SSA function into e-SSA form (πs, then pruned SSA).
+
+    With an :class:`~repro.passes.analysis.AnalysisManager`, SSA
+    construction fetches dominance/frontiers/liveness through the session
+    cache.  π insertion splits critical edges (a CFG change), so any
+    pre-existing cached analyses are dropped first; renaming then
+    invalidates the name-sensitive ones, leaving exactly the CFG-shape
+    analyses of the final graph cached.
+    """
     insert_pi_nodes(fn)
-    construct_ssa(fn)
+    if analysis is not None:
+        analysis.invalidate(fn)
+    construct_ssa(fn, analysis=analysis)
+    if analysis is not None:
+        analysis.invalidate(fn, ("liveness", "gvn"))
     fn.ssa_form = "essa"
     return fn
 
