@@ -161,6 +161,10 @@ class BenchResult:
     def budget_exhausted_checks(self) -> int:
         return self.report.budget_exhausted_count
 
+    @property
+    def certificates_rejected(self) -> int:
+        return self.report.certificates_rejected
+
 
 def run_benchmark(
     program: BenchmarkProgram,
@@ -277,8 +281,25 @@ def format_figure6(results: List[BenchResult]) -> str:
     lines.append(f"{'MEAN':<18}{mean:>8.1%}")
     rollbacks = sum(r.pass_rollbacks for r in results)
     exhausted = sum(r.budget_exhausted_checks for r in results)
+    kinds: Dict[str, int] = {}
+    for result in results:
+        for kind, count in result.report.budget_exhausted_kinds().items():
+            kinds[kind] = kinds.get(kind, 0) + count
+    breakdown = (
+        " (" + ", ".join(f"{kinds[k]} {k}" for k in sorted(kinds)) + ")"
+        if kinds
+        else ""
+    )
     lines.append(
         f"robustness: {rollbacks} pass rollback(s), "
-        f"{exhausted} budget-exhausted check(s)"
+        f"{exhausted} budget-exhausted check(s){breakdown}"
     )
+    emitted = sum(r.report.certificates_emitted for r in results)
+    if emitted:
+        lines.append(
+            f"certificates: {emitted} emitted, "
+            f"{sum(r.report.certificates_accepted for r in results)} accepted, "
+            f"{sum(r.report.certificates_rejected for r in results)} rejected, "
+            f"{sum(r.report.revoked_count for r in results)} revoked"
+        )
     return "\n".join(lines)

@@ -1,0 +1,51 @@
+"""Proof-witness certificates: independently checkable elimination proofs.
+
+Every check ABCD removes rests on a ``demandProve`` derivation over
+difference constraints.  This package turns "the solver said so" into
+per-check translation validation:
+
+* :mod:`repro.certify.witness` — the witness grammar: the tree of
+  inequality-graph edges a proof used, whose weights telescope to the
+  claimed bound (the compact certificate form difference constraints
+  admit, cf. the path witnesses of Difference-Bound Matrices);
+* :mod:`repro.certify.checker` — an **independent** checker that replays
+  a witness against a freshly rebuilt inequality graph using only edge
+  lookups and integer telescoping, sharing no traversal code with the
+  Figure-5 solver;
+* :mod:`repro.certify.driver` — the per-function certification pass and
+  the revocation ladder: a rejected certificate revokes exactly that
+  elimination (the check stays in), repeated rejections quarantine the
+  function to unoptimized compilation, and ``--strict`` escalates to a
+  hard error.
+"""
+
+from repro.certify.checker import CertificateRejected, check_witness
+from repro.certify.driver import (
+    CertVerdict,
+    certificates_to_json,
+    certify_state,
+)
+from repro.certify.witness import (
+    AssumeWitness,
+    AxiomWitness,
+    CycleWitness,
+    EdgeWitness,
+    PhiWitness,
+    Witness,
+    witness_to_json,
+)
+
+__all__ = [
+    "AssumeWitness",
+    "AxiomWitness",
+    "CycleWitness",
+    "EdgeWitness",
+    "PhiWitness",
+    "Witness",
+    "witness_to_json",
+    "CertificateRejected",
+    "check_witness",
+    "CertVerdict",
+    "certificates_to_json",
+    "certify_state",
+]

@@ -1,0 +1,172 @@
+"""The proof-witness grammar.
+
+A witness is the derivation skeleton of one ``demandProve`` proof of
+``target - source <= budget``: which inequality-graph edges the proof
+crossed, how φ obligations were discharged, and where harmless cycles
+closed.  Crucially it carries **structure only** — the checker recomputes
+every budget itself by integer telescoping from the root query, so a
+witness cannot smuggle in arithmetic the graph does not justify.
+
+Grammar (each node proves a bound on one ``vertex``):
+
+* ``AxiomWitness(rule)`` — a leaf fact needing no traversal:
+  ``"source"`` (the empty path: vertex *is* the proof source and the
+  budget is non-negative), ``"const-const"`` (two constants relate
+  arithmetically), ``"len-nonneg"`` (a constant against an array-length
+  source in the upper graph: lengths are non-negative);
+* ``EdgeWitness(vertex, source, weight, sub)`` — a min vertex discharged
+  through its one chosen in-edge;
+* ``PhiWitness(vertex, branches)`` — a φ/max vertex: one
+  ``(source, weight, sub)`` branch per in-edge of the rebuilt graph (the
+  checker enforces the coverage);
+* ``CycleWitness(vertex)`` — a harmless-cycle closure: the traversal
+  revisited ``vertex`` while it was still active, with a budget no
+  smaller than the active one (the cycle telescopes to non-positive
+  weight; the cycle itself is the tree path from the active occurrence
+  down to this leaf, and the rest of the tree is the entry derivation);
+* ``AssumeWitness(vertex, phi_block, pred, offset)`` — a PRE assumption:
+  the bound on ``vertex`` is established not by the graph but by a
+  compensating :class:`~repro.ir.instructions.SpeculativeCheck` inserted
+  on the CFG edge ``pred -> phi_block`` (Section 6.1); the checker
+  verifies the instruction really exists and that its offset implies the
+  telescoped obligation.
+
+Every node carries ``open`` — the cycle targets referenced below it that
+are **not** closed within its own subtree.  A witness with an empty
+``open`` set is *context-free*: it replays under any root budget at least
+as large as the one it was recorded at (all leaf conditions are monotone
+in the budget).  The solver's memo only ever stores context-free
+witnesses, which is what makes budget-subsumption reuse replayable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple, Union
+
+from repro.core.graph import Node
+
+_EMPTY: frozenset = frozenset()
+
+
+@dataclass(frozen=True)
+class AxiomWitness:
+    """Leaf fact: ``rule`` is ``"source"``, ``"const-const"``, or
+    ``"len-nonneg"``."""
+
+    vertex: Node
+    rule: str
+    open: frozenset = field(default=_EMPTY, compare=False, repr=False)
+
+
+@dataclass(frozen=True)
+class CycleWitness:
+    """Harmless-cycle closure at the revisited active ``vertex``."""
+
+    vertex: Node
+    open: frozenset = field(default=_EMPTY, compare=False, repr=False)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "open", frozenset((self.vertex,)))
+
+
+@dataclass(frozen=True)
+class AssumeWitness:
+    """PRE assumption: a compensating check on ``pred -> phi_block``
+    guards ``vertex + offset``."""
+
+    vertex: Node
+    phi_block: str
+    pred: str
+    offset: int
+    open: frozenset = field(default=_EMPTY, compare=False, repr=False)
+
+
+@dataclass(frozen=True)
+class EdgeWitness:
+    """Min vertex: ``vertex <= source + weight`` then prove ``source``."""
+
+    vertex: Node
+    source: Node
+    weight: int
+    sub: "Witness"
+    open: frozenset = field(default=_EMPTY, compare=False, repr=False)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "open", self.sub.open - {self.vertex})
+
+
+@dataclass(frozen=True)
+class PhiWitness:
+    """φ/max vertex: one ``(source, weight, sub)`` branch per in-edge."""
+
+    vertex: Node
+    branches: Tuple[Tuple[Node, int, "Witness"], ...]
+    open: frozenset = field(default=_EMPTY, compare=False, repr=False)
+
+    def __post_init__(self) -> None:
+        merged: frozenset = _EMPTY
+        for _, _, sub in self.branches:
+            merged = merged | sub.open
+        object.__setattr__(self, "open", merged - {self.vertex})
+
+
+Witness = Union[AxiomWitness, CycleWitness, AssumeWitness, EdgeWitness, PhiWitness]
+
+
+def is_closed(witness: Witness) -> bool:
+    """True when the witness is context-free (no open cycle targets)."""
+    return not witness.open
+
+
+# ----------------------------------------------------------------------
+# Serialization (deterministic: key order is fixed by construction and
+# every collection is emitted in witness order, which the stabilized
+# inequality-graph iteration makes reproducible across runs).
+# ----------------------------------------------------------------------
+
+
+def _node_json(node: Node) -> Dict[str, object]:
+    if node.kind == "const":
+        return {"kind": "const", "value": node.value}
+    return {"kind": node.kind, "name": node.name}
+
+
+def witness_to_json(witness: Optional[Witness]) -> Optional[Dict[str, object]]:
+    """Recursive JSON form of a witness (``None`` passes through)."""
+    if witness is None:
+        return None
+    if isinstance(witness, AxiomWitness):
+        return {"node": "axiom", "vertex": _node_json(witness.vertex),
+                "rule": witness.rule}
+    if isinstance(witness, CycleWitness):
+        return {"node": "cycle", "vertex": _node_json(witness.vertex)}
+    if isinstance(witness, AssumeWitness):
+        return {
+            "node": "assume",
+            "vertex": _node_json(witness.vertex),
+            "phi_block": witness.phi_block,
+            "pred": witness.pred,
+            "offset": witness.offset,
+        }
+    if isinstance(witness, EdgeWitness):
+        return {
+            "node": "edge",
+            "vertex": _node_json(witness.vertex),
+            "source": _node_json(witness.source),
+            "weight": witness.weight,
+            "sub": witness_to_json(witness.sub),
+        }
+    assert isinstance(witness, PhiWitness)
+    return {
+        "node": "phi",
+        "vertex": _node_json(witness.vertex),
+        "branches": [
+            {
+                "source": _node_json(source),
+                "weight": weight,
+                "sub": witness_to_json(sub),
+            }
+            for source, weight, sub in witness.branches
+        ],
+    }

@@ -6,6 +6,8 @@ Commands:
   result and the dynamic check counters;
 * ``optimize FILE``  — run ABCD and print the per-check report (optionally
   the optimized IR and the dynamic before/after comparison);
+* ``certify FILE``   — optimize with proof-witness emission and report the
+  independent checker's verdict on every elimination;
 * ``ir FILE``        — print the compiled IR (e-SSA by default);
 * ``dot FILE``       — emit Graphviz for a function's CFG or its
   inequality graphs;
@@ -95,6 +97,7 @@ def _config_from(args) -> ABCDConfig:
         max_depth=getattr(args, "max_depth", None),
         deadline=getattr(args, "deadline", None),
         strict=getattr(args, "strict", False),
+        certify=getattr(args, "certify", False),
     )
 
 
@@ -150,7 +153,11 @@ def cmd_optimize(args) -> int:
         if analysis.pre_applied:
             notes.append(f"pre({analysis.pre_insertions})")
         if analysis.budget_exhausted:
-            notes.append("budget!")
+            notes.append(f"budget!{analysis.exhausted_budget or ''}")
+        if analysis.certificate is not None:
+            notes.append(f"cert:{analysis.certificate}")
+        if analysis.revoked:
+            notes.append("revoked")
         print(
             f"#{analysis.check_id:>5} {analysis.kind:<6} "
             f"{analysis.function:<16} {analysis.result.name:<8} "
@@ -164,10 +171,26 @@ def cmd_optimize(args) -> int:
         f"mean steps/check: {report.mean_steps:.1f}"
     )
     rollbacks = len(compile_failures) + report.rollback_count
+    exhausted = report.budget_exhausted_count
+    kinds = report.budget_exhausted_kinds()
+    breakdown = (
+        " (" + ", ".join(f"{kinds[k]} {k}" for k in sorted(kinds)) + ")"
+        if kinds
+        else ""
+    )
     print(
         f"robustness: {rollbacks} pass rollback(s), "
-        f"{report.budget_exhausted_count} budget-exhausted check(s)"
+        f"{exhausted} budget-exhausted check(s){breakdown}"
     )
+    if session.config.certify:
+        print(
+            f"certificates: {report.certificates_emitted} emitted, "
+            f"{report.certificates_accepted} accepted, "
+            f"{report.certificates_rejected} rejected, "
+            f"{report.revoked_count} revoked"
+        )
+        for name in report.quarantined_functions:
+            print(f"  quarantined: {name}")
     for failure in compile_failures + list(report.pass_failures):
         print(f"  rolled back: {failure}")
     if args.time_passes:
@@ -187,6 +210,57 @@ def cmd_optimize(args) -> int:
         print()
         print(format_program(program))
     return 0
+
+
+def cmd_certify(args) -> int:
+    """Optimize with certificate emission and report every verdict."""
+    import json
+
+    from repro.certify.driver import certificates_to_json
+
+    config = _config_from(args)
+    config.certify = True
+    session = CompilationSession(config=config, strict=args.strict)
+    program = session.compile(
+        _read_source(args.file),
+        standard_opts=not args.no_std_opts,
+        inline=args.inline,
+    )
+    profile = None
+    if config.pre:
+        profile = collect_profile(program, args.fn)
+    report = session.optimize(program, profile=profile)
+
+    if args.json:
+        print(json.dumps(certificates_to_json(report), indent=2, sort_keys=True))
+    else:
+        print(f"{'check':>6} {'kind':<6} {'function':<16} {'certificate':<12} notes")
+        for analysis in sorted(
+            report.analyses, key=lambda a: (a.function, a.check_id)
+        ):
+            if not analysis.eliminated and analysis.certificate is None:
+                continue
+            notes = []
+            if analysis.via_gvn:
+                notes.append("gvn")
+            if analysis.pre_applied:
+                notes.append(f"pre({analysis.pre_insertions})")
+            if analysis.revoked:
+                notes.append("revoked")
+            print(
+                f"#{analysis.check_id:>5} {analysis.kind:<6} "
+                f"{analysis.function:<16} {analysis.certificate or '-':<12} "
+                f"{' '.join(notes)}"
+            )
+        print(
+            f"\ncertificates: {report.certificates_emitted} emitted, "
+            f"{report.certificates_accepted} accepted, "
+            f"{report.certificates_rejected} rejected, "
+            f"{report.revoked_count} revoked"
+        )
+        for name in report.quarantined_functions:
+            print(f"  quarantined: {name}")
+    return 1 if report.certificates_rejected else 0
 
 
 def cmd_ir(args) -> int:
@@ -224,7 +298,8 @@ def cmd_bench(args) -> int:
         if names is not None and program_def.name not in names:
             continue
         print(f"measuring {program_def.name}...", file=sys.stderr)
-        results.append(run_benchmark(program_def, pre=not args.no_pre))
+        config = ABCDConfig(certify=True) if args.certify else None
+        results.append(run_benchmark(program_def, config=config, pre=not args.no_pre))
     if not results:
         print("no matching corpus programs", file=sys.stderr)
         return 1
@@ -242,6 +317,13 @@ def cmd_bench(args) -> int:
                 "eliminated_checks": result.report.eliminated_count(),
                 "pass_rollbacks": result.pass_rollbacks,
                 "budget_exhausted_checks": result.budget_exhausted_checks,
+                "budget_exhausted_kinds": result.report.budget_exhausted_kinds(),
+                "certificates": {
+                    "emitted": result.report.certificates_emitted,
+                    "accepted": result.report.certificates_accepted,
+                    "rejected": result.report.certificates_rejected,
+                    "revoked": result.report.revoked_count,
+                },
                 "session_stats": result.session_stats,
             }
             for result in results
@@ -249,6 +331,9 @@ def cmd_bench(args) -> int:
         print(json.dumps(payload, indent=2))
     else:
         print(format_figure6(results))
+    if args.certify and any(r.report.certificates_rejected for r in results):
+        print("certificate rejections detected", file=sys.stderr)
+        return 1
     return 0
 
 
@@ -298,8 +383,30 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="print per-pass timing and analysis-cache statistics",
     )
+    opt_parser.add_argument(
+        "--certify",
+        action="store_true",
+        help="emit and independently check a proof witness per elimination",
+    )
     _add_budget_flags(opt_parser)
     opt_parser.set_defaults(handler=cmd_optimize)
+
+    cert_parser = commands.add_parser(
+        "certify", help="optimize with proof-witness certification and report"
+    )
+    _add_compile_flags(cert_parser)
+    cert_parser.add_argument("--fn", default="main", help="entry for profiling")
+    cert_parser.add_argument("--pre", action="store_true", help="enable PRE")
+    cert_parser.add_argument(
+        "--gvn", choices=["off", "consult", "augment"], default="consult"
+    )
+    cert_parser.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the deterministic certificate payload as JSON",
+    )
+    _add_budget_flags(cert_parser)
+    cert_parser.set_defaults(handler=cmd_certify)
 
     ir_parser = commands.add_parser("ir", help="print compiled IR")
     _add_compile_flags(ir_parser)
@@ -317,6 +424,11 @@ def build_parser() -> argparse.ArgumentParser:
     bench_parser = commands.add_parser("bench", help="Figure-6 table")
     bench_parser.add_argument("--names", nargs="*", help="corpus subset")
     bench_parser.add_argument("--no-pre", action="store_true")
+    bench_parser.add_argument(
+        "--certify",
+        action="store_true",
+        help="certify every elimination; exit 1 on any rejection",
+    )
     bench_parser.add_argument(
         "--json",
         action="store_true",

@@ -72,6 +72,13 @@ class ABCDConfig:
     #: Escalate contained pass failures (e.g. a PRE insertion that fails
     #: verification) into hard errors instead of rolling back.
     strict: bool = False
+    #: Emit a proof witness for every elimination and replay it through
+    #: the independent checker (``repro.certify``) before any check is
+    #: removed; a rejected certificate revokes exactly that elimination.
+    certify: bool = False
+    #: Quarantine a function to unoptimized compilation once this many of
+    #: its certificates are rejected (the revocation ladder's second rung).
+    certify_quarantine: int = 2
 
 
 @dataclass
@@ -93,6 +100,20 @@ class CheckAnalysis:
     #: The proof session hit a resource budget (steps/depth/deadline) and
     #: conservatively kept the check.
     budget_exhausted: bool = False
+    #: Which resource ran out first ("steps" | "depth" | "deadline").
+    exhausted_budget: Optional[str] = None
+    #: Proof witness backing this elimination (certify mode only); an
+    #: independently checkable certificate, see ``repro.certify``.
+    witness: Optional[object] = None
+    #: Source vertex of the certified query (differs from the check's own
+    #: array-length vertex after a Section-7.1 GVN retry).
+    cert_source: Optional[object] = None
+    #: Certificate verdict: ``None`` (not certified), "accepted", or
+    #: "rejected".
+    certificate: Optional[str] = None
+    #: The elimination was revoked (rejected certificate or function
+    #: quarantine): the check stays in the program.
+    revoked: bool = False
 
 
 @dataclass
@@ -131,6 +152,9 @@ class ABCDReport:
     #: produced this report (a ``repro.passes.manager.SessionStats``), when
     #: the run went through the pass manager.
     session_stats: Optional[object] = None
+    #: Functions quarantined to unoptimized compilation by the certificate
+    #: revocation ladder (repeated rejections in one function).
+    quarantined_functions: List[str] = field(default_factory=list)
 
     @property
     def analyzed(self) -> int:
@@ -185,9 +209,41 @@ class ABCDReport:
         """Checks kept because a solver resource budget ran out."""
         return sum(1 for a in self.analyses if a.budget_exhausted)
 
+    def budget_exhausted_kinds(self) -> Dict[str, int]:
+        """Breakdown of budget exhaustions by which budget ran out."""
+        counts: Dict[str, int] = {}
+        for a in self.analyses:
+            if a.budget_exhausted and a.exhausted_budget is not None:
+                counts[a.exhausted_budget] = counts.get(a.exhausted_budget, 0) + 1
+        return counts
+
+    # ------------------------------------------------------------------
+    # Certificate telemetry (certify mode).
+    # ------------------------------------------------------------------
+
+    @property
+    def certificates_emitted(self) -> int:
+        """Eliminations that carried a proof witness into the checker."""
+        return sum(1 for a in self.analyses if a.certificate is not None)
+
+    @property
+    def certificates_accepted(self) -> int:
+        return sum(1 for a in self.analyses if a.certificate == "accepted")
+
+    @property
+    def certificates_rejected(self) -> int:
+        return sum(1 for a in self.analyses if a.certificate == "rejected")
+
+    @property
+    def revoked_count(self) -> int:
+        """Eliminations undone by the revocation ladder (the checks stayed
+        in the program)."""
+        return sum(1 for a in self.analyses if a.revoked)
+
     def merge(self, other: "ABCDReport") -> None:
         self.analyses.extend(other.analyses)
         self.pass_failures.extend(other.pass_failures)
+        self.quarantined_functions.extend(other.quarantined_functions)
 
 
 @dataclass
@@ -301,12 +357,21 @@ def analyze_checks(
             steps=outcome.steps,
             seconds=0.0,
             budget_exhausted=outcome.budget_exhausted,
+            exhausted_budget=outcome.exhausted_budget,
         )
+        if config.certify and outcome.proven:
+            record.witness = outcome.witness
+            record.cert_source = source
 
         if not outcome.proven and site.kind == "upper" and gvn is not None:
-            if _gvn_retry(bundle, gvn, site, budget, config):
+            retry = _gvn_retry(bundle, gvn, site, budget, config)
+            if retry is not None:
+                other, gvn_outcome = retry
                 record.result = ProofResult.TRUE
                 record.via_gvn = True
+                if config.certify:
+                    record.witness = gvn_outcome.witness
+                    record.cert_source = len_node(other)
 
         if record.result.proven:
             record.eliminated = True
@@ -349,6 +414,11 @@ def apply_pre(
             record.pre_insertions = decision.insertion_count
             record.eliminated = True
             record.scope = "global"
+            if config.certify:
+                record.witness = decision.witness
+                record.cert_source = (
+                    len_node(site.array) if site.kind == "upper" else const_node(0)
+                )
             applied += 1
     return applied
 
@@ -380,6 +450,10 @@ def optimize_function(
     state = analyze_checks(fn, program, config, analysis=analysis)
     if config.pre and profile is not None:
         apply_pre(fn, program, state, config, profile, report, analysis=analysis)
+    if config.certify:
+        from repro.certify.driver import certify_state
+
+        certify_state(fn, state, config, report)
     remove_checks(fn, state)
     report.analyses.extend(state.analyses)
     return report
@@ -424,6 +498,7 @@ def _new_prover(
         max_steps=config.max_steps,
         max_depth=config.max_depth,
         deadline=config.deadline,
+        witnesses=config.certify,
     )
 
 
@@ -460,6 +535,7 @@ def _guarded_pre(
             config.pre_gain_ratio,
             max_steps=config.max_steps,
             domtree=analysis.get("domtree", fn) if analysis is not None else None,
+            witnesses=config.certify,
         )
         changed = any(
             len(fn.blocks[label].body) != length
@@ -517,9 +593,13 @@ def _gvn_retry(
     site: _CheckSite,
     budget: int,
     config: ABCDConfig,
-) -> bool:
+):
     """Section 7.1 (restricted form): on failure against ``len(A)``, retry
-    against the lengths of arrays value-congruent to ``A``."""
+    against the lengths of arrays value-congruent to ``A``.
+
+    Returns ``(other_array, outcome)`` for the first congruent array whose
+    proof succeeds, else ``None``.
+    """
     assert site.array is not None
     congruent = gvn.class_members(site.array)
     target = site.target
@@ -527,9 +607,10 @@ def _gvn_retry(
         if other == site.array or other not in bundle.array_vars:
             continue
         prover = _new_prover(config, bundle.upper)
-        if prover.demand_prove(len_node(other), target, budget).proven:
-            return True
-    return False
+        outcome = prover.demand_prove(len_node(other), target, budget)
+        if outcome.proven:
+            return other, outcome
+    return None
 
 
 def _remove_instr(fn: Function, site: _CheckSite) -> None:

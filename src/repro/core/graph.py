@@ -159,7 +159,9 @@ class InequalityGraph:
         edges = list(self._in_edges.get(node, ()))
         if node.kind == "const":
             target_value = self.const_value(node)
-            for anchor in self._anchored_consts:
+            # Sorted iteration keeps traversal (and therefore emitted proof
+            # witnesses) deterministic across interpreter hash seeds.
+            for anchor in sorted(self._anchored_consts, key=lambda n: n.value):
                 if anchor == node:
                     continue
                 anchor_value = self.const_value(anchor)

@@ -33,6 +33,14 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 from repro.analysis.dominance import DominatorTree
+from repro.certify.witness import (
+    AssumeWitness,
+    AxiomWitness,
+    CycleWitness,
+    EdgeWitness,
+    PhiWitness,
+    Witness,
+)
 from repro.core.constraints import GraphBundle
 from repro.core.graph import InequalityGraph, Node, const_node, len_node, var_node
 from repro.core.lattice import ProofResult
@@ -66,6 +74,10 @@ class PREValue:
 
     result: ProofResult
     insertions: Tuple[InsertionPoint, ...] = ()
+    #: Proof witness (witness-emitting sessions only): insertion edges are
+    #: discharged by ``AssumeWitness`` leaves pointing at the compensating
+    #: checks that justify them.
+    witness: Optional[Witness] = None
 
     @property
     def proven(self) -> bool:
@@ -81,6 +93,8 @@ class PREDecision:
     insertion_count: int
     insertion_frequency: int
     check_frequency: int
+    #: Certificate of the transformed check (witness mode only).
+    witness: Optional[Witness] = None
 
 
 class PREProver:
@@ -98,12 +112,14 @@ class PREProver:
         profile: Profile,
         kind: str,
         max_steps: int = DEFAULT_MAX_STEPS,
+        witnesses: bool = False,
     ) -> None:
         self._graph = graph
         self._fn = fn
         self._profile = profile
         self._kind = kind
         self._max_steps = max_steps
+        self._witnesses = witnesses
         self._memo: Dict[Node, _Memo] = {}
         self._active: Dict[Node, int] = {}
         self.steps = 0
@@ -120,6 +136,9 @@ class PREProver:
 
     # ------------------------------------------------------------------
 
+    def _axiom(self, v: Node, rule: str) -> Optional[Witness]:
+        return AxiomWitness(v, rule) if self._witnesses else None
+
     def _prove(self, a: Node, v: Node, c: int) -> PREValue:
         self.steps += 1
         if self.steps > self._max_steps:
@@ -131,14 +150,21 @@ class PREProver:
         if memo is not None:
             cached = memo.lookup(c)
             if cached is not None:
-                return PREValue(cached)
+                stored = memo.witness_for(cached)
+                if not self._witnesses or not cached.proven or stored is not None:
+                    return PREValue(cached, witness=stored)
+                # Witness mode, proven, but the stored witness was open:
+                # re-derive in the current context (see DemandProver).
 
         if v == a and c >= 0:
-            return PREValue(ProofResult.TRUE)
+            return PREValue(ProofResult.TRUE, witness=self._axiom(v, "source"))
         if v.kind == "const" and a.kind == "const":
             difference = self._graph.const_value(v) - self._graph.const_value(a)
-            ok = difference <= c
-            return PREValue(ProofResult.TRUE if ok else ProofResult.FALSE)
+            if difference <= c:
+                return PREValue(
+                    ProofResult.TRUE, witness=self._axiom(v, "const-const")
+                )
+            return PREValue(ProofResult.FALSE)
         if (
             v.kind == "const"
             and a.kind == "len"
@@ -146,7 +172,7 @@ class PREProver:
             and v.value <= c
         ):
             # Array lengths are non-negative: const(k) <= len(A) + k.
-            return PREValue(ProofResult.TRUE)
+            return PREValue(ProofResult.TRUE, witness=self._axiom(v, "len-nonneg"))
 
         in_edges = self._graph.in_edges(v)
         if not in_edges:
@@ -156,7 +182,10 @@ class PREProver:
         if active_budget is not None:
             if c < active_budget:
                 return PREValue(ProofResult.FALSE)
-            return PREValue(ProofResult.REDUCED)
+            return PREValue(
+                ProofResult.REDUCED,
+                witness=CycleWitness(v) if self._witnesses else None,
+            )
 
         self._active[v] = c
         if self._graph.is_phi(v):
@@ -166,7 +195,7 @@ class PREProver:
         del self._active[v]
 
         if not value.insertions:
-            self._memo.setdefault(v, _Memo()).record(c, value.result)
+            self._memo.setdefault(v, _Memo()).record(c, value.result, value.witness)
         return value
 
     def _merge_phi(self, a: Node, v: Node, c: int, in_edges) -> PREValue:
@@ -188,7 +217,10 @@ class PREProver:
             for _, val in proven:
                 result = result.meet(val.result)
                 insertions = insertions + val.insertions
-            return PREValue(result, _dedup(insertions))
+            witness = self._phi_witness(
+                v, [(e, val.witness) for e, val in proven]
+            )
+            return PREValue(result, _dedup(insertions), witness)
         if not proven:
             return PREValue(ProofResult.FALSE)
 
@@ -199,45 +231,82 @@ class PREProver:
         phi_block = self._phi_blocks[v.name]
 
         new_insertions: List[InsertionPoint] = []
+        assume_subs: List[Tuple[object, Optional[Witness]]] = []
         for edge, child_budget in failing:
             operand_node = edge.source
             offset = (-1 - child_budget) if self._kind == "upper" else child_budget
-            matched = False
+            first_pred: Optional[str] = None
             for pred, operand in incomings.items():
                 if _operand_matches(operand, operand_node):
                     new_insertions.append(
                         InsertionPoint(phi_block, pred, operand, offset)
                     )
-                    matched = True
-            if not matched:
+                    if first_pred is None:
+                        first_pred = pred
+            if first_pred is None:
                 # A graph in-edge that is not a φ argument (should not
                 # happen for scalar φs); give up on this vertex.
                 return PREValue(ProofResult.FALSE)
+            assume_subs.append(
+                (
+                    edge,
+                    AssumeWitness(edge.source, phi_block, first_pred, offset)
+                    if self._witnesses
+                    else None,
+                )
+            )
 
         result = ProofResult.TRUE
         insertions = tuple(new_insertions)
         for _, val in proven:
             result = result.meet(val.result)
             insertions = insertions + val.insertions
-        return PREValue(result, _dedup(insertions))
+        witness = self._phi_witness(
+            v, [(e, val.witness) for e, val in proven] + assume_subs
+        )
+        return PREValue(result, _dedup(insertions), witness)
+
+    def _phi_witness(self, v: Node, pairs) -> Optional[Witness]:
+        """A φ witness from ``(edge, sub-witness)`` pairs, or ``None``
+        when not in witness mode or any sub-witness is missing."""
+        if not self._witnesses or any(sub is None for _, sub in pairs):
+            return None
+        return PhiWitness(
+            v, tuple((edge.source, edge.weight, sub) for edge, sub in pairs)
+        )
+
+    def _edge_witness(self, v: Node, edge, sub: Optional[Witness]) -> Optional[Witness]:
+        if not self._witnesses or sub is None:
+            return None
+        return EdgeWitness(v, edge.source, edge.weight, sub)
 
     def _merge_min(self, a: Node, v: Node, c: int, in_edges) -> PREValue:
         """Min vertex: any constraint suffices; among proven alternatives
         prefer no insertions, then the cheapest insertion set (paper: "at a
         min vertex, ABCD selects the set that has the lower execution
         frequency")."""
-        best: Optional[PREValue] = None
+        best: Optional[Tuple[object, PREValue]] = None
         for edge in in_edges:
             value = self._prove(a, edge.source, c - edge.weight)
             if not value.proven:
                 continue
             if not value.insertions:
-                return PREValue(value.result)
+                return PREValue(
+                    value.result,
+                    witness=self._edge_witness(v, edge, value.witness),
+                )
             if best is None or self.insertion_cost(value.insertions) < self.insertion_cost(
-                best.insertions
+                best[1].insertions
             ):
-                best = value
-        return best if best is not None else PREValue(ProofResult.FALSE)
+                best = (edge, value)
+        if best is None:
+            return PREValue(ProofResult.FALSE)
+        edge, value = best
+        return PREValue(
+            value.result,
+            value.insertions,
+            self._edge_witness(v, edge, value.witness),
+        )
 
     def insertion_cost(self, insertions: Tuple[InsertionPoint, ...]) -> int:
         return sum(
@@ -275,6 +344,7 @@ def attempt_pre(
     gain_ratio: float,
     max_steps: int = DEFAULT_MAX_STEPS,
     domtree=None,
+    witnesses: bool = False,
 ) -> Optional[PREDecision]:
     """Try to make ``site``'s check fully redundant via insertion.
 
@@ -286,7 +356,9 @@ def attempt_pre(
     else:
         graph, source, budget = bundle.lower, const_node(0), 0
 
-    prover = PREProver(graph, fn, profile, site.kind, max_steps=max_steps)
+    prover = PREProver(
+        graph, fn, profile, site.kind, max_steps=max_steps, witnesses=witnesses
+    )
     value = prover.prove(source, site.target, budget)
     if not value.proven or not value.insertions:
         return None
@@ -309,6 +381,7 @@ def attempt_pre(
         insertion_count=len(value.insertions),
         insertion_frequency=insertion_frequency,
         check_frequency=check_frequency,
+        witness=value.witness,
     )
 
 

@@ -35,8 +35,16 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Optional
+from typing import Callable, Dict, Optional, Tuple
 
+from repro.certify.witness import (
+    AxiomWitness,
+    CycleWitness,
+    EdgeWitness,
+    PhiWitness,
+    Witness,
+    is_closed,
+)
 from repro.core.graph import Edge, InequalityGraph, Node
 from repro.core.lattice import ProofResult
 
@@ -58,6 +66,12 @@ class ProveOutcome:
     #: (steps, depth, or wall-clock deadline) ran out; the result is then a
     #: conservative ``False``.
     budget_exhausted: bool = False
+    #: Which budget ran out first ("steps" | "depth" | "deadline").
+    exhausted_budget: Optional[str] = None
+    #: Proof witness of a proven result (only recorded when the session
+    #: was created with ``witnesses=True``); an independently checkable
+    #: certificate, see :mod:`repro.certify`.
+    witness: Optional[Witness] = None
 
     @property
     def proven(self) -> bool:
@@ -66,11 +80,22 @@ class ProveOutcome:
 
 @dataclass
 class _Memo:
-    """Per-vertex memo with budget subsumption."""
+    """Per-vertex memo with budget subsumption.
+
+    A proven witness is stored alongside its bound only when it is
+    *closed* (no cycle leaves escaping its own subtree): a closed
+    witness recorded at budget ``e`` replays under any budget ``c >= e``
+    regardless of the DFS context, so budget-subsumption reuse stays
+    certifiable.  Open witnesses are never stored; a later hit on such
+    an entry re-derives the witness in its own context (witness-emitting
+    sessions only — plain sessions never consult the witness slots).
+    """
 
     true_at: Optional[int] = None  # smallest budget proven True
     false_at: Optional[int] = None  # largest budget proven False
     reduced_at: Optional[int] = None  # smallest budget proven Reduced
+    true_witness: Optional[Witness] = None
+    reduced_witness: Optional[Witness] = None
 
     def lookup(self, budget: int) -> Optional[ProofResult]:
         if self.true_at is not None and budget >= self.true_at:
@@ -81,16 +106,38 @@ class _Memo:
             return ProofResult.REDUCED
         return None
 
-    def record(self, budget: int, result: ProofResult) -> None:
+    def witness_for(self, result: ProofResult) -> Optional[Witness]:
+        if result is ProofResult.TRUE:
+            return self.true_witness
+        if result is ProofResult.REDUCED:
+            return self.reduced_witness
+        return None
+
+    def record(
+        self, budget: int, result: ProofResult, witness: Optional[Witness] = None
+    ) -> None:
+        if witness is not None and not is_closed(witness):
+            witness = None
         if result is ProofResult.TRUE:
             if self.true_at is None or budget < self.true_at:
                 self.true_at = budget
+                self.true_witness = witness
+            elif witness is not None and self.true_witness is None:
+                # Same-or-weaker bound, but now with a replayable
+                # witness: attach it to the recorded bound only when it
+                # proves at least that bound.
+                if budget <= self.true_at:
+                    self.true_witness = witness
         elif result is ProofResult.FALSE:
             if self.false_at is None or budget > self.false_at:
                 self.false_at = budget
         else:
             if self.reduced_at is None or budget < self.reduced_at:
                 self.reduced_at = budget
+                self.reduced_witness = witness
+            elif witness is not None and self.reduced_witness is None:
+                if budget <= self.reduced_at:
+                    self.reduced_witness = witness
 
 
 class DemandProver:
@@ -108,6 +155,7 @@ class DemandProver:
         max_steps: int = DEFAULT_MAX_STEPS,
         max_depth: Optional[int] = None,
         deadline: Optional[float] = None,
+        witnesses: bool = False,
     ) -> None:
         self._graph = graph
         self._edge_filter = edge_filter
@@ -116,6 +164,8 @@ class DemandProver:
         self._deadline_at = (
             time.monotonic() + deadline if deadline is not None else None
         )
+        #: Record proof witnesses (certificates) alongside proven results.
+        self._witnesses = witnesses
         self._memo: Dict[Node, _Memo] = {}
         self._active: Dict[Node, int] = {}
         self._depth = 0
@@ -127,21 +177,30 @@ class DemandProver:
 
     def demand_prove(self, source: Node, target: Node, budget: int) -> ProveOutcome:
         """Figure 5's ``demandProve``: is ``target - source <= budget``?"""
-        result = self._prove(source, target, budget)
-        return ProveOutcome(result, self.steps, self.budget_exhausted)
+        result, witness = self._prove(source, target, budget)
+        return ProveOutcome(
+            result,
+            self.steps,
+            self.budget_exhausted,
+            self.exhausted_budget,
+            witness if result.proven else None,
+        )
 
     # ------------------------------------------------------------------
     # Figure 5's ``prove``.
     # ------------------------------------------------------------------
 
-    def _exhaust(self, which: str) -> ProofResult:
+    def _exhaust(self, which: str) -> Tuple[ProofResult, Optional[Witness]]:
         # A conservative False is always sound: the check merely stays in.
         self.budget_exhausted = True
         if self.exhausted_budget is None:
             self.exhausted_budget = which
-        return ProofResult.FALSE
+        return ProofResult.FALSE, None
 
-    def _prove(self, a: Node, v: Node, c: int) -> ProofResult:
+    def _axiom(self, v: Node, rule: str) -> Optional[Witness]:
+        return AxiomWitness(v, rule) if self._witnesses else None
+
+    def _prove(self, a: Node, v: Node, c: int) -> Tuple[ProofResult, Optional[Witness]]:
         self.steps += 1
         if self.steps > self._max_steps:
             # Defensive fuel: the algorithm terminates on well-formed
@@ -161,16 +220,24 @@ class DemandProver:
         if memo is not None:
             cached = memo.lookup(c)
             if cached is not None:
-                return cached
+                stored = memo.witness_for(cached)
+                if not self._witnesses or not cached.proven or stored is not None:
+                    return cached, stored
+                # Witness mode, proven result, but the memo entry carries
+                # no replayable witness (the original one was open):
+                # re-derive in the current context rather than answering
+                # without a certificate.
 
         # Reached the source: the empty path has weight 0.
         if v == a and c >= 0:
-            return ProofResult.TRUE
+            return ProofResult.TRUE, self._axiom(v, "source")
 
         # Two constants relate arithmetically (exactly), no traversal needed.
         if v.kind == "const" and a.kind == "const":
             difference = self._graph.const_value(v) - self._graph.const_value(a)
-            return ProofResult.TRUE if difference <= c else ProofResult.FALSE
+            if difference <= c:
+                return ProofResult.TRUE, self._axiom(v, "const-const")
+            return ProofResult.FALSE, None
 
         # Array lengths are non-negative (the paper represents this as an
         # edge of G_I): in the upper graph, const(k) <= len(A) + k for any
@@ -182,33 +249,35 @@ class DemandProver:
             and self._graph.direction == "upper"
             and v.value <= c
         ):
-            return ProofResult.TRUE
+            return ProofResult.TRUE, self._axiom(v, "len-nonneg")
 
         in_edges = self._in_edges(v)
         if not in_edges:
-            return ProofResult.FALSE
+            return ProofResult.FALSE, None
 
         active_budget = self._active.get(v)
         if active_budget is not None:
             if c < active_budget:
                 # The cycle strengthened the query: positive-weight
                 # (amplifying) cycle, cannot bound the variable.
-                return ProofResult.FALSE
-            return ProofResult.REDUCED
+                return ProofResult.FALSE, None
+            return ProofResult.REDUCED, (
+                CycleWitness(v) if self._witnesses else None
+            )
 
         self._active[v] = c
         self._depth += 1
         try:
             if self._graph.is_phi(v):
-                result = self._merge_phi(a, v, c, in_edges)
+                result, witness = self._merge_phi(a, v, c, in_edges)
             else:
-                result = self._merge_min(a, v, c, in_edges)
+                result, witness = self._merge_min(a, v, c, in_edges)
         finally:
             self._depth -= 1
             del self._active[v]
 
-        self._memo.setdefault(v, _Memo()).record(c, result)
-        return result
+        self._memo.setdefault(v, _Memo()).record(c, result, witness)
+        return result, witness
 
     def _in_edges(self, v: Node):
         edges = self._graph.in_edges(v)
@@ -216,25 +285,50 @@ class DemandProver:
             edges = [e for e in edges if self._edge_filter(e)]
         return edges
 
-    def _merge_phi(self, a: Node, v: Node, c: int, in_edges) -> ProofResult:
+    def _merge_phi(
+        self, a: Node, v: Node, c: int, in_edges
+    ) -> Tuple[ProofResult, Optional[Witness]]:
         """Max vertex: meet over all in-edges (all must prove); short-
         circuits on False."""
         result = ProofResult.TRUE
+        branches = []
+        complete = self._witnesses
         for edge in in_edges:
-            result = result.meet(self._prove(a, edge.source, c - edge.weight))
+            sub_result, sub_w = self._prove(a, edge.source, c - edge.weight)
+            result = result.meet(sub_result)
             if result is ProofResult.FALSE:
-                return result
-        return result
+                return result, None
+            if sub_w is None:
+                complete = False
+            branches.append((edge.source, edge.weight, sub_w))
+        witness = PhiWitness(v, tuple(branches)) if complete else None
+        return result, witness
 
-    def _merge_min(self, a: Node, v: Node, c: int, in_edges) -> ProofResult:
+    def _merge_min(
+        self, a: Node, v: Node, c: int, in_edges
+    ) -> Tuple[ProofResult, Optional[Witness]]:
         """Min vertex: join over all in-edges (any suffices); short-
         circuits on True."""
         result = ProofResult.FALSE
+        best: Optional[Tuple[Edge, Optional[Witness]]] = None
         for edge in in_edges:
-            result = result.join(self._prove(a, edge.source, c - edge.weight))
+            sub_result, sub_w = self._prove(a, edge.source, c - edge.weight)
+            joined = result.join(sub_result)
+            if joined is not result or best is None:
+                if sub_result is joined:
+                    best = (edge, sub_w)
+            result = joined
             if result is ProofResult.TRUE:
-                return result
-        return result
+                break
+        if not result.proven or best is None:
+            return result, None
+        edge, sub_w = best
+        witness = (
+            EdgeWitness(v, edge.source, edge.weight, sub_w)
+            if self._witnesses and sub_w is not None
+            else None
+        )
+        return result, witness
 
 
 def demand_prove(

@@ -95,6 +95,15 @@ class AnalysisInvalidationError(ReproError):
     """
 
 
+class CertificateError(ReproError):
+    """A proof-witness certificate was rejected while strict mode was on.
+
+    Outside strict mode the certificate layer contains the rejection: the
+    elimination is revoked (the check stays in the program) and repeated
+    rejections quarantine the function to unoptimized compilation.
+    """
+
+
 class SoundnessGateError(ReproError):
     """The differential soundness gate found an optimized program whose
     behavior diverges from its unoptimized baseline (strict mode only;

@@ -118,6 +118,19 @@ class SessionStats:
     def __init__(self, analysis: Optional[AnalysisManager] = None) -> None:
         self.passes: Dict[str, PassStats] = {}
         self.analysis = analysis
+        #: Certificate counters of the certify pass (certify mode only).
+        self.certificates: Dict[str, int] = {
+            "emitted": 0,
+            "accepted": 0,
+            "rejected": 0,
+        }
+
+    def count_certificates(self, verdicts: Sequence) -> None:
+        """Fold one function's certificate verdicts into the session."""
+        for verdict in verdicts:
+            self.certificates["emitted"] += 1
+            if verdict.status in self.certificates:
+                self.certificates[verdict.status] += 1
 
     def record(
         self, name: str, seconds: float, changed: int = 0, rollback: bool = False
@@ -149,6 +162,14 @@ class SessionStats:
                 f"{entry.rollbacks:>11}{entry.seconds:>10.4f}"
             )
         lines.append(f"{'total':<24}{'':>6}{'':>9}{'':>11}{self.total_seconds:>10.4f}")
+        if self.certificates["emitted"]:
+            lines.append("")
+            lines.append(
+                "certificates: "
+                f"{self.certificates['emitted']} emitted, "
+                f"{self.certificates['accepted']} accepted, "
+                f"{self.certificates['rejected']} rejected"
+            )
         if self.analysis is not None:
             lines.append("")
             lines.append(f"{'analysis cache':<24}{'hits':>6}{'misses':>9}{'seconds':>10}")
@@ -174,6 +195,7 @@ class SessionStats:
                 for entry in self.passes.values()
             ],
             "total_seconds": self.total_seconds,
+            "certificates": dict(self.certificates),
             "analysis": self.analysis.stats() if self.analysis is not None else {},
         }
 

@@ -177,6 +177,40 @@ class PreInsertionPass(Pass):
         )
 
 
+class CertifyPass(Pass):
+    """Replay every pending elimination's proof witness through the
+    independent checker (``repro.certify``) before any check is removed.
+
+    Rejections climb the revocation ladder inside
+    :func:`repro.certify.driver.certify_state`: the elimination is revoked
+    (the site leaves ``state.to_remove``; a PRE transformation is undone),
+    repeated rejections quarantine the function, and strict mode raises
+    :class:`~repro.errors.CertificateError`.  Only revocations of PRE
+    transformations mutate the IR, so the manager's snapshot/verify
+    protocol guards exactly that case.
+    """
+
+    name = "certify"
+    preserves = _CFG_SHAPE  # removes appended straight-line instrs only
+
+    def should_run(self, fn: Function, ctx: PassContext) -> bool:
+        return (
+            ctx.config is not None
+            and getattr(ctx.config, "certify", False)
+            and ("abcd", id(fn)) in ctx.state
+        )
+
+    def run(self, fn: Function, ctx: PassContext) -> int:
+        from repro.certify.driver import certify_state
+
+        state = ctx.state[("abcd", id(fn))]
+        verdicts = certify_state(fn, state, ctx.config, ctx.report)
+        rejected = sum(1 for v in verdicts if v.status == "rejected")
+        if ctx.stats is not None:
+            ctx.stats.count_certificates(verdicts)
+        return rejected
+
+
 class CheckRemovalPass(Pass):
     """Delete the checks the analysis proved redundant and publish the
     per-check records into the context's report.
@@ -219,6 +253,7 @@ PASS_REGISTRY: Dict[str, Pass] = {
         DeadCodeEliminationPass(),
         AbcdAnalysisPass(),
         PreInsertionPass(),
+        CertifyPass(),
         CheckRemovalPass(),
     ]
 }
@@ -257,5 +292,6 @@ def default_optimize_passes() -> List[Pass]:
     return [
         PASS_REGISTRY["abcd"],
         PASS_REGISTRY["pre"],
+        PASS_REGISTRY["certify"],
         PASS_REGISTRY["check-removal"],
     ]

@@ -16,7 +16,11 @@ Every fault carries its *expected containment*:
   behavior and reverting to the unoptimized program;
 * ``"harmless"`` — the corruption is provably conservative (it can only
   prevent eliminations, never enable wrong ones), so behavior is
-  preserved with no intervention.
+  preserved with no intervention;
+* ``"revoke"`` — the corruption forges or mangles a proof witness; the
+  independent certificate checker (:mod:`repro.certify`) must reject it
+  and the revocation ladder keep the affected checks in place, with no
+  crash and no behavioral change.
 
 ``tests/test_fault_injection.py`` asserts every fault lands in its
 expected bucket and that no fault ever crashes the pipeline or lets a
@@ -185,6 +189,80 @@ def _pre_weaken_offset() -> contextlib.AbstractContextManager:
 
 
 # ----------------------------------------------------------------------
+# Certificate faults (corrupt the emitted proof witnesses; the
+# independent checker must reject them and the ladder revoke the
+# eliminations — behavior unchanged, no crash).
+# ----------------------------------------------------------------------
+
+
+def _rewrite_first(witness, predicate, rewrite):
+    """Rewrite the first (pre-order) witness node matching ``predicate``;
+    returns the original tree when nothing matches."""
+    from repro.certify.witness import EdgeWitness, PhiWitness
+
+    if predicate(witness):
+        return rewrite(witness)
+    if isinstance(witness, EdgeWitness):
+        sub = _rewrite_first(witness.sub, predicate, rewrite)
+        if sub is not witness.sub:
+            return dataclasses.replace(witness, sub=sub)
+        return witness
+    if isinstance(witness, PhiWitness):
+        branches = list(witness.branches)
+        for position, (source, weight, sub) in enumerate(branches):
+            new = _rewrite_first(sub, predicate, rewrite)
+            if new is not sub:
+                branches[position] = (source, weight, new)
+                return dataclasses.replace(witness, branches=tuple(branches))
+    return witness
+
+
+def _corrupting_witnesses(mutator: Callable) -> contextlib.AbstractContextManager:
+    """Wrap ``DemandProver.demand_prove`` to corrupt every emitted witness
+    (the producer lies; the independent checker must not believe it)."""
+    from repro.core.solver import DemandProver
+
+    real = DemandProver.demand_prove
+
+    def wrapper(self, source, target, budget):
+        outcome = real(self, source, target, budget)
+        if outcome.witness is not None:
+            outcome.witness = mutator(outcome.witness)
+        return outcome
+
+    return _patched(DemandProver, "demand_prove", wrapper)
+
+
+def _witness_tighten_edge(witness):
+    """Claim an inequality edge 1 tighter than the graph justifies."""
+    from repro.certify.witness import EdgeWitness
+
+    return _rewrite_first(
+        witness,
+        lambda w: isinstance(w, EdgeWitness),
+        lambda w: dataclasses.replace(w, weight=w.weight - 1),
+    )
+
+
+def _witness_drop_phi_branch(witness):
+    """Silently skip one control-flow path of a φ obligation."""
+    from repro.certify.witness import PhiWitness
+
+    return _rewrite_first(
+        witness,
+        lambda w: isinstance(w, PhiWitness) and len(w.branches) > 1,
+        lambda w: dataclasses.replace(w, branches=w.branches[:-1]),
+    )
+
+
+def _witness_forge_cycle(witness):
+    """Replace the whole derivation with a forged harmless-cycle leaf."""
+    from repro.certify.witness import CycleWitness
+
+    return CycleWitness(witness.vertex)
+
+
+# ----------------------------------------------------------------------
 # Opt-pass faults (exceptions mid-flight, malformed IR).
 # ----------------------------------------------------------------------
 
@@ -232,14 +310,16 @@ class FaultSpec:
     """One registered fault kind."""
 
     name: str
-    #: "graph" | "solver" | "pre" | "pass"
+    #: "graph" | "solver" | "pre" | "pass" | "certificate"
     category: str
     description: str
-    #: "rollback" | "gate" | "harmless" — expected containment.
+    #: "rollback" | "gate" | "harmless" | "revoke" — expected containment.
     expect: str
     #: Scenario key (see :data:`SCENARIOS`).
     scenario: str
     inject: Callable[[], contextlib.AbstractContextManager]
+    #: The trial must run in certify mode (witness emission + checker).
+    certify: bool = False
 
 
 FAULTS: Dict[str, FaultSpec] = {
@@ -299,6 +379,29 @@ FAULTS: Dict[str, FaultSpec] = {
             "compensating checks probe a smaller index than required",
             "gate", "pre_trap",
             _pre_weaken_offset,
+        ),
+        FaultSpec(
+            "cert-corrupt-edge-weight", "certificate",
+            "emitted witnesses claim an inequality edge 1 tighter than "
+            "the graph has",
+            "revoke", "off_by_one",
+            lambda: _corrupting_witnesses(_witness_tighten_edge),
+            certify=True,
+        ),
+        FaultSpec(
+            "cert-drop-phi-branch", "certificate",
+            "emitted witnesses omit one control-flow path of a phi "
+            "obligation",
+            "revoke", "off_by_one",
+            lambda: _corrupting_witnesses(_witness_drop_phi_branch),
+            certify=True,
+        ),
+        FaultSpec(
+            "cert-forge-cycle", "certificate",
+            "emitted witnesses are replaced by a forged harmless-cycle leaf",
+            "revoke", "off_by_one",
+            lambda: _corrupting_witnesses(_witness_forge_cycle),
+            certify=True,
         ),
         FaultSpec(
             "opt-pass-raises", "pass",
@@ -429,6 +532,11 @@ class FaultTrial:
         return contained
 
     @property
+    def revocations(self) -> int:
+        """Eliminations the certificate checker revoked (certify mode)."""
+        return self.report.revoked_count if self.report is not None else 0
+
+    @property
     def contained(self) -> bool:
         """The net held: no crash, and the final program is sound."""
         return not self.crashed and self.final_matched
@@ -464,6 +572,8 @@ def run_trial(
             trial.compile_rollbacks = guard.rollback_count
 
             cfg = dataclasses.replace(config) if config is not None else ABCDConfig()
+            if fault.certify:
+                cfg.certify = True
             profile = None
             if scenario.pre:
                 cfg.pre = True

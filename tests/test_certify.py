@@ -1,0 +1,372 @@
+"""Proof-witness certificate tests (``repro.certify``).
+
+Covers the witness grammar's corner cases on hand-built inequality
+graphs (harmless-cycle closures, φ meets, memo budget-subsumption
+reuse), the independent checker's rejection conditions, the revocation
+ladder (single revoke → quarantine → ``--strict`` escalation), PRE
+assumption certificates, deterministic serialization across fresh
+sessions, and corpus-wide zero-rejection certification.
+"""
+
+import json
+
+import pytest
+
+from repro.bench.corpus import CORPUS
+from repro.certify import (
+    CertificateRejected,
+    certificates_to_json,
+    certify_state,
+    check_witness,
+)
+from repro.certify.witness import (
+    AxiomWitness,
+    CycleWitness,
+    EdgeWitness,
+    PhiWitness,
+    is_closed,
+    witness_to_json,
+)
+from repro.core import abcd as abcd_module
+from repro.core.abcd import ABCDConfig, ABCDReport
+from repro.core.graph import InequalityGraph, const_node, len_node, var_node
+from repro.core.solver import DemandProver
+from repro.errors import CertificateError
+from repro.ir.instructions import CheckLower, CheckUpper
+from repro.passes.session import CompilationSession
+from repro.pipeline import abcd, compile_source, run
+from repro.runtime.profiler import collect_profile
+
+A = len_node("A")
+I = var_node("i")
+I0 = var_node("i0")
+I2 = var_node("i2")
+
+
+def _prove_with_witness(graph, source, target, budget):
+    outcome = DemandProver(graph, witnesses=True).demand_prove(
+        source, target, budget
+    )
+    return outcome
+
+
+# ----------------------------------------------------------------------
+# Hand-built graphs: grammar corner cases.
+# ----------------------------------------------------------------------
+
+
+class TestWitnessReplay:
+    def test_chain_witness_replays(self):
+        graph = InequalityGraph()
+        graph.add_edge(A, var_node("n"), 0)
+        graph.add_edge(var_node("n"), I, -2)
+        outcome = _prove_with_witness(graph, A, I, -1)
+        assert outcome.result.proven
+        assert is_closed(outcome.witness)
+        check_witness(graph, A, I, -1, outcome.witness)
+
+    def test_len_nonneg_axiom_replays(self):
+        graph = InequalityGraph("upper")
+        outcome = _prove_with_witness(graph, A, const_node(0), 0)
+        assert outcome.result.proven
+        assert isinstance(outcome.witness, AxiomWitness)
+        assert outcome.witness.rule == "len-nonneg"
+        check_witness(graph, A, const_node(0), 0, outcome.witness)
+
+    def test_plain_session_emits_no_witness(self):
+        graph = InequalityGraph()
+        graph.add_edge(A, I, -1)
+        outcome = DemandProver(graph).demand_prove(A, I, -1)
+        assert outcome.result.proven
+        assert outcome.witness is None
+
+    def test_missing_witness_is_rejected(self):
+        graph = InequalityGraph()
+        graph.add_edge(A, I, -1)
+        with pytest.raises(CertificateRejected, match="no witness"):
+            check_witness(graph, A, I, -1, None)
+
+
+def _reduced_loop_graph(step: int) -> InequalityGraph:
+    """``i = φ(i0, i2)`` with ``i0 <= len(A) - 1`` and ``i2 <= i + step``
+    (``step <= 0`` makes the loop-carried cycle harmless)."""
+    graph = InequalityGraph("upper")
+    graph.add_edge(A, I0, -1)
+    graph.add_edge(I0, I, 0)
+    graph.add_edge(I2, I, 0)
+    graph.add_edge(I, I2, step)
+    graph.mark_phi(I)
+    return graph
+
+
+class TestCycleWitnesses:
+    def test_reduced_cycle_witness_replays(self):
+        graph = _reduced_loop_graph(step=-1)
+        outcome = _prove_with_witness(graph, A, I, -1)
+        assert outcome.result.proven
+        assert is_closed(outcome.witness)
+        # The loop-carried branch must close as a harmless cycle on i.
+        assert isinstance(outcome.witness, PhiWitness)
+        subs = {source: sub for source, _, sub in outcome.witness.branches}
+        assert isinstance(subs[I2], EdgeWitness)
+        assert subs[I2].sub == CycleWitness(I)
+        check_witness(graph, A, I, -1, outcome.witness)
+
+    def test_amplifying_cycle_is_not_proven(self):
+        outcome = _prove_with_witness(_reduced_loop_graph(step=1), A, I, -1)
+        assert not outcome.result.proven
+        assert outcome.witness is None
+
+    def test_forged_cycle_on_amplifying_graph_rejected(self):
+        # Hand-forge the witness the solver refused to emit: the checker's
+        # own telescoping sees the +1 cycle weight and rejects it.
+        graph = _reduced_loop_graph(step=1)
+        forged = PhiWitness(
+            I,
+            (
+                (I0, 0, EdgeWitness(I0, A, -1, AxiomWitness(A, "source"))),
+                (I2, 0, EdgeWitness(I2, I, 1, CycleWitness(I))),
+            ),
+        )
+        with pytest.raises(CertificateRejected, match="amplifying cycle"):
+            check_witness(graph, A, I, -1, forged)
+
+    def test_cycle_without_phi_rejected(self):
+        # Section-4 consistency: a φ-free "harmless" cycle proves nothing.
+        graph = InequalityGraph("upper")
+        x, y = var_node("x"), var_node("y")
+        graph.add_edge(y, x, 0)
+        graph.add_edge(x, y, 0)
+        forged = EdgeWitness(x, y, 0, EdgeWitness(y, x, 0, CycleWitness(x)))
+        with pytest.raises(CertificateRejected, match="no φ vertex"):
+            check_witness(graph, A, x, -1, forged)
+
+    def test_cycle_at_root_rejected(self):
+        graph = _reduced_loop_graph(step=-1)
+        with pytest.raises(CertificateRejected, match="not active"):
+            check_witness(graph, A, I, -1, CycleWitness(I))
+
+
+class TestPhiWitnesses:
+    def test_dropped_phi_branch_rejected(self):
+        graph = _reduced_loop_graph(step=-1)
+        witness = _prove_with_witness(graph, A, I, -1).witness
+        pruned = PhiWitness(I, witness.branches[:1])
+        with pytest.raises(CertificateRejected, match="not discharged"):
+            check_witness(graph, A, I, -1, pruned)
+
+    def test_invented_phi_branch_rejected(self):
+        graph = _reduced_loop_graph(step=-1)
+        witness = _prove_with_witness(graph, A, I, -1).witness
+        stray = (var_node("ghost"), 0, AxiomWitness(var_node("ghost"), "source"))
+        forged = PhiWitness(I, witness.branches + (stray,))
+        with pytest.raises(CertificateRejected, match="no.*backing"):
+            check_witness(graph, A, I, -1, forged)
+
+    def test_tightened_edge_weight_rejected(self):
+        graph = InequalityGraph()
+        graph.add_edge(A, I, -1)
+        witness = _prove_with_witness(graph, A, I, -1).witness
+        assert isinstance(witness, EdgeWitness)
+        tightened = EdgeWitness(I, A, -2, witness.sub)
+        with pytest.raises(CertificateRejected, match="no graph edge"):
+            check_witness(graph, A, I, -2, tightened)
+
+
+class TestMemoSubsumption:
+    def test_memo_reuse_yields_replayable_witness(self):
+        # Two φ branches funnel through one shared vertex; the second
+        # branch hits the memo at a *larger* telescoped budget and must
+        # reuse the closed witness recorded at the smaller bound.
+        graph = InequalityGraph("upper")
+        m, p, q, s = (var_node(n) for n in ("m", "p", "q", "s"))
+        graph.add_edge(p, m, 0)
+        graph.add_edge(q, m, 0)
+        graph.mark_phi(m)
+        graph.add_edge(s, p, 0)
+        graph.add_edge(s, q, -1)
+        graph.add_edge(A, s, -2)
+        outcome = _prove_with_witness(graph, A, m, -1)
+        assert outcome.result.proven
+        subs = {source: sub for source, _, sub in outcome.witness.branches}
+        # Same witness *object*: the memo hit reused it, it was not
+        # re-derived.
+        assert subs[p].sub is subs[q].sub
+        assert is_closed(outcome.witness)
+        check_witness(graph, A, m, -1, outcome.witness)
+
+
+# ----------------------------------------------------------------------
+# The revocation ladder (driver-level, against real analysis state).
+# ----------------------------------------------------------------------
+
+LOOP_SRC = """
+fn main(): int {
+  let a: int[] = new int[20];
+  let s: int = 0;
+  for (let i: int = 0; i < len(a); i = i + 1) {
+    s = s + a[i];
+  }
+  return s;
+}
+"""
+
+
+def _analyzed_state(config):
+    program = compile_source(LOOP_SRC)
+    fn = program.functions["main"]
+    state = abcd_module.analyze_checks(fn, program, config)
+    records = {a.check_id: a for a in state.analyses}
+    return program, fn, state, records
+
+
+class TestRevocationLadder:
+    def test_clean_state_certifies_fully(self):
+        config = ABCDConfig(certify=True)
+        _, fn, state, _ = _analyzed_state(config)
+        assert len(state.to_remove) == 2
+        verdicts = certify_state(fn, state, config)
+        assert [v.status for v in verdicts] == ["accepted", "accepted"]
+        assert len(state.to_remove) == 2
+
+    def test_single_rejection_revokes_exactly_that_check(self):
+        config = ABCDConfig(certify=True, certify_quarantine=99)
+        _, fn, state, records = _analyzed_state(config)
+        victim = state.to_remove[0]
+        record = records[victim.instr.check_id]
+        record.witness = CycleWitness(victim.target)  # forged
+        report = ABCDReport()
+        verdicts = certify_state(fn, state, config, report)
+        assert sorted(v.status for v in verdicts) == ["accepted", "rejected"]
+        assert record.revoked and not record.eliminated
+        assert victim not in state.to_remove
+        assert len(state.to_remove) == 1
+        assert report.quarantined_functions == []
+
+    def test_repeated_rejections_quarantine_the_function(self):
+        config = ABCDConfig(certify=True, certify_quarantine=2)
+        _, fn, state, records = _analyzed_state(config)
+        for site in state.to_remove:
+            records[site.instr.check_id].witness = None
+        report = ABCDReport()
+        certify_state(fn, state, config, report)
+        assert state.to_remove == []
+        assert report.quarantined_functions == ["main"]
+        assert all(r.revoked for r in records.values() if r.certificate)
+
+    def test_strict_mode_escalates_to_error(self):
+        config = ABCDConfig(certify=True, strict=True)
+        _, fn, state, records = _analyzed_state(config)
+        records[state.to_remove[0].instr.check_id].witness = None
+        with pytest.raises(CertificateError, match="certificate rejected"):
+            certify_state(fn, state, config)
+
+    def test_revoked_check_stays_in_the_program(self):
+        # End-to-end through the pass pipeline: corrupt one witness, run
+        # certify mode, and verify the revoked check still executes.
+        from repro.core.solver import DemandProver as Prover
+
+        real = Prover.demand_prove
+        state = {"first": True}
+
+        def corrupt_first(self, source, target, budget):
+            outcome = real(self, source, target, budget)
+            if outcome.witness is not None and state["first"]:
+                state["first"] = False
+                outcome.witness = CycleWitness(target)
+            return outcome
+
+        program = compile_source(LOOP_SRC)
+        Prover.demand_prove = corrupt_first
+        try:
+            report = abcd(
+                program, config=ABCDConfig(certify=True, certify_quarantine=99)
+            )
+        finally:
+            Prover.demand_prove = real
+        assert report.certificates_rejected == 1
+        assert report.revoked_count == 1
+        survivors = [
+            instr
+            for fn in program.functions.values()
+            for instr in fn.all_instructions()
+            if isinstance(instr, (CheckLower, CheckUpper))
+        ]
+        assert len(survivors) == 1
+        baseline = run(compile_source(LOOP_SRC), "main").value
+        assert run(program, "main").value == baseline
+
+
+# ----------------------------------------------------------------------
+# PRE assumption certificates.
+# ----------------------------------------------------------------------
+
+PRE_SRC = """
+fn kernel(a: int[], k: int, n: int): int {
+  let s: int = 0;
+  let r: int = 0;
+  while (r < n) {
+    s = s + a[k];
+    r = r + 1;
+  }
+  return s;
+}
+fn main(): int {
+  let a: int[] = new int[8];
+  return kernel(a, 3, 40);
+}
+"""
+
+
+class TestPreCertificates:
+    def test_pre_transformation_certifies(self):
+        program = compile_source(PRE_SRC)
+        profile = collect_profile(program, "main")
+        report = abcd(
+            program,
+            config=ABCDConfig(certify=True, pre=True),
+            pre=True,
+            profile=profile,
+        )
+        pre_records = [a for a in report.analyses if a.pre_applied]
+        assert pre_records, "scenario no longer triggers PRE"
+        assert all(r.certificate == "accepted" for r in pre_records)
+        assert report.certificates_rejected == 0
+        baseline = run(compile_source(PRE_SRC), "main").value
+        assert run(program, "main").value == baseline
+
+
+# ----------------------------------------------------------------------
+# Determinism and corpus-wide certification.
+# ----------------------------------------------------------------------
+
+
+def _certified_json(source: str) -> str:
+    session = CompilationSession(config=ABCDConfig(certify=True))
+    program = session.compile(source)
+    report = session.optimize(program)
+    return json.dumps(certificates_to_json(report), sort_keys=True)
+
+
+class TestDeterminism:
+    def test_two_fresh_sessions_serialize_identically(self):
+        source = CORPUS[0].source()
+        assert _certified_json(source) == _certified_json(source)
+
+    def test_witness_json_is_plain_data(self):
+        graph = _reduced_loop_graph(step=-1)
+        payload = witness_to_json(_prove_with_witness(graph, A, I, -1).witness)
+        assert payload["node"] == "phi"
+        json.dumps(payload)  # must be JSON-serializable as-is
+
+
+@pytest.mark.parametrize("bench", CORPUS, ids=lambda b: b.name)
+def test_corpus_certifies_without_rejection(bench):
+    session = CompilationSession(config=ABCDConfig(certify=True))
+    program = session.compile(bench.source())
+    report = session.optimize(program)
+    assert report.certificates_rejected == 0
+    assert report.revoked_count == 0
+    assert report.quarantined_functions == []
+    # Every elimination carried a certificate and every one was accepted.
+    assert report.certificates_accepted == report.eliminated_count()

@@ -10,6 +10,9 @@ Containment contract, per fault's declared expectation:
   differential gate can catch: the gate must revert the optimization.
 * ``harmless`` — the fault is conservative (can only lose eliminations),
   so neither layer intervenes and behavior is untouched.
+* ``revoke`` — the fault corrupts emitted proof witnesses; the
+  independent certificate checker rejects them and the revocation ladder
+  keeps the affected checks in place (no crash, no gate revert needed).
 
 In every case the pipeline must not crash and the final program must
 behave identically to a clean (fault-free) compile of the same source.
@@ -25,14 +28,16 @@ ALL_FAULT_NAMES = sorted(FAULTS)
 
 def test_fault_registry_covers_required_layers():
     categories = {spec.category for spec in FAULTS.values()}
-    assert {"graph", "solver", "pre", "pass"} <= categories
+    assert {"graph", "solver", "pre", "pass", "certificate"} <= categories
     assert len(FAULTS) >= 8
 
 
 def test_every_fault_names_a_known_scenario():
     for spec in FAULTS.values():
         assert spec.scenario in SCENARIOS
-        assert spec.expect in ("rollback", "gate", "harmless")
+        assert spec.expect in ("rollback", "gate", "harmless", "revoke")
+        # Only witness corruption needs certify mode.
+        assert spec.certify == (spec.expect == "revoke")
 
 
 @pytest.mark.parametrize("fault_name", ALL_FAULT_NAMES)
@@ -58,6 +63,17 @@ def test_fault_lands_in_expected_bucket(fault_name):
     elif expect == "gate":
         assert trial.gate_reverted, (
             f"{fault_name}: unsound IR escaped the differential gate"
+        )
+    elif expect == "revoke":
+        assert trial.report is not None
+        assert trial.report.certificates_rejected > 0, (
+            f"{fault_name}: the checker believed a corrupted witness"
+        )
+        assert trial.revocations > 0, (
+            f"{fault_name}: rejection did not revoke any elimination"
+        )
+        assert not trial.gate_reverted, (
+            f"{fault_name}: revocation should leave nothing for the gate"
         )
     else:  # harmless
         assert trial.rollbacks == 0, f"{fault_name}: spurious rollback"
@@ -119,6 +135,7 @@ def test_injection_is_scoped():
         abcd_module.DemandProver,
         pre_module._insert_compensating_check,
         _Memo.lookup,
+        DemandProver.demand_prove,
     )
     for name in ALL_FAULT_NAMES:
         run_trial(name)
@@ -127,6 +144,7 @@ def test_injection_is_scoped():
         abcd_module.DemandProver,
         pre_module._insert_compensating_check,
         _Memo.lookup,
+        DemandProver.demand_prove,
     )
     assert before == after
     assert abcd_module.DemandProver is DemandProver

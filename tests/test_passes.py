@@ -251,6 +251,7 @@ class TestRegistry:
             "dce",
             "abcd",
             "pre",
+            "certify",
             "check-removal",
         }
         for name, p in PASS_REGISTRY.items():
@@ -270,6 +271,7 @@ class TestRegistry:
         assert [p.name for p in default_optimize_passes()] == [
             "abcd",
             "pre",
+            "certify",
             "check-removal",
         ]
 
