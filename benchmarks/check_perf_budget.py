@@ -1,0 +1,107 @@
+#!/usr/bin/env python
+"""Gate the standard-pipeline sparseness counters against a budget.
+
+Reads ``repro bench --json`` output (stdin or ``--input FILE``), extracts
+``instructions_visited`` for the ``standard-pipeline`` pass of every bench
+program, and compares each against ``benchmarks/perf_budget.json``:
+
+* a program exceeding its budget by more than the file's ``tolerance``
+  (default 20%) fails the check — the worklist got denser;
+* a program missing from the budget fails the check — new programs must
+  be budgeted explicitly;
+* ``--write`` instead refreshes the budget file with the measured values
+  (for intentional changes; commit the diff).
+
+Exit status: 0 when all programs are within budget, 1 otherwise.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+BUDGET_PATH = Path(__file__).resolve().parent / "perf_budget.json"
+PASS_NAME = "standard-pipeline"
+
+
+def measured_visits(bench_results) -> dict:
+    visits = {}
+    for entry in bench_results:
+        for record in entry.get("session_stats", {}).get("passes", []):
+            if record["name"] == PASS_NAME:
+                visits[entry["name"]] = record["instructions_visited"]
+    return visits
+
+
+def check(visits: dict, budget: dict) -> int:
+    tolerance = budget.get("tolerance", 0.20)
+    budgeted = budget["standard_pipeline_instructions_visited"]
+    failures = []
+    for name, visited in sorted(visits.items()):
+        allowed = budgeted.get(name)
+        if allowed is None:
+            failures.append(f"{name}: not budgeted (measured {visited})")
+            continue
+        ceiling = allowed * (1.0 + tolerance)
+        status = "ok" if visited <= ceiling else "FAIL"
+        print(
+            f"{name:>18}: visited {visited:>6} budget {allowed:>6} "
+            f"(ceiling {ceiling:>8.1f}) {status}"
+        )
+        if visited > ceiling:
+            failures.append(
+                f"{name}: {visited} visited > {ceiling:.1f} "
+                f"({allowed} +{tolerance:.0%})"
+            )
+    total = sum(visits.values())
+    total_budget = sum(budgeted.get(name, 0) for name in visits)
+    print(f"{'TOTAL':>18}: visited {total:>6} budget {total_budget:>6}")
+    for failure in failures:
+        print(f"perf budget exceeded: {failure}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+def write_budget(visits: dict, budget: dict) -> None:
+    budget["standard_pipeline_instructions_visited"] = {
+        name: visits[name] for name in visits
+    }
+    BUDGET_PATH.write_text(json.dumps(budget, indent=2) + "\n")
+    print(f"budget refreshed: {BUDGET_PATH}")
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--input",
+        help="bench --json output file (default: read stdin)",
+    )
+    parser.add_argument(
+        "--write",
+        action="store_true",
+        help="refresh the budget file with the measured values",
+    )
+    args = parser.parse_args(argv)
+
+    if args.input:
+        bench_results = json.loads(Path(args.input).read_text())
+    else:
+        bench_results = json.load(sys.stdin)
+    budget = json.loads(BUDGET_PATH.read_text())
+
+    visits = measured_visits(bench_results)
+    if not visits:
+        print(
+            f"no '{PASS_NAME}' pass stats found in bench output",
+            file=sys.stderr,
+        )
+        return 1
+    if args.write:
+        write_budget(visits, budget)
+        return 0
+    return check(visits, budget)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

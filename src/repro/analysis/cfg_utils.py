@@ -24,8 +24,10 @@ def split_edge(fn: Function, from_label: str, to_label: str) -> BasicBlock:
     ambiguous φs they create.
     """
     middle = fn.new_block("edge")
-    middle.terminator = Jump(to_label)
+    fn.set_terminator(middle.label, Jump(to_label))
     fn.blocks[from_label].replace_successor(to_label, middle.label)
+    # Re-keying φ incomings changes labels only, never operands, so the
+    # def-use index needs no reconciliation here.
     for phi in fn.blocks[to_label].phis:
         if from_label in phi.incomings:
             phi.incomings[middle.label] = phi.incomings.pop(from_label)

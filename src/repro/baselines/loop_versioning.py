@@ -35,7 +35,6 @@ or non-inductive checks.
 
 from __future__ import annotations
 
-import copy as copy_module
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Set, Tuple, Union
 
@@ -132,8 +131,12 @@ def version_loops(fn: Function, program: Program, analysis=None) -> VersioningRe
             plans.append(plan)
     for plan in plans:
         _apply(fn, program, plan, report)
-    if plans and analysis is not None:
-        analysis.invalidate(fn)
+    if plans:
+        # Versioning clones blocks and rewires edges directly; drop the
+        # def-use index along with any cached analyses.
+        fn.invalidate_def_use()
+        if analysis is not None:
+            analysis.invalidate(fn)
     return report
 
 
@@ -415,8 +418,12 @@ def _apply(fn: Function, program: Program, plan: _LoopPlan, report: VersioningRe
             # are the same source check, so exception attribution and
             # per-check dynamic counting stay comparable with the
             # unversioned program.
-            clone.body.append(copy_module.deepcopy(instr))
-        terminator = copy_module.deepcopy(source_block.terminator)
+            clone.body.append(instr.clone())
+        terminator = (
+            source_block.terminator.clone()
+            if source_block.terminator is not None
+            else None
+        )
         if isinstance(terminator, Jump) and terminator.target in label_map:
             terminator.target = label_map[terminator.target]
         elif isinstance(terminator, Branch):

@@ -211,15 +211,12 @@ def _undo_pre(fn, site) -> None:
     site.instr.guard_group = None
     if group is None:
         return
-    for block in fn.blocks.values():
-        block.body = [
-            instr
-            for instr in block.body
-            if not (
-                isinstance(instr, SpeculativeCheck)
-                and instr.guard_group == group
-            )
-        ]
+    # Locate the group's compensating checks through the def-use type
+    # index and remove them with the chain-maintaining mutator.
+    chains = fn.def_use()
+    for instr in chains.instrs_of_type(SpeculativeCheck):
+        if instr.guard_group == group:  # type: ignore[union-attr]
+            fn.remove_instr(chains.block_of(instr), instr)
 
 
 def _quarantine(fn, state, records) -> None:

@@ -552,6 +552,9 @@ def _guarded_pre(
             block = fn.blocks.get(label)
             if block is not None and len(block.body) > length:
                 del block.body[length:]
+        # The truncation above bypasses the mutator API; drop the def-use
+        # index so the next query rebuilds from the rolled-back bodies.
+        fn.invalidate_def_use()
         site.instr.guard_group = old_guard_group
         from repro.errors import IRVerificationError
 
@@ -614,5 +617,6 @@ def _gvn_retry(
 
 
 def _remove_instr(fn: Function, site: _CheckSite) -> None:
-    block = fn.blocks[site.block]
-    block.body = [instr for instr in block.body if instr is not site.instr]
+    # Chain-maintaining removal: the check's operand uses leave the
+    # def-use index along with the instruction.
+    fn.remove_instr(site.block, site.instr)

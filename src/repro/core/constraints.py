@@ -47,7 +47,7 @@ same discipline:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Set
+from typing import Dict, List, Set
 
 from repro.core.graph import InequalityGraph, Node, const_node, len_node, var_node
 from repro.ir.function import Function
@@ -109,19 +109,41 @@ def _augment_with_gvn(fn: Function, bundle: GraphBundle, gvn, domtree=None) -> N
         from repro.analysis.dominance import DominatorTree
 
         domtree = DominatorTree.compute(fn)
-    positions = {}
-    for label in fn.reachable_blocks():
-        for index, instr in enumerate(fn.blocks[label].instructions()):
-            dest = instr.defs()
-            if dest is not None:
-                positions[dest] = (label, index)
-    for param in fn.params:
-        positions[param] = (fn.entry, -1)
+    # Def positions on demand from the def-use index: only blocks that
+    # actually hold a congruence-class member's def get their intra-block
+    # order materialized.
+    chains = fn.def_use()
+    reachable = set(fn.reachable_blocks())
+    param_set = set(fn.params)
+    block_orders: Dict[str, Dict[str, int]] = {}
+
+    def order_in(label: str) -> Dict[str, int]:
+        cached = block_orders.get(label)
+        if cached is None:
+            cached = {}
+            for index, instr in enumerate(fn.blocks[label].instructions()):
+                dest = instr.defs()
+                if dest is not None:
+                    cached[dest] = index
+            block_orders[label] = cached
+        return cached
+
+    def position_of(name: str):
+        if name in param_set:
+            return (fn.entry, -1)
+        def_instr = chains.def_of(name)
+        if def_instr is None:
+            return None
+        label = chains.block_of(def_instr)
+        if label not in reachable:
+            return None
+        return (label, order_in(label)[name])
 
     def dominates_def(u: str, v: str) -> bool:
-        if u not in positions or v not in positions:
+        pu, pv = position_of(u), position_of(v)
+        if pu is None or pv is None:
             return False
-        (bu, iu), (bv, iv) = positions[u], positions[v]
+        (bu, iu), (bv, iv) = pu, pv
         if bu == bv:
             return iu < iv
         return domtree.dominates(bu, bv)
@@ -150,33 +172,55 @@ def _augment_with_gvn(fn: Function, bundle: GraphBundle, gvn, domtree=None) -> N
 def collect_array_vars(fn: Function) -> Set[str]:
     """Fixpoint of "holds an array reference": direct array uses plus
     closure over copies, φs, and πs (both directions, since aliases of an
-    array are arrays)."""
-    direct: Set[str] = set()
-    flows: List[tuple] = []
-    for instr in fn.all_instructions():
-        if isinstance(instr, ArrayNew):
-            direct.add(instr.dest)
-        elif isinstance(instr, (ArrayLen, ArrayLoad, ArrayStore, CheckUpper)):
-            direct.add(instr.array)
-        elif isinstance(instr, Copy) and isinstance(instr.src, Var):
-            flows.append((instr.dest, instr.src.name))
-        elif isinstance(instr, Pi):
-            flows.append((instr.dest, instr.src))
-        elif isinstance(instr, Phi):
-            for operand in instr.incomings.values():
-                if isinstance(operand, Var):
-                    flows.append((instr.dest, operand.name))
-    arrays = set(direct)
-    changed = True
-    while changed:
-        changed = False
-        for dest, src in flows:
-            if src in arrays and dest not in arrays:
-                arrays.add(dest)
-                changed = True
-            elif dest in arrays and src not in arrays:
-                arrays.add(src)
-                changed = True
+    array are arrays).
+
+    Sparse formulation over the def-use index: seeds come from the type
+    index (no function scan), and the closure walks only the use lists and
+    defining instructions of names already known to be arrays.
+    """
+    chains = fn.def_use()
+    arrays: Set[str] = set()
+    pending: List[str] = []
+
+    def add(name: str) -> None:
+        if name not in arrays:
+            arrays.add(name)
+            pending.append(name)
+
+    for instr in chains.instrs_of_type(ArrayNew):
+        assert isinstance(instr, ArrayNew)
+        add(instr.dest)
+    for direct_type in (ArrayLen, ArrayLoad, ArrayStore, CheckUpper):
+        for instr in chains.instrs_of_type(direct_type):
+            add(instr.array)  # type: ignore[union-attr]
+
+    while pending:
+        name = pending.pop()
+        # Forward flow: users that alias the value onward.
+        for user in chains.users_of(name):
+            if isinstance(user, Copy):
+                if isinstance(user.src, Var) and user.src.name == name:
+                    add(user.dest)
+            elif isinstance(user, Pi):
+                if user.src == name:
+                    add(user.dest)
+            elif isinstance(user, Phi):
+                if any(
+                    isinstance(op, Var) and op.name == name
+                    for op in user.incomings.values()
+                ):
+                    add(user.dest)
+        # Backward flow: whatever defined this alias is an array too.
+        for def_instr in chains.defs_of(name):
+            if isinstance(def_instr, Copy):
+                if isinstance(def_instr.src, Var):
+                    add(def_instr.src.name)
+            elif isinstance(def_instr, Pi):
+                add(def_instr.src)
+            elif isinstance(def_instr, Phi):
+                for op in def_instr.incomings.values():
+                    if isinstance(op, Var):
+                        add(op.name)
     return arrays
 
 

@@ -402,13 +402,8 @@ def _insertions_safe(fn: Function, site, insertions, domtree=None) -> bool:
 
 
 def _defining_block(fn: Function, name: str) -> Optional[str]:
-    if name in fn.params:
-        return fn.entry
-    for label in fn.reachable_blocks():
-        for instr in fn.blocks[label].instructions():
-            if instr.defs() == name:
-                return label
-    return None
+    # Served by the def-use index (covers parameters via the entry block).
+    return fn.def_use().def_block_of(name)
 
 
 def _insert_compensating_check(
@@ -421,7 +416,6 @@ def _insert_compensating_check(
     """Materialize ``operand + offset`` and the speculative check at the
     end of the predecessor block (critical edges were split before SSA, so
     the predecessor of a multi-predecessor block has a single successor)."""
-    block = fn.blocks[point.pred]
     index: Operand
     if point.offset == 0:
         index = point.operand
@@ -429,9 +423,12 @@ def _insert_compensating_check(
         index = Const(point.operand.value + point.offset)
     else:
         temp = fn.new_temp("cmp")
-        block.body.append(BinOp(temp, "add", point.operand, Const(point.offset)))
+        fn.append_instr(
+            point.pred, BinOp(temp, "add", point.operand, Const(point.offset))
+        )
         index = Var(temp)
-    block.body.append(
+    fn.append_instr(
+        point.pred,
         SpeculativeCheck(
             kind=site.kind,
             index=index,

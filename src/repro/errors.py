@@ -95,6 +95,19 @@ class AnalysisInvalidationError(ReproError):
     """
 
 
+class DefUseIntegrityError(AnalysisInvalidationError):
+    """The incremental def-use index disagrees with the IR (debug mode).
+
+    Raised by :meth:`repro.ir.defuse.DefUseChains.assert_consistent` when a
+    rebuild-from-scratch finds a dangling use, a stale index entry, or a
+    use-list out of sync — i.e. a pass mutated the function without going
+    through the chain-maintaining mutators and without invalidating the
+    index.  Subclasses :class:`AnalysisInvalidationError` because the
+    def-use index is exactly a cached analysis whose declared maintenance
+    was violated.
+    """
+
+
 class CertificateError(ReproError):
     """A proof-witness certificate was rejected while strict mode was on.
 

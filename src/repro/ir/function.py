@@ -7,10 +7,13 @@ Each block keeps its φ-instructions separately from its straight-line body
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, List, Optional
+from typing import TYPE_CHECKING, Dict, Iterator, List, Optional
 
 from repro.frontend.types import Type
 from repro.ir.instructions import Branch, Instr, Jump, Phi, Return
+
+if TYPE_CHECKING:
+    from repro.ir.defuse import DefUseChains
 
 
 class BasicBlock:
@@ -88,6 +91,8 @@ class Function:
         self.ssa_form: str = "none"
         self._next_label = 0
         self._next_temp = 0
+        #: Lazily built def-use index (see :mod:`repro.ir.defuse`).
+        self._defuse: Optional["DefUseChains"] = None
 
     # ------------------------------------------------------------------
     # Construction helpers.
@@ -113,6 +118,106 @@ class Function:
         name = f"%{hint}{self._next_temp}"
         self._next_temp += 1
         return name
+
+    # ------------------------------------------------------------------
+    # Def-use chains.
+    # ------------------------------------------------------------------
+
+    def def_use(self) -> "DefUseChains":
+        """The function's def-use index, built lazily and kept current by
+        the mutator methods below.  Passes that mutate the IR without
+        going through those mutators must call :meth:`invalidate_def_use`
+        first (debug mode verifies this after every pass)."""
+        if self._defuse is None:
+            from repro.ir.defuse import DefUseChains
+
+            self._defuse = DefUseChains.build(self)
+        return self._defuse
+
+    def has_def_use(self) -> bool:
+        """Whether a def-use index is currently materialized."""
+        return self._defuse is not None
+
+    def invalidate_def_use(self) -> None:
+        """Drop the def-use index (the next :meth:`def_use` rebuilds)."""
+        self._defuse = None
+
+    def rebuild_def_use(self) -> "DefUseChains":
+        """Force a fresh build of the def-use index and return it."""
+        self._defuse = None
+        return self.def_use()
+
+    # ------------------------------------------------------------------
+    # Chain-maintaining mutators.
+    #
+    # Each of these performs the structural edit *and* keeps the def-use
+    # index in sync when one is materialized.  They are the only supported
+    # way to edit an indexed function in place.
+    # ------------------------------------------------------------------
+
+    def insert_instr(self, label: str, index: int, instr: Instr) -> None:
+        """Insert ``instr`` into the body of ``label`` at ``index``."""
+        self.blocks[label].body.insert(index, instr)
+        if self._defuse is not None:
+            self._defuse.register(instr, label)
+
+    def append_instr(self, label: str, instr: Instr) -> None:
+        """Append ``instr`` to the body of ``label``."""
+        self.blocks[label].body.append(instr)
+        if self._defuse is not None:
+            self._defuse.register(instr, label)
+
+    def remove_instr(self, label: str, instr: Instr) -> None:
+        """Remove ``instr`` (identity match) from the body of ``label``."""
+        body = self.blocks[label].body
+        for position in range(len(body)):
+            if body[position] is instr:
+                del body[position]
+                break
+        else:
+            raise ValueError(f"{self.name}/{label}: {instr} not in body")
+        if self._defuse is not None:
+            self._defuse.unregister(instr)
+
+    def replace_instr(self, label: str, old: Instr, new: Instr) -> None:
+        """Swap ``old`` for ``new`` at the same body position."""
+        body = self.blocks[label].body
+        for position in range(len(body)):
+            if body[position] is old:
+                body[position] = new
+                break
+        else:
+            raise ValueError(f"{self.name}/{label}: {old} not in body")
+        if self._defuse is not None:
+            self._defuse.unregister(old)
+            self._defuse.register(new, label)
+
+    def add_phi(self, label: str, phi: Phi) -> None:
+        """Append a φ to the head of ``label``."""
+        self.blocks[label].phis.append(phi)
+        if self._defuse is not None:
+            self._defuse.register(phi, label)
+
+    def remove_phi(self, label: str, phi: Phi) -> None:
+        """Remove a φ (identity match) from the head of ``label``."""
+        phis = self.blocks[label].phis
+        for position in range(len(phis)):
+            if phis[position] is phi:
+                del phis[position]
+                break
+        else:
+            raise ValueError(f"{self.name}/{label}: {phi} not in phis")
+        if self._defuse is not None:
+            self._defuse.unregister(phi)
+
+    def set_terminator(self, label: str, instr: Instr) -> None:
+        """Replace the terminator of ``label`` (``instr`` may be None)."""
+        block = self.blocks[label]
+        if self._defuse is not None and block.terminator is not None:
+            self._defuse.unregister(block.terminator)
+        block.terminator = instr
+        if self._defuse is not None and instr is not None:
+            self._defuse.register(instr, label)
 
     # ------------------------------------------------------------------
     # CFG queries.
@@ -173,16 +278,28 @@ class Function:
         reachable = set(self.reachable_blocks())
         removed = [label for label in self.blocks if label not in reachable]
         for label in removed:
-            del self.blocks[label]
+            block = self.blocks.pop(label)
+            if self._defuse is not None:
+                for instr in block.instructions():
+                    self._defuse.unregister(instr)
         if removed:
             gone = set(removed)
             for block in self.blocks.values():
                 for phi in block.phis:
-                    phi.incomings = {
-                        pred: op
-                        for pred, op in phi.incomings.items()
-                        if pred not in gone
-                    }
+                    if not gone & set(phi.incomings):
+                        continue
+
+                    def prune(phi=phi):
+                        phi.incomings = {
+                            pred: op
+                            for pred, op in phi.incomings.items()
+                            if pred not in gone
+                        }
+
+                    if self._defuse is not None:
+                        self._defuse.update_uses(phi, prune)
+                    else:
+                        prune()
         return removed
 
     def all_instructions(self) -> Iterator[Instr]:

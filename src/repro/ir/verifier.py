@@ -33,6 +33,83 @@ def verify_program(program: Program) -> None:
         verify_function(fn)
 
 
+def verify_def_use(fn: Function, context: str = "") -> None:
+    """Check the materialized def-use index against the actual IR.
+
+    Enforces (debug mode, after every pass):
+
+    * no dangling uses — every indexed instruction is still in the
+      function, in the block the index says;
+    * no stale entries — every instruction in the function is indexed,
+      and each name's def list / use-occurrence list matches a fresh
+      rebuild;
+    * def dominates use — for (e-)SSA functions, every recorded use of a
+      name is dominated by its recorded definition (φ uses checked at the
+      end of the corresponding predecessor, as in :func:`verify_function`).
+
+    A function without a materialized index passes trivially (nothing to
+    be out of sync).  Raises the
+    :class:`~repro.errors.DefUseIntegrityError` member of the
+    ``AnalysisInvalidationError`` family.
+    """
+    if not fn.has_def_use():
+        return
+    chains = fn.def_use()
+    chains.assert_consistent(context)
+    if fn.ssa_form in ("ssa", "essa"):
+        _verify_chain_dominance(fn, chains, context)
+
+
+def _verify_chain_dominance(fn: Function, chains, context: str) -> None:
+    from repro.analysis.dominance import DominatorTree
+    from repro.errors import DefUseIntegrityError
+
+    where = f" after {context}" if context else ""
+    domtree = DominatorTree.compute(fn)
+    reachable = set(fn.reachable_blocks())
+    positions: Dict[int, int] = {}
+    for label in reachable:
+        for position, instr in enumerate(fn.blocks[label].instructions()):
+            positions[id(instr)] = position
+    for name, info in chains.values.items():
+        def_instr = info.def_instr
+        if def_instr is None:
+            continue
+        def_label = chains.block_of(def_instr)
+        if def_label not in reachable:
+            continue
+        for user in info.uses:
+            use_label = chains.block_of(user)
+            if use_label not in reachable:
+                continue
+            if isinstance(user, Phi):
+                # A φ use is live at the end of the predecessor block(s)
+                # that route this name in.
+                for pred, operand in user.incomings.items():
+                    if not (isinstance(operand, Var) and operand.name == name):
+                        continue
+                    if pred not in reachable:
+                        continue
+                    if def_label != pred and not domtree.dominates(def_label, pred):
+                        raise DefUseIntegrityError(
+                            f"{fn.name}: φ use of {name!r} from {pred!r} not "
+                            f"dominated by its definition in {def_label!r}"
+                            f"{where}"
+                        )
+                continue
+            if use_label == def_label:
+                if positions[id(def_instr)] >= positions[id(user)]:
+                    raise DefUseIntegrityError(
+                        f"{fn.name}/{use_label}: {name!r} used before its "
+                        f"definition{where}"
+                    )
+            elif not domtree.dominates(def_label, use_label):
+                raise DefUseIntegrityError(
+                    f"{fn.name}/{use_label}: use of {name!r} not dominated "
+                    f"by its definition in {def_label!r}{where}"
+                )
+
+
 # ----------------------------------------------------------------------
 # Structure.
 # ----------------------------------------------------------------------

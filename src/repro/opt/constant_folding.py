@@ -34,6 +34,8 @@ _CMP_FUNCS = {
 
 def fold_constants(fn: Function) -> int:
     """Fold literal computations; returns the number of changes."""
+    # Legacy dense pass: replaces instructions behind the def-use index.
+    fn.invalidate_def_use()
     changes = 0
     for block in fn.blocks.values():
         new_body = []

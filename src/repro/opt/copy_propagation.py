@@ -25,6 +25,8 @@ def propagate_copies(fn: Function) -> int:
     operands rewritten."""
     if fn.ssa_form == "none":
         raise ValueError("copy propagation requires SSA form")
+    # Legacy dense pass: rewrites operands behind the def-use index's back.
+    fn.invalidate_def_use()
 
     # Resolve each copy destination to its ultimate non-copy source.
     direct: Dict[str, Operand] = {}

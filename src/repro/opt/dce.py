@@ -33,6 +33,8 @@ _PURE = (Copy, BinOp, Cmp, ArrayLen, ArrayLoad, Phi)
 
 def eliminate_dead_code(fn: Function) -> int:
     """Remove dead pure instructions; returns how many were removed."""
+    # Legacy dense pass: drops instructions behind the def-use index.
+    fn.invalidate_def_use()
     removed_total = 0
     while True:
         use_counts = _count_uses(fn)

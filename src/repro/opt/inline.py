@@ -20,8 +20,7 @@ The pass runs on **non-SSA** IR (between lowering and e-SSA construction):
 
 from __future__ import annotations
 
-import copy as copy_module
-from typing import Dict, List, Optional, Set
+from typing import Dict, Optional, Set
 
 from repro.ir.function import BasicBlock, Function, Program
 from repro.ir.instructions import (
@@ -36,16 +35,20 @@ from repro.ir.instructions import (
 
 
 def _instruction_count(fn: Function) -> int:
-    return sum(1 for _ in fn.all_instructions())
+    return fn.def_use().instruction_count()
 
 
 def recursive_functions(program: Program) -> Set[str]:
-    """Functions on a call-graph cycle (including self-recursion)."""
+    """Functions on a call-graph cycle (including self-recursion).
+
+    The call edges come straight from each function's def-use type index —
+    O(calls) per function instead of a full instruction scan.
+    """
     callees: Dict[str, Set[str]] = {name: set() for name in program.functions}
     for name, fn in program.functions.items():
-        for instr in fn.all_instructions():
-            if isinstance(instr, Call):
-                callees[name].add(instr.callee)
+        for instr in fn.def_use().instrs_of_type(Call):
+            assert isinstance(instr, Call)
+            callees[name].add(instr.callee)
 
     recursive: Set[str] = set()
     for start in program.functions:
@@ -140,6 +143,9 @@ class Inliner:
         return None
 
     def _expand(self, fn: Function, block: BasicBlock, call_index: int, call: Call) -> None:
+        # Expansion splices blocks and rewrites bodies directly; the caller's
+        # def-use index is rebuilt lazily on the next query.
+        fn.invalidate_def_use()
         callee = self._program.function(call.callee)
         suffix = f"@inl{self._next_copy}"
         self._next_copy += 1
@@ -161,7 +167,7 @@ class Inliner:
         for old_label, old_block in callee.blocks.items():
             new_block = fn.blocks[label_map[old_label]]
             for instr in old_block.instructions():
-                cloned = copy_module.deepcopy(instr)
+                cloned = instr.clone()
                 self._rewrite_instr(cloned, rename_var, label_map)
                 if isinstance(cloned, Return):
                     if call.dest is not None and cloned.value is not None:

@@ -92,6 +92,28 @@ def _compute_gvn(fn: Function, get):
     return value_number(fn, domtree=get("domtree"))
 
 
+def _compute_uses(fn: Function, get):
+    # The function's live def-use index (built lazily, maintained by the
+    # Function mutator API).  Serving it through the cache gives it the
+    # same declared-preservation contract as every other analysis: a pass
+    # that rebuilds or invalidates the index without saying so is caught
+    # by the debug fingerprint comparison below, and the deeper
+    # rebuild-and-compare check (`ir.verifier.verify_def_use`) runs after
+    # every pass in debug mode.
+    return fn.def_use()
+
+
+def _uses_fingerprint(chains) -> Any:
+    # Identity-free summary: per-name def and use-occurrence counts.
+    return tuple(
+        sorted(
+            (name, len(info.defs), len(info.uses))
+            for name, info in chains.values.items()
+            if info.defs or info.uses
+        )
+    )
+
+
 #: The built-in analyses, in dependency order (dependencies first).
 ANALYSES: Dict[str, AnalysisSpec] = {
     spec.name: spec
@@ -123,6 +145,11 @@ ANALYSES: Dict[str, AnalysisSpec] = {
             _compute_gvn,
             _gvn_fingerprint,
             depends=("domtree",),
+        ),
+        AnalysisSpec(
+            "uses",
+            _compute_uses,
+            _uses_fingerprint,
         ),
     ]
 }

@@ -25,7 +25,7 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.core.abcd import ABCDConfig, ABCDReport
 from repro.ir.function import Function, Program
-from repro.ir.verifier import verify_function
+from repro.ir.verifier import verify_def_use, verify_function
 from repro.passes.analysis import ANALYSES, AnalysisManager
 from repro.robustness.guard import PassGuard, _restore_in_place
 from repro.runtime.profiler import Profile
@@ -106,6 +106,14 @@ class PassStats:
     changes: int = 0
     rollbacks: int = 0
     seconds: float = 0.0
+    #: Worklist sparseness counters (worklist-driven passes only):
+    #: instructions popped and processed, and how many of those pops
+    #: revisited an instruction already processed once.  A dense
+    #: fixpoint re-scan would count every instruction once per member
+    #: per round; the gap between that and these numbers is the
+    #: measured sparseness win.
+    instructions_visited: int = 0
+    worklist_revisits: int = 0
 
 
 class SessionStats:
@@ -144,6 +152,14 @@ class SessionStats:
         if rollback:
             entry.rollbacks += 1
 
+    def count_worklist(self, name: str, visited: int, revisits: int) -> None:
+        """Fold one worklist run's sparseness counters into ``name``."""
+        entry = self.passes.get(name)
+        if entry is None:
+            entry = self.passes[name] = PassStats(name)
+        entry.instructions_visited += visited
+        entry.worklist_revisits += revisits
+
     @property
     def total_seconds(self) -> float:
         return sum(entry.seconds for entry in self.passes.values())
@@ -153,14 +169,25 @@ class SessionStats:
         return sum(entry.rollbacks for entry in self.passes.values())
 
     def format_table(self) -> str:
-        lines = [
-            f"{'pass':<24}{'runs':>6}{'changes':>9}{'rollbacks':>11}{'seconds':>10}"
-        ]
+        sparse = any(entry.instructions_visited for entry in self.passes.values())
+        header = f"{'pass':<24}{'runs':>6}{'changes':>9}{'rollbacks':>11}{'seconds':>10}"
+        if sparse:
+            header += f"{'visited':>9}{'revisits':>10}"
+        lines = [header]
         for entry in self.passes.values():
-            lines.append(
+            line = (
                 f"{entry.name:<24}{entry.invocations:>6}{entry.changes:>9}"
                 f"{entry.rollbacks:>11}{entry.seconds:>10.4f}"
             )
+            if sparse:
+                if entry.instructions_visited:
+                    line += (
+                        f"{entry.instructions_visited:>9}"
+                        f"{entry.worklist_revisits:>10}"
+                    )
+                else:
+                    line += f"{'-':>9}{'-':>10}"
+            lines.append(line)
         lines.append(f"{'total':<24}{'':>6}{'':>9}{'':>11}{self.total_seconds:>10.4f}")
         if self.certificates["emitted"]:
             lines.append("")
@@ -191,6 +218,8 @@ class SessionStats:
                     "changes": entry.changes,
                     "rollbacks": entry.rollbacks,
                     "seconds": entry.seconds,
+                    "instructions_visited": entry.instructions_visited,
+                    "worklist_revisits": entry.worklist_revisits,
                 }
                 for entry in self.passes.values()
             ],
@@ -285,6 +314,8 @@ class PassManager:
             ctx.analysis.retain_only(fn, p.preserves)
             if ctx.analysis.debug:
                 ctx.analysis.verify_preserved(fn, p.name)
+        if ctx.analysis.debug:
+            verify_def_use(fn, p.name)
         ctx.stats.record(
             p.name,
             time.perf_counter() - started,
@@ -318,6 +349,9 @@ class PassManager:
         if p.mutates:
             # A program transform may touch any function; drop everything.
             ctx.analysis.invalidate_all()
+        if ctx.analysis.debug:
+            for fn in program.functions.values():
+                verify_def_use(fn, p.name)
         ctx.stats.record(
             p.name,
             time.perf_counter() - started,
@@ -362,6 +396,8 @@ class PassManager:
                 ctx.analysis.retain_only(fn, group.preserves)
                 if ctx.analysis.debug:
                     ctx.analysis.verify_preserved(fn, group.name)
+            if ctx.analysis.debug:
+                verify_def_use(fn, group.name)
             total += round_changes
             if round_changes == 0:
                 break

@@ -112,6 +112,40 @@ class DeadCodeEliminationPass(_StandardOptPass):
     opt_attr = "eliminate_dead_code"
 
 
+class StandardPipelinePass(Pass):
+    """Copy-prop + const-fold + DCE fused into one sparse worklist.
+
+    Replaces the ``FixpointGroup`` whole-function re-scan loop in the
+    default pipeline: the worklist (:mod:`repro.opt.worklist`) seeds every
+    instruction once and then revisits only transitively affected
+    users/defs through the function's def-use chains, reaching the same
+    fixpoint in a single invocation.  Keeps the group's registry name so
+    pipeline shapes (and their tests) are unchanged.
+
+    Declares ``uses`` preserved: all mutation goes through the
+    chain-maintaining ``Function`` mutator API, which debug mode verifies
+    with a rebuild-and-compare after every run.  CFG-shape analyses are
+    not preserved (a folded branch prunes blocks, as before).
+    """
+
+    name = "standard-pipeline"
+    preserves = ("uses",)
+
+    def should_run(self, fn: Function, ctx: PassContext) -> bool:
+        # The suite assumes single-assignment form; a function whose e-SSA
+        # construction was rolled back stays untouched.
+        return fn.ssa_form != "none"
+
+    def run(self, fn: Function, ctx: PassContext) -> int:
+        import repro.opt as opt
+
+        result = opt.optimize_worklist(fn)
+        ctx.stats.count_worklist(
+            self.name, result.instructions_visited, result.worklist_revisits
+        )
+        return result.changes
+
+
 class AbcdAnalysisPass(Pass):
     """The demand-driven proofs (paper Figure 2) — analysis only.
 
@@ -251,6 +285,7 @@ PASS_REGISTRY: Dict[str, Pass] = {
         CopyPropagationPass(),
         ConstantFoldingPass(),
         DeadCodeEliminationPass(),
+        StandardPipelinePass(),
         AbcdAnalysisPass(),
         PreInsertionPass(),
         CertifyPass(),
@@ -260,7 +295,12 @@ PASS_REGISTRY: Dict[str, Pass] = {
 
 
 def standard_opt_group(max_rounds: int = 4) -> FixpointGroup:
-    """The Jalapeño pre-pass suite as a bounded fixpoint group."""
+    """The legacy Jalapeño pre-pass suite as a bounded fixpoint group.
+
+    Kept for ablation and as the dense baseline the worklist pass is
+    measured against (``repro.opt.worklist``); the default pipeline now
+    runs :class:`StandardPipelinePass` instead.
+    """
     return FixpointGroup(
         "standard-pipeline",
         [
@@ -277,13 +317,18 @@ def default_compile_passes(
     inline: bool = False,
     max_rounds: int = 4,
 ) -> List:
-    """The pass list ``compile_source`` runs after lowering."""
+    """The pass list ``compile_source`` runs after lowering.
+
+    ``max_rounds`` is accepted for signature compatibility with the old
+    fixpoint-group pipeline; the worklist pass iterates to quiescence in
+    a single invocation and does not use it.
+    """
     passes: List = []
     if inline:
         passes.append(PASS_REGISTRY["inline"])
     passes.append(PASS_REGISTRY["essa"])
     if standard_opts:
-        passes.append(standard_opt_group(max_rounds))
+        passes.append(PASS_REGISTRY["standard-pipeline"])
     return passes
 
 

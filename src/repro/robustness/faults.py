@@ -271,24 +271,24 @@ def _opt_pass_raises() -> contextlib.AbstractContextManager:
     import repro.opt as opt_module
 
     def crashing(fn):
-        raise RuntimeError("injected fault: copy propagation crashed mid-flight")
+        raise RuntimeError("injected fault: worklist pass crashed mid-flight")
 
-    return _patched(opt_module, "propagate_copies", crashing)
+    return _patched(opt_module, "optimize_worklist", crashing)
 
 
 def _opt_pass_malformed_ir() -> contextlib.AbstractContextManager:
     import repro.opt as opt_module
 
-    real = opt_module.fold_constants
+    real = opt_module.optimize_worklist
 
     def corrupting(fn):
-        changes = real(fn)
+        result = real(fn)
         for label in fn.reachable_blocks():
             fn.blocks[label].terminator = None  # verifier must reject this
             break
-        return changes + 1
+        return dataclasses.replace(result, changes=result.changes + 1)
 
-    return _patched(opt_module, "fold_constants", corrupting)
+    return _patched(opt_module, "optimize_worklist", corrupting)
 
 
 def _abcd_raises() -> contextlib.AbstractContextManager:
@@ -405,13 +405,13 @@ FAULTS: Dict[str, FaultSpec] = {
         ),
         FaultSpec(
             "opt-pass-raises", "pass",
-            "copy propagation raises mid-flight",
+            "the standard worklist pass raises mid-flight",
             "rollback", "off_by_one",
             _opt_pass_raises,
         ),
         FaultSpec(
             "opt-pass-malformed-ir", "pass",
-            "constant folding deletes a block terminator",
+            "the standard worklist pass deletes a block terminator",
             "rollback", "off_by_one",
             _opt_pass_malformed_ir,
         ),

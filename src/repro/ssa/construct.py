@@ -54,6 +54,10 @@ class SSAConstructor:
         self._place_phis()
         self._rename()
         self._fn.ssa_form = "ssa"
+        # Renaming rewrote every name wholesale; rebuild the def-use index
+        # once on the final SSA names so downstream passes inherit a
+        # consistent, incrementally-maintained index.
+        self._fn.rebuild_def_use()
         return self._fn
 
     # ------------------------------------------------------------------
@@ -61,14 +65,18 @@ class SSAConstructor:
     # ------------------------------------------------------------------
 
     def _definition_sites(self) -> Dict[str, Set[str]]:
+        """Definition sites per base variable, served from the def-use index
+        (no function re-scan); parameters count as entry-block defs."""
         sites: Dict[str, Set[str]] = {}
         for param in self._fn.params:
             sites.setdefault(param, set()).add(self._fn.entry)
-        for label in self._fn.reachable_blocks():
-            for instr in self._fn.blocks[label].instructions():
-                dest = instr.defs()
-                if dest is not None:
-                    sites.setdefault(dest, set()).add(label)
+        chains = self._fn.def_use()
+        reachable = set(self._fn.reachable_blocks())
+        for name, info in chains.values.items():
+            for def_instr in info.defs:
+                label = chains.block_of(def_instr)
+                if label in reachable:
+                    sites.setdefault(name, set()).add(label)
         return sites
 
     def _place_phis(self) -> None:
@@ -90,7 +98,7 @@ class SSAConstructor:
                     if not self._liveness.is_live_in(frontier_label, var):
                         continue
                     phi = Phi(var, {})
-                    self._fn.blocks[frontier_label].phis.append(phi)
+                    self._fn.add_phi(frontier_label, phi)
                     self._phi_base[id(phi)] = var
                     if frontier_label not in def_blocks:
                         worklist.append(frontier_label)
@@ -119,6 +127,9 @@ class SSAConstructor:
         return name
 
     def _rename(self) -> None:
+        # Renaming rewrites names in place behind the index's back; drop it
+        # now and rebuild once after the walk (see ``run``).
+        self._fn.invalidate_def_use()
         # Parameters are definitions at the entry.
         new_params = [self._push(param) for param in self._fn.params]
         self._fn.params = new_params

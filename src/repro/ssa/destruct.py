@@ -24,6 +24,8 @@ def destruct_ssa(fn: Function) -> Function:
     """Lower φs and πs into copies in place; ``fn`` leaves SSA form."""
     if fn.ssa_form == "none":
         return fn
+    # Destruction rewrites bodies wholesale behind the def-use index.
+    fn.invalidate_def_use()
     split_critical_edges(fn)
 
     # φ elimination with parallel-copy semantics per predecessor edge.

@@ -34,7 +34,6 @@ from repro.ir.instructions import (
     CheckUpper,
     Cmp,
     Const,
-    Instr,
     Operand,
     Pi,
     PiPredicate,
@@ -68,22 +67,35 @@ def insert_pi_nodes(fn: Function) -> int:
 
 
 def _insert_check_pis(fn: Function) -> int:
+    """Place a π after every bounds check (sparse: only blocks that the
+    def-use type index says contain a check are walked)."""
+    chains = fn.def_use()
+    with_checks = sorted(
+        {
+            chains.block_of(check)
+            for check_type in (CheckLower, CheckUpper)
+            for check in chains.instrs_of_type(check_type)
+        }
+    )
     count = 0
-    for block in fn.blocks.values():
-        new_body: List[Instr] = []
-        for instr in block.body:
-            new_body.append(instr)
+    for label in with_checks:
+        body = fn.blocks[label].body
+        position = 0
+        while position < len(body):
+            instr = body[position]
+            pi: Optional[Pi] = None
             if isinstance(instr, CheckLower) and isinstance(instr.index, Var):
                 name = instr.index.name
-                predicate = PiPredicate("ge", other=Const(0))
-                new_body.append(Pi(name, name, predicate))
-                count += 1
+                pi = Pi(name, name, PiPredicate("ge", other=Const(0)))
             elif isinstance(instr, CheckUpper) and isinstance(instr.index, Var):
                 name = instr.index.name
-                predicate = PiPredicate("lt", arraylen_of=instr.array)
-                new_body.append(Pi(name, name, predicate))
+                pi = Pi(name, name, PiPredicate("lt", arraylen_of=instr.array))
+            if pi is not None:
+                fn.insert_instr(label, position + 1, pi)
                 count += 1
-        block.body = new_body
+                position += 2
+            else:
+                position += 1
     return count
 
 
@@ -127,12 +139,15 @@ def _branch_comparison(fn: Function, label: str) -> Optional[Cmp]:
 def _insert_branch_pis(fn: Function) -> int:
     count = 0
     preds = fn.predecessors()
-    for label in list(fn.reachable_blocks()):
+    reachable = set(fn.reachable_blocks())
+    chains = fn.def_use()
+    for term in chains.instrs_of_type(Branch):
+        label = chains.block_of(term)
+        if label not in reachable:
+            continue
         cmp = _branch_comparison(fn, label)
         if cmp is None:
             continue
-        block = fn.blocks[label]
-        term = block.terminator
         assert isinstance(term, Branch)
         if term.true_target == term.false_target:
             continue
@@ -150,10 +165,9 @@ def _insert_branch_pis(fn: Function) -> int:
                 # pred being a fallthrough) is still possible when the branch
                 # block is the join's only multi-succ pred.  Skip safely.
                 continue
-            pis = _pis_for_edge(cmp, rel)
-            target_block = fn.blocks[target]
-            target_block.body[0:0] = pis
-            count += len(pis)
+            for offset, pi in enumerate(_pis_for_edge(cmp, rel)):
+                fn.insert_instr(target, offset, pi)
+                count += 1
     return count
 
 
@@ -207,9 +221,13 @@ def construct_essa(fn: Function, analysis=None) -> Function:
 
 
 def pi_assignments(fn: Function) -> Dict[str, Pi]:
-    """All π-assignments of an e-SSA function keyed by destination."""
+    """All π-assignments of an e-SSA function keyed by destination.
+
+    Served from the def-use type index — O(πs) instead of a function scan.
+    """
+    chains = fn.def_use()
     found: Dict[str, Pi] = {}
-    for instr in fn.all_instructions():
-        if isinstance(instr, Pi):
-            found[instr.dest] = instr
+    for instr in chains.instrs_of_type(Pi):
+        assert isinstance(instr, Pi)
+        found[instr.dest] = instr
     return found

@@ -249,6 +249,7 @@ class TestRegistry:
             "copy-propagation",
             "constant-folding",
             "dce",
+            "standard-pipeline",
             "abcd",
             "pre",
             "certify",
