@@ -11,7 +11,9 @@ Commands:
 * ``ir FILE``        — print the compiled IR (e-SSA by default);
 * ``dot FILE``       — emit Graphviz for a function's CFG or its
   inequality graphs;
-* ``bench``          — regenerate the Figure-6 table over the corpus.
+* ``bench``          — regenerate the Figure-6 table over the corpus;
+* ``fuzz``           — run a differential fuzzing campaign (random
+  programs, unoptimized vs optimized execution, triage + shrinking).
 """
 
 from __future__ import annotations
@@ -337,6 +339,49 @@ def cmd_bench(args) -> int:
     return 0
 
 
+def cmd_fuzz(args) -> int:
+    from repro.fuzz.campaign import format_summary, run_campaign
+    from repro.fuzz.generator import GeneratorConfig
+    from repro.fuzz.oracle import OracleConfig
+
+    oracle_config = OracleConfig(
+        inline=not args.no_inline,
+        certify=args.certify,
+        codegen=args.codegen,
+        fuel=args.fuel,
+        deadline=args.deadline_per_program,
+    )
+    generator_config = GeneratorConfig()
+
+    def progress(seed: int, classification: str) -> None:
+        if args.quiet:
+            return
+        if classification not in ("match", "fuel-limit"):
+            print(f"  seed {seed}: {classification}", file=sys.stderr)
+
+    result = run_campaign(
+        seeds=args.seeds,
+        seed_base=args.seed_base,
+        shrink=args.shrink,
+        oracle_config=oracle_config,
+        generator_config=generator_config,
+        corpus_dir=args.corpus_dir,
+        report_path=args.report,
+        progress=progress,
+    )
+    if args.json:
+        import json
+
+        print(json.dumps(result.to_json(), indent=2, sort_keys=True))
+    else:
+        print(format_summary(result))
+        for key, entry in sorted(result.triage.entries.items()):
+            if entry.reproducer:
+                print(f"\n--- reproducer for {key} ---")
+                print(entry.reproducer, end="")
+    return 1 if result.unexplained else 0
+
+
 # ----------------------------------------------------------------------
 # Parser.
 # ----------------------------------------------------------------------
@@ -435,6 +480,58 @@ def build_parser() -> argparse.ArgumentParser:
         help="emit machine-readable results including per-pass session stats",
     )
     bench_parser.set_defaults(handler=cmd_bench)
+
+    fuzz_parser = commands.add_parser(
+        "fuzz", help="differential fuzzing campaign over random programs"
+    )
+    fuzz_parser.add_argument(
+        "--seeds", type=int, default=100, metavar="N",
+        help="number of programs to generate and check",
+    )
+    fuzz_parser.add_argument(
+        "--seed-base", type=int, default=0, metavar="K",
+        help="first generator seed (same base => byte-identical campaign)",
+    )
+    fuzz_parser.add_argument(
+        "--shrink", action="store_true",
+        help="delta-debug each new finding down to a minimal reproducer",
+    )
+    fuzz_parser.add_argument(
+        "--certify", action="store_true",
+        help="run the certificate checker on the optimized side",
+    )
+    fuzz_parser.add_argument(
+        "--codegen", action="store_true",
+        help="also execute generated Python code as a third backend",
+    )
+    fuzz_parser.add_argument(
+        "--no-inline", action="store_true",
+        help="skip inlining on the optimized side",
+    )
+    fuzz_parser.add_argument(
+        "--fuel", type=int, default=400_000, metavar="N",
+        help="interpreter instruction budget per execution",
+    )
+    fuzz_parser.add_argument(
+        "--deadline-per-program", type=float, default=10.0, metavar="SECONDS",
+        help="SIGALRM deadline per program (compile + both runs)",
+    )
+    fuzz_parser.add_argument(
+        "--report", metavar="PATH",
+        help="write the deterministic triage JSON report here",
+    )
+    fuzz_parser.add_argument(
+        "--corpus-dir", metavar="DIR",
+        help="write minimized reproducers into DIR (e.g. tests/fuzz_corpus)",
+    )
+    fuzz_parser.add_argument(
+        "--json", action="store_true",
+        help="emit the deterministic campaign payload as JSON",
+    )
+    fuzz_parser.add_argument(
+        "--quiet", action="store_true", help="suppress the stderr ticker"
+    )
+    fuzz_parser.set_defaults(handler=cmd_fuzz)
 
     return parser
 

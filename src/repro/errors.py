@@ -71,6 +71,18 @@ class LoweringError(CompileError):
     """Raised when the AST-to-IR lowering meets an unsupported construct."""
 
 
+class NestingLimitError(CompileError):
+    """A frontend stage ran out of Python recursion on a pathologically
+    nested program.
+
+    The recursive-descent parser, the type checker, and the lowering walk
+    all recurse once per nesting level; without this wrapper a deep enough
+    expression escapes them as a raw :class:`RecursionError`, which the
+    differential-fuzzing oracle would triage as a compiler crash rather
+    than a rejected input.
+    """
+
+
 class IRVerificationError(ReproError):
     """Raised by the IR verifier when a function violates an IR invariant."""
 
@@ -155,3 +167,16 @@ class DivisionByZeroError(MiniJRuntimeError):
 
 class TrapLimitExceeded(MiniJRuntimeError):
     """The interpreter exceeded its configured fuel (instruction budget)."""
+
+
+class CallDepthExceeded(MiniJRuntimeError):
+    """MiniJ call recursion exhausted the host interpreter's stack.
+
+    A resource limit like :class:`TrapLimitExceeded`, not a program
+    error: unbounded MiniJ recursion would otherwise surface as a raw
+    :class:`RecursionError` escaping the VM boundary.
+    """
+
+
+class UnknownFunctionError(MiniJRuntimeError):
+    """Execution was requested for a function name the program lacks."""

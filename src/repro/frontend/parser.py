@@ -31,7 +31,7 @@ from __future__ import annotations
 
 from typing import List, Optional
 
-from repro.errors import ParseError
+from repro.errors import NestingLimitError, ParseError
 from repro.frontend import ast
 from repro.frontend.lexer import tokenize
 from repro.frontend.tokens import Token, TokenKind
@@ -390,5 +390,16 @@ class Parser:
 
 
 def parse_source(source: str) -> ast.ProgramAST:
-    """Lex and parse MiniJ ``source`` into an AST."""
-    return Parser(tokenize(source)).parse_program()
+    """Lex and parse MiniJ ``source`` into an AST.
+
+    Expression grammar recursion is bounded by the host stack; a program
+    nested deeply enough to blow it is reported as a
+    :class:`~repro.errors.NestingLimitError` (a :class:`CompileError`),
+    never as a raw :class:`RecursionError`.
+    """
+    try:
+        return Parser(tokenize(source)).parse_program()
+    except RecursionError:
+        raise NestingLimitError(
+            "program nesting exceeds the parser's recursion budget"
+        ) from None

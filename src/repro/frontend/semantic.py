@@ -18,7 +18,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
-from repro.errors import TypeCheckError
+from repro.errors import NestingLimitError, TypeCheckError
 from repro.frontend import ast
 from repro.frontend.types import BOOL, INT, INT_ARRAY, VOID, Type
 
@@ -391,5 +391,16 @@ class TypeChecker:
 
 
 def check_program(program: ast.ProgramAST) -> SemanticInfo:
-    """Type-check ``program`` and return the semantic information."""
-    return TypeChecker(program).check()
+    """Type-check ``program`` and return the semantic information.
+
+    Like the parser, the checker recurses per nesting level; a program
+    deep enough to exhaust the host stack is rejected with
+    :class:`~repro.errors.NestingLimitError` instead of leaking a raw
+    :class:`RecursionError`.
+    """
+    try:
+        return TypeChecker(program).check()
+    except RecursionError:
+        raise NestingLimitError(
+            "program nesting exceeds the type checker's recursion budget"
+        ) from None

@@ -1,0 +1,39 @@
+"""Differential fuzzing: generate MiniJ programs, hunt for miscompiles.
+
+The subsystem closes the gap the hand-written corpus leaves open: instead
+of proving the *defenses* work on 15 curated programs, it machine-generates
+thousands of ABCD-relevant programs and differentially executes each one,
+unoptimized IR vs. the full ``standard-pipeline`` (plus, optionally, the
+certificate checker and the Python code generator).
+
+* :mod:`repro.fuzz.generator` — seeded, fully deterministic random
+  programs biased toward the shapes ABCD reasons about;
+* :mod:`repro.fuzz.oracle` — per-program compile/execute/compare with
+  outcome classification and SIGALRM deadline protection;
+* :mod:`repro.fuzz.shrink` — AST-level delta debugging that minimizes a
+  failing program while its triage signature stays fixed;
+* :mod:`repro.fuzz.triage` — signature-based deduplication, the
+  persistent JSON triage report, and the ``tests/fuzz_corpus/`` writer;
+* :mod:`repro.fuzz.campaign` — the ``repro fuzz`` driver tying the four
+  together and folding counters into :class:`SessionStats`.
+"""
+
+from repro.fuzz.campaign import CampaignResult, run_campaign
+from repro.fuzz.generator import GeneratorConfig, generate_source
+from repro.fuzz.oracle import OracleConfig, OracleVerdict, check_source
+from repro.fuzz.shrink import ShrinkResult, shrink_source
+from repro.fuzz.triage import Signature, TriageReport
+
+__all__ = [
+    "CampaignResult",
+    "GeneratorConfig",
+    "OracleConfig",
+    "OracleVerdict",
+    "ShrinkResult",
+    "Signature",
+    "TriageReport",
+    "check_source",
+    "generate_source",
+    "run_campaign",
+    "shrink_source",
+]

@@ -1,0 +1,210 @@
+"""The ``repro fuzz`` campaign driver.
+
+Ties generator → oracle → shrinker → triage together over a seed range
+and folds everything observable into one :class:`CampaignResult`:
+
+* per-classification counters (plus rollback/budget/elimination tallies),
+  also surfaced through :class:`~repro.passes.manager.SessionStats` so
+  ``--json`` consumers read fuzz campaigns and bench runs the same way;
+* a deduplicated :class:`~repro.fuzz.triage.TriageReport`, optionally
+  persisted to disk and optionally materialized as minimized reproducers
+  under ``tests/fuzz_corpus/``;
+* a deterministic JSON payload — same ``seed_base``/``seeds`` in, byte
+  identical payload out (wall-clock timings are deliberately excluded).
+
+Each finding bucket is shrunk at most once (on first discovery): later
+hits of the same signature only bump its count, so a common bug cannot
+consume the whole shrink budget.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.fuzz.generator import DEFAULT_CONFIG, GeneratorConfig, generate_source
+from repro.fuzz.oracle import OracleConfig, check_source
+from repro.fuzz.shrink import DEFAULT_MAX_ITERATIONS, shrink_source
+from repro.fuzz.triage import BENIGN_KINDS, TriageReport, write_reproducer
+from repro.passes.manager import SessionStats
+
+#: Classifications that make a campaign fail (exit 1 from the CLI): every
+#: one of them is either a miscompile, a compiler crash, a generator bug,
+#: or a hang — never expected behavior.
+UNEXPLAINED_KINDS = (
+    "value-divergence",
+    "trap-divergence",
+    "codegen-divergence",
+    "crash",
+    "rejected",
+    "timeout",
+)
+
+#: Signatures worth shrinking: behavioral findings with a program to
+#: minimize.  Timeouts are excluded — re-running a pathological program
+#: hundreds of times is exactly what the deadline exists to prevent.
+SHRINKABLE_KINDS = (
+    "value-divergence",
+    "trap-divergence",
+    "codegen-divergence",
+    "crash",
+    "rejected",
+)
+
+
+@dataclass
+class CampaignResult:
+    """Counters + triage of one fuzzing campaign."""
+
+    seed_base: int
+    seeds: int
+    counters: Dict[str, int] = field(default_factory=dict)
+    #: ``(seed, classification)`` per program, in seed order — the
+    #: determinism property compares these across runs.
+    verdicts: List[Tuple[int, str]] = field(default_factory=list)
+    triage: TriageReport = field(default_factory=TriageReport)
+    stats: SessionStats = field(default_factory=SessionStats)
+
+    @property
+    def unexplained(self) -> int:
+        return sum(self.counters.get(kind, 0) for kind in UNEXPLAINED_KINDS)
+
+    def to_json(self) -> Dict[str, Any]:
+        """Deterministic payload: no wall-clock values, sorted buckets."""
+        return {
+            "seed_base": self.seed_base,
+            "seeds": self.seeds,
+            "counters": dict(sorted(self.counters.items())),
+            "unexplained": self.unexplained,
+            "triage": self.triage.to_json(),
+            "passes": [
+                {
+                    "name": entry.name,
+                    "invocations": entry.invocations,
+                    "changes": entry.changes,
+                    "rollbacks": entry.rollbacks,
+                }
+                for entry in self.stats.passes.values()
+            ],
+        }
+
+
+def run_campaign(
+    seeds: int,
+    seed_base: int = 0,
+    shrink: bool = False,
+    oracle_config: Optional[OracleConfig] = None,
+    generator_config: GeneratorConfig = DEFAULT_CONFIG,
+    corpus_dir: Optional[str] = None,
+    report_path: Optional[str] = None,
+    max_shrink_iterations: int = DEFAULT_MAX_ITERATIONS,
+    progress: Optional[Callable[[int, str], None]] = None,
+) -> CampaignResult:
+    """Generate and differentially check ``seeds`` programs.
+
+    ``progress`` (if given) is called with ``(seed, classification)``
+    after every program — the CLI uses it for a live stderr ticker.
+    """
+    if oracle_config is None:
+        oracle_config = OracleConfig()
+    result = CampaignResult(seed_base=seed_base, seeds=seeds)
+    counters = result.counters
+    for name in (
+        "programs",
+        "match",
+        "fuel-limit",
+        *UNEXPLAINED_KINDS,
+        "rollbacks",
+        "budget-exhausted",
+        "certificates-rejected",
+        "eliminated-checks",
+        "shrink-iterations",
+    ):
+        counters[name] = 0
+
+    for offset in range(seeds):
+        seed = seed_base + offset
+        source = generate_source(seed, generator_config)
+        verdict = check_source(source, oracle_config)
+        counters["programs"] += 1
+        counters[verdict.classification] = (
+            counters.get(verdict.classification, 0) + 1
+        )
+        counters["rollbacks"] += verdict.rollbacks
+        counters["budget-exhausted"] += verdict.budget_exhausted
+        counters["certificates-rejected"] += verdict.certificates_rejected
+        counters["eliminated-checks"] += verdict.eliminated_checks
+        if verdict.stats is not None:
+            result.stats.merge(verdict.stats)
+        result.verdicts.append((seed, verdict.classification))
+
+        if verdict.signature is not None:
+            entry = result.triage.record(
+                verdict.signature, seed, source, verdict.detail
+            )
+            if (
+                shrink
+                and entry.count == 1
+                and verdict.signature.kind in SHRINKABLE_KINDS
+            ):
+                shrunk = shrink_source(
+                    source,
+                    verdict.signature,
+                    oracle_config,
+                    max_iterations=max_shrink_iterations,
+                )
+                counters["shrink-iterations"] += shrunk.iterations
+                entry.shrink_iterations = shrunk.iterations
+                if shrunk.reproduced and len(shrunk.source) < len(
+                    entry.reproducer or source
+                ):
+                    entry.reproducer = shrunk.source
+        if progress is not None:
+            progress(seed, verdict.classification)
+
+    counters["unique-signatures"] = len(result.triage)
+    for name, value in counters.items():
+        result.stats.bump(f"fuzz.{name}", value)
+
+    if report_path is not None:
+        result.triage.write(report_path)
+    if corpus_dir is not None:
+        for entry in result.triage.entries.values():
+            if entry.signature.kind not in BENIGN_KINDS and entry.reproducer:
+                write_reproducer(corpus_dir, entry)
+    return result
+
+
+def format_summary(result: CampaignResult) -> str:
+    """The deterministic human-readable campaign summary."""
+    counters = result.counters
+    lines = [
+        f"fuzz campaign: {counters['programs']} program(s), "
+        f"seed base {result.seed_base}",
+        f"  match: {counters['match']}  fuel-limit: {counters['fuel-limit']}",
+        f"  divergences: value {counters['value-divergence']}, "
+        f"trap {counters['trap-divergence']}, "
+        f"codegen {counters['codegen-divergence']}",
+        f"  crashes: {counters['crash']}  rejected: {counters['rejected']}  "
+        f"timeouts: {counters['timeout']}",
+        f"  rollbacks: {counters['rollbacks']}  "
+        f"budget-exhausted: {counters['budget-exhausted']}  "
+        f"eliminated checks: {counters['eliminated-checks']}",
+        f"  shrink iterations: {counters['shrink-iterations']}",
+        f"  unique signatures: {counters['unique-signatures']}",
+    ]
+    if counters.get("certificates-rejected"):
+        lines.append(
+            f"  certificates rejected: {counters['certificates-rejected']}"
+        )
+    for key, entry in sorted(result.triage.entries.items()):
+        lines.append(
+            f"  [{entry.count}x] {key} (seeds {entry.seeds}) {entry.detail}"
+        )
+    verdict_line = (
+        "no unexplained divergences"
+        if result.unexplained == 0
+        else f"{result.unexplained} UNEXPLAINED finding(s)"
+    )
+    lines.append(verdict_line)
+    return "\n".join(lines)

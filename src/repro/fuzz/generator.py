@@ -1,0 +1,409 @@
+"""Seeded random generator of well-typed MiniJ programs.
+
+Every program is produced by a private :class:`random.Random` instance, so
+one seed maps to exactly one source text — no global ``random`` state is
+read or written, and two campaigns with the same ``--seed-base`` emit
+byte-identical sources (the determinism property ``tests/test_fuzz.py``
+locks down).
+
+The distribution is deliberately biased toward the shapes ABCD reasons
+about, not toward language coverage for its own sake:
+
+* every program allocates arrays and indexes them, with the index pool
+  weighted toward ``i``, ``i + 1``, ``i - 1``, ``len(a) - 1`` — the
+  off-by-one frontier where an unsound elimination changes behavior;
+* counted ``for``/``while`` loops with affine updates (``i = i + c``,
+  ``i = i - c``) build the monotonic φ cycles the amplifying-cycle check
+  must classify;
+* branch conditions compare indices against lengths and against each
+  other, producing the π-constraint diamonds the solver memoizes across;
+* helper functions take array parameters and are called from ``main``,
+  so ``--inline`` resolves callee arrays to caller allocations.
+
+Termination is by construction, not by luck: loop bounds are snapshotted
+into a frozen temporary before the loop, counters are never reassigned in
+the body, and helpers only call helpers with a strictly smaller index (no
+recursion).  Traps, on the other hand, are *intended*: a healthy fraction
+of programs walks an index one past its array, and the oracle demands the
+trap be byte-identical on both sides.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class GeneratorConfig:
+    """Size/shape knobs of one generated program."""
+
+    max_helpers: int = 3
+    max_statements: int = 7
+    max_loop_depth: int = 2
+    max_expr_depth: int = 3
+    #: Largest literal used for array sizes and loop bounds.
+    max_array_size: int = 24
+    #: Probability that a generated index deliberately risks going one
+    #: past the end (the oracle requires the trap to match on both sides).
+    off_by_one_bias: float = 0.25
+
+
+DEFAULT_CONFIG = GeneratorConfig()
+
+
+@dataclass
+class _Var:
+    name: str
+    type: str  # "int" | "int[]" | "bool"
+    #: Loop counters and frozen bounds must not be reassigned, or the
+    #: termination argument collapses.
+    frozen: bool = False
+
+
+class _FunctionShape:
+    """Signature of a generated function, for call-site construction."""
+
+    def __init__(self, name: str, params: List[str], returns: str) -> None:
+        self.name = name
+        self.params = params  # parameter types, in order
+        self.returns = returns  # "int" | "void"
+
+
+class _Generator:
+    def __init__(self, seed: int, config: GeneratorConfig) -> None:
+        self.rng = random.Random(seed)
+        self.config = config
+        self.lines: List[str] = []
+        self.indent = 0
+        self.fresh = 0
+        #: Functions callable from the one being generated (no recursion:
+        #: helper k may only call helpers 0..k-1).
+        self.callable: List[_FunctionShape] = []
+
+    # ------------------------------------------------------------------
+    # Emission helpers.
+    # ------------------------------------------------------------------
+
+    def emit(self, text: str) -> None:
+        self.lines.append("  " * self.indent + text)
+
+    def name(self, prefix: str) -> str:
+        self.fresh += 1
+        return f"{prefix}{self.fresh}"
+
+    # ------------------------------------------------------------------
+    # Expressions.  Each returns source text of the requested type, built
+    # only from variables currently in ``scope``.
+    # ------------------------------------------------------------------
+
+    def _ints(self, scope: List[_Var]) -> List[_Var]:
+        return [v for v in scope if v.type == "int"]
+
+    def _arrays(self, scope: List[_Var]) -> List[_Var]:
+        return [v for v in scope if v.type == "int[]"]
+
+    def int_atom(self, scope: List[_Var]) -> str:
+        rng = self.rng
+        ints = self._ints(scope)
+        arrays = self._arrays(scope)
+        roll = rng.random()
+        if roll < 0.35 and ints:
+            return rng.choice(ints).name
+        if roll < 0.5 and arrays:
+            return f"len({rng.choice(arrays).name})"
+        return str(rng.randrange(0, self.config.max_array_size + 1))
+
+    def int_expr(self, scope: List[_Var], depth: Optional[int] = None) -> str:
+        rng = self.rng
+        if depth is None:
+            depth = rng.randrange(0, self.config.max_expr_depth + 1)
+        if depth <= 0:
+            return self.int_atom(scope)
+        roll = rng.random()
+        arrays = self._arrays(scope)
+        if roll < 0.15 and arrays:
+            array = rng.choice(arrays)
+            return f"{array.name}[{self.index_expr(scope, array)}]"
+        if roll < 0.25 and self.callable:
+            call = self.call_expr(scope, want_value=True)
+            if call is not None:
+                return call
+        op = rng.choice(["+", "+", "+", "-", "-", "*", "%", "/"])
+        lhs = self.int_expr(scope, depth - 1)
+        rhs = self.int_expr(scope, depth - 1)
+        return f"({lhs} {op} {rhs})"
+
+    def index_expr(self, scope: List[_Var], array: _Var) -> str:
+        """An index biased toward the in-range/off-by-one frontier."""
+        rng = self.rng
+        ints = self._ints(scope)
+        pool: List[str] = [f"len({array.name}) - 1"]
+        if ints:
+            i = rng.choice(ints).name
+            pool += [i, f"{i} + 1", f"{i} - 1", f"{i} % len({array.name})"]
+        if rng.random() < self.config.off_by_one_bias:
+            pool.append(f"len({array.name})")
+            if ints:
+                pool.append(f"{rng.choice(ints).name} + 2")
+        pool.append(str(rng.randrange(0, self.config.max_array_size + 1)))
+        return rng.choice(pool)
+
+    def bool_expr(self, scope: List[_Var]) -> str:
+        rng = self.rng
+        op = rng.choice(["<", "<=", ">", ">=", "==", "!="])
+        lhs = self.int_expr(scope, 1)
+        rhs = self.int_expr(scope, 1)
+        simple = f"{lhs} {op} {rhs}"
+        roll = rng.random()
+        if roll < 0.15:
+            other = f"{self.int_expr(scope, 0)} {rng.choice(['<', '>='])} {self.int_expr(scope, 0)}"
+            return f"{simple} {rng.choice(['&&', '||'])} {other}"
+        if roll < 0.2:
+            return f"!({simple})"
+        return simple
+
+    def call_expr(self, scope: List[_Var], want_value: bool) -> Optional[str]:
+        rng = self.rng
+        candidates = [
+            shape
+            for shape in self.callable
+            if (shape.returns == "int") == want_value
+            and all(
+                param != "int[]" or self._arrays(scope) for param in shape.params
+            )
+        ]
+        if not candidates:
+            return None
+        shape = rng.choice(candidates)
+        args = []
+        for param in shape.params:
+            if param == "int[]":
+                args.append(rng.choice(self._arrays(scope)).name)
+            else:
+                args.append(self.int_expr(scope, 1))
+        return f"{shape.name}({', '.join(args)})"
+
+    # ------------------------------------------------------------------
+    # Statements.
+    # ------------------------------------------------------------------
+
+    def array_size_expr(self, scope: List[_Var]) -> str:
+        rng = self.rng
+        roll = rng.random()
+        if roll < 0.7 or not self._ints(scope):
+            # Mostly small constants; size 0 stresses empty-array paths.
+            return str(rng.choice([0, 1, 2] + list(range(2, self.config.max_array_size + 1))))
+        if roll < 0.9:
+            return f"({self.int_atom(scope)} % {rng.randrange(1, self.config.max_array_size + 1)})"
+        # Rarely a bare variable — may be negative at runtime, which must
+        # raise the same NegativeArraySizeError on both sides.
+        return rng.choice(self._ints(scope)).name
+
+    def statement(self, scope: List[_Var], loop_depth: int, budget: int) -> None:
+        rng = self.rng
+        arrays = self._arrays(scope)
+        choices: List[Tuple[str, float]] = [
+            ("let_int", 1.0),
+            ("let_array", 0.5 if loop_depth == 0 else 0.1),
+            ("assign", 0.8),
+            ("store", 1.4 if arrays else 0.0),
+            ("if", 0.9),
+            ("for", 1.2 if loop_depth < self.config.max_loop_depth else 0.0),
+            ("while", 0.5 if loop_depth < self.config.max_loop_depth else 0.0),
+            ("call", 0.5 if self.callable else 0.0),
+        ]
+        total = sum(weight for _, weight in choices)
+        pick = rng.random() * total
+        kind = choices[-1][0]
+        for name, weight in choices:
+            pick -= weight
+            if pick <= 0:
+                kind = name
+                break
+        getattr(self, f"stmt_{kind}")(scope, loop_depth, budget)
+
+    def stmt_let_int(self, scope: List[_Var], loop_depth: int, budget: int) -> None:
+        name = self.name("v")
+        self.emit(f"let {name}: int = {self.int_expr(scope)};")
+        scope.append(_Var(name, "int"))
+
+    def stmt_let_array(self, scope: List[_Var], loop_depth: int, budget: int) -> None:
+        name = self.name("a")
+        self.emit(f"let {name}: int[] = new int[{self.array_size_expr(scope)}];")
+        scope.append(_Var(name, "int[]"))
+
+    def stmt_assign(self, scope: List[_Var], loop_depth: int, budget: int) -> None:
+        mutable = [v for v in self._ints(scope) if not v.frozen]
+        if not mutable:
+            return self.stmt_let_int(scope, loop_depth, budget)
+        target = self.rng.choice(mutable)
+        self.emit(f"{target.name} = {self.int_expr(scope)};")
+
+    def stmt_store(self, scope: List[_Var], loop_depth: int, budget: int) -> None:
+        array = self.rng.choice(self._arrays(scope))
+        index = self.index_expr(scope, array)
+        self.emit(f"{array.name}[{index}] = {self.int_expr(scope, 1)};")
+
+    def stmt_call(self, scope: List[_Var], loop_depth: int, budget: int) -> None:
+        call = self.call_expr(scope, want_value=self.rng.random() < 0.7)
+        if call is None:
+            return self.stmt_let_int(scope, loop_depth, budget)
+        if "(" in call and self.rng.random() < 0.7:
+            shape_returns_value = any(
+                call.startswith(shape.name + "(") and shape.returns == "int"
+                for shape in self.callable
+            )
+            if shape_returns_value:
+                name = self.name("v")
+                self.emit(f"let {name}: int = {call};")
+                scope.append(_Var(name, "int"))
+                return
+        self.emit(f"{call};")
+
+    def stmt_if(self, scope: List[_Var], loop_depth: int, budget: int) -> None:
+        self.emit(f"if ({self.bool_expr(scope)}) {{")
+        self.block(scope, loop_depth, max(1, budget // 2))
+        if self.rng.random() < 0.45:
+            self.emit("} else {")
+            self.block(scope, loop_depth, max(1, budget // 2))
+        self.emit("}")
+
+    def _loop_bound(self, scope: List[_Var]) -> str:
+        """A loop-invariant bound: a frozen temp, a length, or a literal."""
+        rng = self.rng
+        arrays = self._arrays(scope)
+        roll = rng.random()
+        if roll < 0.5 and arrays:
+            array = rng.choice(arrays).name
+            return rng.choice([f"len({array})", f"len({array}) - 1"])
+        if roll < 0.75:
+            return str(rng.randrange(1, self.config.max_array_size + 1))
+        name = self.name("b")
+        self.emit(f"let {name}: int = {self.int_expr(scope, 1)};")
+        scope.append(_Var(name, "int", frozen=True))
+        return name
+
+    def stmt_for(self, scope: List[_Var], loop_depth: int, budget: int) -> None:
+        rng = self.rng
+        counter = self.name("i")
+        bound = self._loop_bound(scope)
+        step = rng.choice([1, 1, 1, 2])
+        if rng.random() < 0.3:
+            # Decreasing loop: the φ cycle is monotonically shrinking.
+            start = bound if not bound.isdigit() else bound
+            self.emit(
+                f"for (let {counter}: int = {start}; {counter} > 0; "
+                f"{counter} = {counter} - {step}) {{"
+            )
+        else:
+            cmp = rng.choice(["<", "<", "<="])
+            self.emit(
+                f"for (let {counter}: int = 0; {counter} {cmp} {bound}; "
+                f"{counter} = {counter} + {step}) {{"
+            )
+        inner = scope + [_Var(counter, "int", frozen=True)]
+        self.block(inner, loop_depth + 1, max(1, budget // 2))
+        self.emit("}")
+
+    def stmt_while(self, scope: List[_Var], loop_depth: int, budget: int) -> None:
+        rng = self.rng
+        counter = self.name("w")
+        bound = self._loop_bound(scope)
+        self.emit(f"let {counter}: int = 0;")
+        scope.append(_Var(counter, "int", frozen=True))
+        self.emit(f"while ({counter} < {bound}) {{")
+        inner = list(scope)
+        self.block(inner, loop_depth + 1, max(1, budget // 2), tail_stmt=f"{counter} = {counter} + 1;")
+        self.emit("}")
+
+    def block(
+        self,
+        scope: List[_Var],
+        loop_depth: int,
+        budget: int,
+        tail_stmt: Optional[str] = None,
+    ) -> None:
+        self.indent += 1
+        count = self.rng.randrange(1, budget + 1)
+        local = list(scope)
+        for _ in range(count):
+            self.statement(local, loop_depth, max(1, budget // 2))
+        if tail_stmt is not None:
+            self.emit(tail_stmt)
+        self.indent -= 1
+
+    # ------------------------------------------------------------------
+    # Functions.
+    # ------------------------------------------------------------------
+
+    def helper(self, index: int) -> _FunctionShape:
+        rng = self.rng
+        name = f"helper{index}"
+        params: List[_Var] = [_Var(f"p{index}a", "int[]")]
+        if rng.random() < 0.8:
+            params.append(_Var(f"p{index}x", "int"))
+        returns = "int" if rng.random() < 0.85 else "void"
+        sig = ", ".join(f"{p.name}: {p.type}" for p in params)
+        self.emit(f"fn {name}({sig}): {returns} {{")
+        scope = list(params)
+        self.indent += 1
+        count = rng.randrange(2, self.config.max_statements + 1)
+        for _ in range(count):
+            self.statement(scope, 0, 3)
+        if returns == "int":
+            self.emit(f"return {self.int_expr(scope, 1)};")
+        self.indent -= 1
+        self.emit("}")
+        self.emit("")
+        return _FunctionShape(name, [p.type for p in params], returns)
+
+    def main(self) -> None:
+        rng = self.rng
+        self.emit("fn main(): int {")
+        self.indent += 1
+        scope: List[_Var] = []
+        for _ in range(rng.randrange(1, 4)):
+            self.stmt_let_array(scope, 0, 1)
+        for _ in range(rng.randrange(0, 3)):
+            self.stmt_let_int(scope, 0, 1)
+        count = rng.randrange(2, self.config.max_statements + 1)
+        for _ in range(count):
+            self.statement(scope, 0, self.config.max_statements)
+        # Fold observable state into the result so eliminated computation
+        # would change the returned value, not just the counters.
+        ints = self._ints(scope)
+        arrays = self._arrays(scope)
+        parts = [v.name for v in ints[:3]]
+        for array in arrays[:2]:
+            parts.append(f"len({array.name})")
+            sum_name = self.name("s")
+            idx = self.name("k")
+            self.emit(f"let {sum_name}: int = 0;")
+            self.emit(
+                f"for (let {idx}: int = 0; {idx} < len({array.name}); "
+                f"{idx} = {idx} + 1) {{"
+            )
+            self.indent += 1
+            self.emit(f"{sum_name} = ({sum_name} * 31 + {array.name}[{idx}]) % 1000003;")
+            self.indent -= 1
+            self.emit("}")
+            parts.append(sum_name)
+        result = " + ".join(parts) if parts else "0"
+        self.emit(f"return {result};")
+        self.indent -= 1
+        self.emit("}")
+
+    def generate(self) -> str:
+        helper_count = self.rng.randrange(0, self.config.max_helpers + 1)
+        for index in range(helper_count):
+            shape = self.helper(index)
+            self.callable.append(shape)
+        self.main()
+        return "\n".join(self.lines) + "\n"
+
+
+def generate_source(seed: int, config: GeneratorConfig = DEFAULT_CONFIG) -> str:
+    """One seed → one deterministic, well-typed MiniJ source text."""
+    return _Generator(seed, config).generate()

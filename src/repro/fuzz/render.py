@@ -1,0 +1,116 @@
+"""Render a frontend AST back to MiniJ source text.
+
+The shrinker works on the parsed AST (structural transformations compose
+much better than line deletion on a brace language), so it needs the
+inverse of the parser.  Expressions are fully parenthesized — the goal is
+round-tripping through ``parse_source``, not pretty output — and the
+result of ``parse(render(ast))`` is structurally identical to ``ast`` up
+to source locations.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.frontend import ast
+from repro.frontend.types import Type
+
+
+def render_type(type_: Type) -> str:
+    return str(type_)
+
+
+def render_expr(expr: ast.Expr) -> str:
+    if isinstance(expr, ast.IntLiteral):
+        # Negative literals re-parse as unary minus applications.
+        return str(expr.value) if expr.value >= 0 else f"(0 - {-expr.value})"
+    if isinstance(expr, ast.BoolLiteral):
+        return "true" if expr.value else "false"
+    if isinstance(expr, ast.VarRef):
+        return expr.name
+    if isinstance(expr, ast.UnaryOp):
+        return f"({expr.op}{render_expr(expr.operand)})"
+    if isinstance(expr, ast.BinaryOp):
+        return f"({render_expr(expr.lhs)} {expr.op} {render_expr(expr.rhs)})"
+    if isinstance(expr, ast.ArrayIndex):
+        return f"{render_expr(expr.array)}[{render_expr(expr.index)}]"
+    if isinstance(expr, ast.ArrayLength):
+        return f"len({render_expr(expr.array)})"
+    if isinstance(expr, ast.NewArray):
+        return f"new int[{render_expr(expr.length)}]"
+    if isinstance(expr, ast.Call):
+        args = ", ".join(render_expr(arg) for arg in expr.args)
+        return f"{expr.callee}({args})"
+    raise TypeError(f"cannot render {type(expr).__name__}")
+
+
+def _render_simple_stmt(stmt: ast.Stmt) -> str:
+    """An assignment/let/store/call without the trailing semicolon (the
+    form allowed in ``for`` headers)."""
+    if isinstance(stmt, ast.LetStmt):
+        return (
+            f"let {stmt.name}: {render_type(stmt.declared_type)} = "
+            f"{render_expr(stmt.value)}"
+        )
+    if isinstance(stmt, ast.AssignStmt):
+        return f"{stmt.name} = {render_expr(stmt.value)}"
+    if isinstance(stmt, ast.ArrayStoreStmt):
+        return (
+            f"{render_expr(stmt.array)}[{render_expr(stmt.index)}] = "
+            f"{render_expr(stmt.value)}"
+        )
+    if isinstance(stmt, ast.ExprStmt):
+        return render_expr(stmt.expr)
+    raise TypeError(f"{type(stmt).__name__} is not a simple statement")
+
+
+def render_stmt(stmt: ast.Stmt, indent: int, lines: List[str]) -> None:
+    pad = "  " * indent
+    if isinstance(stmt, (ast.LetStmt, ast.AssignStmt, ast.ArrayStoreStmt, ast.ExprStmt)):
+        lines.append(f"{pad}{_render_simple_stmt(stmt)};")
+    elif isinstance(stmt, ast.IfStmt):
+        lines.append(f"{pad}if ({render_expr(stmt.condition)}) {{")
+        render_block(stmt.then_body, indent + 1, lines)
+        if stmt.else_body:
+            lines.append(f"{pad}}} else {{")
+            render_block(stmt.else_body, indent + 1, lines)
+        lines.append(f"{pad}}}")
+    elif isinstance(stmt, ast.WhileStmt):
+        lines.append(f"{pad}while ({render_expr(stmt.condition)}) {{")
+        render_block(stmt.body, indent + 1, lines)
+        lines.append(f"{pad}}}")
+    elif isinstance(stmt, ast.ForStmt):
+        init = _render_simple_stmt(stmt.init) if stmt.init is not None else ""
+        cond = render_expr(stmt.condition) if stmt.condition is not None else ""
+        step = _render_simple_stmt(stmt.step) if stmt.step is not None else ""
+        lines.append(f"{pad}for ({init}; {cond}; {step}) {{")
+        render_block(stmt.body, indent + 1, lines)
+        lines.append(f"{pad}}}")
+    elif isinstance(stmt, ast.ReturnStmt):
+        if stmt.value is None:
+            lines.append(f"{pad}return;")
+        else:
+            lines.append(f"{pad}return {render_expr(stmt.value)};")
+    elif isinstance(stmt, ast.BreakStmt):
+        lines.append(f"{pad}break;")
+    elif isinstance(stmt, ast.ContinueStmt):
+        lines.append(f"{pad}continue;")
+    else:
+        raise TypeError(f"cannot render {type(stmt).__name__}")
+
+
+def render_block(body: List[ast.Stmt], indent: int, lines: List[str]) -> None:
+    for stmt in body:
+        render_stmt(stmt, indent, lines)
+
+
+def render_program(program: ast.ProgramAST) -> str:
+    lines: List[str] = []
+    for index, fn in enumerate(program.functions):
+        if index:
+            lines.append("")
+        params = ", ".join(f"{p.name}: {render_type(p.type)}" for p in fn.params)
+        lines.append(f"fn {fn.name}({params}): {render_type(fn.return_type)} {{")
+        render_block(fn.body, 1, lines)
+        lines.append("}")
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,295 @@
+"""Delta-debugging minimizer: shrink a program, keep its signature.
+
+Works on the parsed frontend AST rather than on source lines — structural
+edits (drop a statement, hoist a loop body, replace an expression by a
+subexpression, lower a literal, delete a function) compose cleanly on a
+brace language where line deletion almost never re-parses.
+
+The invariant throughout is *signature preservation*: a candidate is
+accepted only when the oracle reproduces the exact
+:class:`~repro.fuzz.triage.Signature` being chased, so the minimizer can
+never slide off one bug onto a different one mid-shrink.  Ill-typed
+candidates are pre-filtered with a cheap parse + semantic check before
+paying for a differential execution.
+"""
+
+from __future__ import annotations
+
+import copy
+from dataclasses import dataclass
+from typing import Callable, Iterator, List, Optional, Tuple
+
+from repro.errors import ReproError
+from repro.frontend import ast
+from repro.frontend.parser import parse_source
+from repro.frontend.semantic import check_program
+from repro.fuzz.oracle import OracleConfig, check_source
+from repro.fuzz.render import render_program
+from repro.fuzz.triage import Signature
+
+#: Cap on oracle invocations per shrink, so one stubborn reproducer can
+#: never dominate a campaign's runtime.
+DEFAULT_MAX_ITERATIONS = 400
+
+
+@dataclass
+class ShrinkResult:
+    """Outcome of one minimization."""
+
+    source: str
+    #: Oracle invocations spent (the ``--shrink`` cost counter).
+    iterations: int = 0
+    #: Accepted reductions (how many candidates kept the signature).
+    accepted: int = 0
+    #: False when the input never reproduced the signature to begin with.
+    reproduced: bool = True
+
+
+# ----------------------------------------------------------------------
+# AST addressing: mutations are (kind, ordinal, action) triples applied
+# to a fresh deep copy, so candidate enumeration survives copying.
+# ----------------------------------------------------------------------
+
+
+def _walk_stmts(
+    program: ast.ProgramAST,
+) -> Iterator[Tuple[List[ast.Stmt], int, ast.Stmt]]:
+    """Pre-order walk yielding ``(containing_list, index, stmt)``."""
+
+    def walk(body: List[ast.Stmt]) -> Iterator[Tuple[List[ast.Stmt], int, ast.Stmt]]:
+        for index, stmt in enumerate(body):
+            yield body, index, stmt
+            if isinstance(stmt, ast.IfStmt):
+                yield from walk(stmt.then_body)
+                yield from walk(stmt.else_body)
+            elif isinstance(stmt, (ast.WhileStmt, ast.ForStmt)):
+                yield from walk(stmt.body)
+
+    for fn in program.functions:
+        yield from walk(fn.body)
+
+
+def _hoisted_body(stmt: ast.Stmt) -> Optional[List[ast.Stmt]]:
+    """The statement list a compound statement can be replaced by."""
+    if isinstance(stmt, ast.IfStmt):
+        return list(stmt.then_body) + list(stmt.else_body)
+    if isinstance(stmt, ast.WhileStmt):
+        return list(stmt.body)
+    if isinstance(stmt, ast.ForStmt):
+        prefix = [stmt.init] if stmt.init is not None else []
+        return prefix + list(stmt.body)
+    return None
+
+
+_Setter = Callable[[ast.Expr], None]
+
+
+def _expr_slots(program: ast.ProgramAST) -> Iterator[Tuple[_Setter, ast.Expr]]:
+    """Pre-order walk over every expression with a setter for its slot."""
+
+    def visit(expr: ast.Expr, setter: _Setter) -> Iterator[Tuple[_Setter, ast.Expr]]:
+        yield setter, expr
+        if isinstance(expr, ast.UnaryOp):
+            yield from visit(expr.operand, lambda e, x=expr: setattr(x, "operand", e))
+        elif isinstance(expr, ast.BinaryOp):
+            yield from visit(expr.lhs, lambda e, x=expr: setattr(x, "lhs", e))
+            yield from visit(expr.rhs, lambda e, x=expr: setattr(x, "rhs", e))
+        elif isinstance(expr, ast.ArrayIndex):
+            yield from visit(expr.array, lambda e, x=expr: setattr(x, "array", e))
+            yield from visit(expr.index, lambda e, x=expr: setattr(x, "index", e))
+        elif isinstance(expr, ast.ArrayLength):
+            yield from visit(expr.array, lambda e, x=expr: setattr(x, "array", e))
+        elif isinstance(expr, ast.NewArray):
+            yield from visit(expr.length, lambda e, x=expr: setattr(x, "length", e))
+        elif isinstance(expr, ast.Call):
+            for index, arg in enumerate(expr.args):
+                yield from visit(
+                    arg, lambda e, x=expr, i=index: x.args.__setitem__(i, e)
+                )
+
+    def stmt_exprs(stmt: ast.Stmt) -> Iterator[Tuple[_Setter, ast.Expr]]:
+        if isinstance(stmt, (ast.LetStmt, ast.AssignStmt)):
+            yield from visit(stmt.value, lambda e, s=stmt: setattr(s, "value", e))
+        elif isinstance(stmt, ast.ArrayStoreStmt):
+            yield from visit(stmt.array, lambda e, s=stmt: setattr(s, "array", e))
+            yield from visit(stmt.index, lambda e, s=stmt: setattr(s, "index", e))
+            yield from visit(stmt.value, lambda e, s=stmt: setattr(s, "value", e))
+        elif isinstance(stmt, ast.IfStmt):
+            yield from visit(
+                stmt.condition, lambda e, s=stmt: setattr(s, "condition", e)
+            )
+        elif isinstance(stmt, ast.WhileStmt):
+            yield from visit(
+                stmt.condition, lambda e, s=stmt: setattr(s, "condition", e)
+            )
+        elif isinstance(stmt, ast.ForStmt):
+            if stmt.condition is not None:
+                yield from visit(
+                    stmt.condition, lambda e, s=stmt: setattr(s, "condition", e)
+                )
+        elif isinstance(stmt, ast.ReturnStmt) and stmt.value is not None:
+            yield from visit(stmt.value, lambda e, s=stmt: setattr(s, "value", e))
+        elif isinstance(stmt, ast.ExprStmt):
+            yield from visit(stmt.expr, lambda e, s=stmt: setattr(s, "expr", e))
+
+    for _, _, stmt in _walk_stmts(program):
+        yield from stmt_exprs(stmt)
+    # ``for`` init/step statements are simple statements outside the
+    # pre-order statement walk's containers; cover their expressions too.
+    for _, _, stmt in _walk_stmts(program):
+        if isinstance(stmt, ast.ForStmt):
+            for header_stmt in (stmt.init, stmt.step):
+                if header_stmt is not None:
+                    yield from stmt_exprs(header_stmt)
+
+
+_LOC = None  # rendered output never shows locations
+
+
+def _subexpressions(expr: ast.Expr) -> List[ast.Expr]:
+    """Same-slot replacement candidates drawn from the node's children
+    (type mismatches are filtered by the semantic pre-check)."""
+    if isinstance(expr, ast.UnaryOp):
+        return [expr.operand]
+    if isinstance(expr, ast.BinaryOp):
+        return [expr.lhs, expr.rhs]
+    if isinstance(expr, ast.ArrayIndex):
+        return [expr.index]
+    if isinstance(expr, ast.ArrayLength):
+        return []
+    if isinstance(expr, ast.Call):
+        return list(expr.args)
+    return []
+
+
+def _enumerate_mutations(program: ast.ProgramAST) -> List[Tuple[str, int, object]]:
+    """All candidate reductions of ``program``, most aggressive first."""
+    mutations: List[Tuple[str, int, object]] = []
+    for index in reversed(range(len(program.functions))):
+        if program.functions[index].name != "main":
+            mutations.append(("fn", index, "delete"))
+    statements = list(_walk_stmts(program))
+    for ordinal in reversed(range(len(statements))):
+        mutations.append(("stmt", ordinal, "delete"))
+    for ordinal in reversed(range(len(statements))):
+        if _hoisted_body(statements[ordinal][2]) is not None:
+            mutations.append(("stmt", ordinal, "hoist"))
+    slots = list(_expr_slots(program))
+    for ordinal, (_, expr) in enumerate(slots):
+        for child_index in range(len(_subexpressions(expr))):
+            mutations.append(("expr", ordinal, ("child", child_index)))
+    for ordinal, (_, expr) in enumerate(slots):
+        if isinstance(expr, ast.IntLiteral):
+            if expr.value not in (0, 1):
+                mutations.append(("expr", ordinal, ("set", expr.value // 2)))
+                mutations.append(("expr", ordinal, ("set", 0)))
+        else:
+            mutations.append(("expr", ordinal, ("set", 0)))
+    return mutations
+
+
+def _apply_mutation(
+    program: ast.ProgramAST, mutation: Tuple[str, int, object]
+) -> bool:
+    """Apply one mutation in place; False when it no longer applies."""
+    kind, ordinal, action = mutation
+    if kind == "fn":
+        if ordinal >= len(program.functions):
+            return False
+        del program.functions[ordinal]
+        return True
+    if kind == "stmt":
+        statements = list(_walk_stmts(program))
+        if ordinal >= len(statements):
+            return False
+        container, index, stmt = statements[ordinal]
+        if action == "delete":
+            del container[index]
+            return True
+        body = _hoisted_body(stmt)
+        if body is None:
+            return False
+        container[index : index + 1] = body
+        return True
+    if kind == "expr":
+        slots = list(_expr_slots(program))
+        if ordinal >= len(slots):
+            return False
+        setter, expr = slots[ordinal]
+        op, payload = action
+        if op == "child":
+            children = _subexpressions(expr)
+            if payload >= len(children):
+                return False
+            setter(children[payload])
+            return True
+        setter(ast.IntLiteral(expr.location, payload))
+        return True
+    return False
+
+
+# ----------------------------------------------------------------------
+# The shrink loop.
+# ----------------------------------------------------------------------
+
+
+def _well_typed(source: str) -> bool:
+    try:
+        check_program(parse_source(source))
+        return True
+    except ReproError:
+        return False
+    except RecursionError:
+        return False
+
+
+def shrink_source(
+    source: str,
+    signature: Signature,
+    config: Optional[OracleConfig] = None,
+    max_iterations: int = DEFAULT_MAX_ITERATIONS,
+) -> ShrinkResult:
+    """Greedy fixpoint minimization of ``source`` under the constraint
+    that the oracle keeps reproducing ``signature``."""
+    if config is None:
+        config = OracleConfig()
+    result = ShrinkResult(source=source)
+
+    verdict = check_source(source, config)
+    result.iterations += 1
+    if verdict.signature != signature:
+        result.reproduced = False
+        return result
+
+    current_source = source
+    try:
+        current = parse_source(source)
+    except ReproError:
+        # Signature reproduces but the program does not parse (possible
+        # only for ``rejected`` signatures) — nothing structural to do.
+        return result
+
+    progress = True
+    while progress and result.iterations < max_iterations:
+        progress = False
+        for mutation in _enumerate_mutations(current):
+            if result.iterations >= max_iterations:
+                break
+            candidate = copy.deepcopy(current)
+            if not _apply_mutation(candidate, mutation):
+                continue
+            candidate_source = render_program(candidate)
+            if len(candidate_source) >= len(current_source):
+                continue
+            if not _well_typed(candidate_source):
+                continue
+            result.iterations += 1
+            if check_source(candidate_source, config).signature == signature:
+                current = candidate
+                current_source = candidate_source
+                result.accepted += 1
+                progress = True
+                break
+
+    result.source = current_source
+    return result

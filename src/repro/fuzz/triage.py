@@ -1,0 +1,188 @@
+"""Signature-based triage: dedupe findings, persist them, replay them.
+
+A campaign over thousands of programs may hit the same compiler bug
+thousands of times; what the developer needs is one bucket per root
+cause.  The bucket key is a :class:`Signature` — divergence kind plus
+exception type plus the innermost ``repro`` frame for crashes — chosen so
+that it survives shrinking: the minimizer only accepts a candidate when
+the candidate reproduces the *same* signature, which is what keeps a
+shrink from sliding off one bug onto a different one.
+
+The :class:`TriageReport` is deliberately timestamp- and path-free so two
+campaigns with the same ``--seed-base`` serialize to byte-identical JSON
+(the determinism property tested in ``tests/test_fuzz.py``).
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import re
+import traceback
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+#: Outcome classes that represent a finding (a bucket in the report).
+FINDING_KINDS = (
+    "value-divergence",
+    "trap-divergence",
+    "codegen-divergence",
+    "crash",
+    "rejected",
+    "timeout",
+)
+
+#: Outcome classes that are expected behavior, never triaged.
+BENIGN_KINDS = ("match", "fuel-limit")
+
+
+@dataclass(frozen=True)
+class Signature:
+    """The deduplication key of one finding."""
+
+    #: One of :data:`FINDING_KINDS`.
+    kind: str
+    #: Exception class name for crashes/rejections; for divergences the
+    #: ``base-outcome->optimized-outcome`` pair (trap names or ``return``).
+    error: str
+    #: Innermost ``repro`` stack frame (``module.function``) for crashes;
+    #: empty for behavioral divergences.
+    frame: str = ""
+
+    def key(self) -> str:
+        return "|".join((self.kind, self.error, self.frame))
+
+    def slug(self) -> str:
+        """A filesystem-safe name for the reproducer file."""
+        return re.sub(r"[^A-Za-z0-9_.-]+", "-", self.key()).strip("-").lower()
+
+    @staticmethod
+    def parse(key: str) -> "Signature":
+        kind, error, frame = (key.split("|", 2) + ["", ""])[:3]
+        return Signature(kind=kind, error=error, frame=frame)
+
+
+def innermost_repro_frame(exc: BaseException) -> str:
+    """``module.function`` of the deepest traceback frame inside the
+    ``repro`` package — the anchor that keeps one bug in one bucket even
+    as the call path above it varies."""
+    frames = traceback.extract_tb(exc.__traceback__)
+    for summary in reversed(frames):
+        path = pathlib.PurePath(summary.filename)
+        if "repro" in path.parts:
+            index = len(path.parts) - 1 - list(reversed(path.parts)).index("repro")
+            module = ".".join(path.parts[index:]).removesuffix(".py")
+            return f"{module}:{summary.name}"
+    return "<outside-repro>"
+
+
+@dataclass
+class TriageEntry:
+    """One deduplicated finding bucket."""
+
+    signature: Signature
+    count: int = 0
+    #: Generator seeds that hit this bucket (first few, in discovery order).
+    seeds: List[int] = field(default_factory=list)
+    #: The smallest reproducer seen (post-shrink when --shrink is on).
+    reproducer: Optional[str] = None
+    shrink_iterations: int = 0
+    detail: str = ""
+
+    MAX_SEEDS = 8
+
+    def record(self, seed: int, source: str, detail: str) -> None:
+        self.count += 1
+        if len(self.seeds) < self.MAX_SEEDS:
+            self.seeds.append(seed)
+        if self.reproducer is None or len(source) < len(self.reproducer):
+            self.reproducer = source
+            self.detail = detail
+
+
+class TriageReport:
+    """All buckets of one campaign, serializable to stable JSON."""
+
+    def __init__(self) -> None:
+        self.entries: Dict[str, TriageEntry] = {}
+
+    def record(self, signature: Signature, seed: int, source: str, detail: str) -> TriageEntry:
+        entry = self.entries.get(signature.key())
+        if entry is None:
+            entry = self.entries[signature.key()] = TriageEntry(signature)
+        entry.record(seed, source, detail)
+        return entry
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def total_findings(self) -> int:
+        return sum(entry.count for entry in self.entries.values())
+
+    def to_json(self) -> Dict[str, Any]:
+        return {
+            "signatures": [
+                {
+                    "signature": key,
+                    "kind": entry.signature.kind,
+                    "error": entry.signature.error,
+                    "frame": entry.signature.frame,
+                    "count": entry.count,
+                    "seeds": entry.seeds,
+                    "detail": entry.detail,
+                    "shrink_iterations": entry.shrink_iterations,
+                    "reproducer": entry.reproducer,
+                }
+                for key, entry in sorted(self.entries.items())
+            ],
+            "unique_signatures": len(self.entries),
+            "total_findings": self.total_findings(),
+        }
+
+    def write(self, path: str) -> None:
+        pathlib.Path(path).write_text(
+            json.dumps(self.to_json(), indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+
+
+# ----------------------------------------------------------------------
+# Corpus reproducers: tests/fuzz_corpus/<slug>.mj
+# ----------------------------------------------------------------------
+
+_HEADER = "// fuzz reproducer — signature: "
+_SEED = "// seed: "
+
+
+def write_reproducer(directory: str, entry: TriageEntry) -> pathlib.Path:
+    """Persist one minimized reproducer with its signature in the header,
+    so the corpus replayer can assert the signature stays fixed."""
+    directory_path = pathlib.Path(directory)
+    directory_path.mkdir(parents=True, exist_ok=True)
+    path = directory_path / f"{entry.signature.slug()}.mj"
+    seed = entry.seeds[0] if entry.seeds else -1
+    body = (
+        f"{_HEADER}{entry.signature.key()}\n"
+        f"{_SEED}{seed}\n"
+        f"// {entry.detail}\n"
+        f"{entry.reproducer or ''}"
+    )
+    path.write_text(body, encoding="utf-8")
+    return path
+
+
+def read_reproducer(path: str) -> tuple:
+    """``(signature, source)`` parsed back from a corpus file."""
+    text = pathlib.Path(path).read_text(encoding="utf-8")
+    signature: Optional[Signature] = None
+    lines = text.splitlines(keepends=True)
+    body_start = 0
+    for index, line in enumerate(lines):
+        if line.startswith(_HEADER):
+            signature = Signature.parse(line[len(_HEADER):].strip())
+        if not line.startswith("//") and line.strip():
+            body_start = index
+            break
+    if signature is None:
+        raise ValueError(f"{path}: missing signature header")
+    return signature, "".join(lines[body_start:])

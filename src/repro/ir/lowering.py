@@ -24,7 +24,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Tuple
 
-from repro.errors import LoweringError
+from repro.errors import LoweringError, NestingLimitError
 from repro.frontend import ast
 from repro.frontend.semantic import SemanticInfo
 from repro.frontend.types import VOID
@@ -395,9 +395,19 @@ class _FunctionLowerer:
 
 
 def lower_program(program_ast: ast.ProgramAST, info: SemanticInfo) -> Program:
-    """Lower a type-checked AST into an IR :class:`Program`."""
+    """Lower a type-checked AST into an IR :class:`Program`.
+
+    The expression walk recurses per nesting level; exhausting the host
+    stack is reported as :class:`~repro.errors.NestingLimitError` rather
+    than leaking a raw :class:`RecursionError` past the compile boundary.
+    """
     program = Program()
-    for decl in program_ast.functions:
-        lowerer = _FunctionLowerer(decl, info, program)
-        program.add_function(lowerer.lower())
+    try:
+        for decl in program_ast.functions:
+            lowerer = _FunctionLowerer(decl, info, program)
+            program.add_function(lowerer.lower())
+    except RecursionError:
+        raise NestingLimitError(
+            "program nesting exceeds the lowering walk's recursion budget"
+        ) from None
     return program

@@ -23,12 +23,30 @@ from repro.ir.instructions import (
     ArrayLoad,
     BinOp,
     Cmp,
+    Const,
     Copy,
+    Instr,
     Phi,
     Pi,
 )
 
 _PURE = (Copy, BinOp, Cmp, ArrayLen, ArrayLoad, Phi)
+
+
+def is_removable(instr: Instr) -> bool:
+    """True when deleting an unused ``instr`` cannot change behavior.
+
+    Division and modulo trap on a zero divisor, so a dead ``div``/``mod``
+    is only removable when its divisor is a *constant* nonzero — anything
+    else must stay, or the optimized program silently skips a mandatory
+    :class:`~repro.errors.DivisionByZeroError` (found by differential
+    fuzzing; see ``tests/fuzz_corpus/``).
+    """
+    if not isinstance(instr, _PURE):
+        return False
+    if isinstance(instr, BinOp) and instr.op in ("div", "mod"):
+        return isinstance(instr.rhs, Const) and instr.rhs.value != 0
+    return True
 
 
 def eliminate_dead_code(fn: Function) -> int:
@@ -51,7 +69,7 @@ def eliminate_dead_code(fn: Function) -> int:
             for instr in block.body:
                 dest = instr.defs()
                 if (
-                    isinstance(instr, _PURE)
+                    is_removable(instr)
                     and dest is not None
                     and use_counts.get(dest, 0) == 0
                 ):

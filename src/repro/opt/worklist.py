@@ -58,7 +58,7 @@ from repro.ir.instructions import (
 )
 from repro.opt.constant_folding import _fold_instr
 from repro.opt.copy_propagation import _rewrite_const_uses
-from repro.opt.dce import _PURE
+from repro.opt.dce import is_removable
 
 
 @dataclass
@@ -166,7 +166,7 @@ class _Worklist:
 
         dest = instr.defs()
         if (
-            isinstance(instr, _PURE)
+            is_removable(instr)
             and dest is not None
             and self.chains.use_count(dest) == 0
         ):

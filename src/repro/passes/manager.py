@@ -132,6 +132,32 @@ class SessionStats:
             "accepted": 0,
             "rejected": 0,
         }
+        #: Free-form campaign counters (the fuzz driver folds its
+        #: per-classification tallies in here as ``fuzz.<name>``).
+        self.counters: Dict[str, int] = {}
+
+    def bump(self, name: str, amount: int = 1) -> None:
+        """Increment a free-form session counter."""
+        self.counters[name] = self.counters.get(name, 0) + amount
+
+    def merge(self, other: "SessionStats") -> None:
+        """Fold another session's counters into this one (used by the
+        fuzz campaign, which runs one short-lived session per program but
+        reports one aggregate)."""
+        for name, entry in other.passes.items():
+            mine = self.passes.get(name)
+            if mine is None:
+                mine = self.passes[name] = PassStats(name)
+            mine.invocations += entry.invocations
+            mine.changes += entry.changes
+            mine.rollbacks += entry.rollbacks
+            mine.seconds += entry.seconds
+            mine.instructions_visited += entry.instructions_visited
+            mine.worklist_revisits += entry.worklist_revisits
+        for name, value in other.certificates.items():
+            self.certificates[name] = self.certificates.get(name, 0) + value
+        for name, value in other.counters.items():
+            self.bump(name, value)
 
     def count_certificates(self, verdicts: Sequence) -> None:
         """Fold one function's certificate verdicts into the session."""
@@ -225,6 +251,7 @@ class SessionStats:
             ],
             "total_seconds": self.total_seconds,
             "certificates": dict(self.certificates),
+            "counters": dict(sorted(self.counters.items())),
             "analysis": self.analysis.stats() if self.analysis is not None else {},
         }
 

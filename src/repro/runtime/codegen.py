@@ -323,10 +323,23 @@ class CompiledProgram:
             self._functions[fn.name] = namespace[fn.name]
 
     def run(self, function_name: str = "main", args: Sequence = ()) -> ExecutionResult:
+        from repro.errors import CallDepthExceeded, UnknownFunctionError
         from repro.limits import recursion_headroom
 
-        with recursion_headroom(20_000):
-            value = self._functions[function_name](*args)
+        try:
+            fn = self._functions[function_name]
+        except KeyError:
+            raise UnknownFunctionError(
+                f"program has no function {function_name!r}"
+            ) from None
+        try:
+            with recursion_headroom(20_000):
+                value = fn(*args)
+        except RecursionError:
+            raise CallDepthExceeded(
+                f"call depth exhausted the generated-code stack in "
+                f"{function_name!r}"
+            ) from None
         return ExecutionResult(value, self.stats)
 
 

@@ -27,7 +27,13 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Union
 
-from repro.errors import BoundsCheckError, MiniJRuntimeError, TrapLimitExceeded
+from repro.errors import (
+    BoundsCheckError,
+    CallDepthExceeded,
+    MiniJRuntimeError,
+    TrapLimitExceeded,
+    UnknownFunctionError,
+)
 from repro.ir.function import Function, Program
 from repro.ir.instructions import (
     ArrayLen,
@@ -140,9 +146,25 @@ class Interpreter:
     # ------------------------------------------------------------------
 
     def run(self, function_name: str, args: Sequence[Value] = ()) -> ExecutionResult:
-        """Execute ``function_name`` with ``args`` and return the result."""
-        fn = self._program.function(function_name)
-        value = self._call(fn, list(args))
+        """Execute ``function_name`` with ``args`` and return the result.
+
+        Every failure mode crosses this boundary as a
+        :class:`MiniJRuntimeError`: an entry name the program lacks would
+        otherwise leak the program table's raw :class:`KeyError`, and
+        unbounded MiniJ recursion the host's :class:`RecursionError`.
+        """
+        try:
+            fn = self._program.function(function_name)
+        except KeyError:
+            raise UnknownFunctionError(
+                f"program has no function {function_name!r}"
+            ) from None
+        try:
+            value = self._call(fn, list(args))
+        except RecursionError:
+            raise CallDepthExceeded(
+                f"call depth exhausted the interpreter stack in {function_name!r}"
+            ) from None
         return ExecutionResult(value, self.stats)
 
     # ------------------------------------------------------------------

@@ -1,0 +1,48 @@
+"""Replay every committed fuzz reproducer through the differential oracle.
+
+Each file under ``tests/fuzz_corpus/`` is a minimized program that once
+exposed a real bug (its header records the historical signature).  The
+bugs are fixed, so replaying must produce a *benign* verdict — this suite
+is the regression net that keeps them fixed.  An empty or missing corpus
+is fine: the parametrization is simply empty.
+"""
+
+import pathlib
+
+import pytest
+
+from repro.fuzz.oracle import OracleConfig, check_source
+from repro.fuzz.triage import BENIGN_KINDS, FINDING_KINDS, read_reproducer
+
+CORPUS_DIR = pathlib.Path(__file__).parent / "fuzz_corpus"
+
+
+def corpus_files():
+    if not CORPUS_DIR.is_dir():
+        return []
+    return sorted(CORPUS_DIR.glob("*.mj"))
+
+
+@pytest.mark.parametrize(
+    "path", corpus_files(), ids=lambda p: p.stem if p else "empty"
+)
+def test_reproducer_stays_fixed(path):
+    signature, source = read_reproducer(path)
+    # Header sanity: the recorded signature names a real finding class.
+    assert signature.kind in FINDING_KINDS, f"{path.name}: bad header kind"
+    assert source.strip(), f"{path.name}: empty program body"
+
+    verdict = check_source(source, OracleConfig())
+    assert verdict.classification in BENIGN_KINDS, (
+        f"{path.name}: historical bug {signature.key()!r} resurfaced as "
+        f"{verdict.classification}: {verdict.detail}"
+    )
+
+
+def test_corpus_filenames_match_signatures():
+    for path in corpus_files():
+        signature, _ = read_reproducer(path)
+        assert path.stem == signature.slug(), (
+            f"{path.name}: filename does not match its signature slug "
+            f"{signature.slug()!r}"
+        )
