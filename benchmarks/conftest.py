@@ -7,12 +7,11 @@ by the benchmark files.
 
 from __future__ import annotations
 
-import signal
-
 import pytest
 
 from repro.bench.corpus import CORPUS, get
 from repro.bench.harness import BenchResult, run_benchmark
+from repro.limits import hard_deadline
 
 #: Hard wall-clock ceiling per benchmark test.  A solver or interpreter
 #: regression that hangs would otherwise stall the whole suite; with the
@@ -25,26 +24,18 @@ BENCH_TIMEOUT_SECONDS = 600
 def per_benchmark_timeout(request):
     """Fail any benchmark that runs longer than ``BENCH_TIMEOUT_SECONDS``.
 
-    Uses SIGALRM (no external timeout plugin needed); on platforms without
-    it the fixture is a no-op.
+    Uses :func:`repro.limits.hard_deadline` (SIGALRM under the hood, no
+    external timeout plugin needed); on platforms without SIGALRM or off
+    the main thread the guard is a no-op.
     """
-    if not hasattr(signal, "SIGALRM"):
-        yield
-        return
-
-    def on_timeout(signum, frame):
-        raise TimeoutError(
+    with hard_deadline(
+        BENCH_TIMEOUT_SECONDS,
+        lambda: TimeoutError(
             f"benchmark {request.node.name} exceeded "
             f"{BENCH_TIMEOUT_SECONDS}s wall-clock budget"
-        )
-
-    previous = signal.signal(signal.SIGALRM, on_timeout)
-    signal.alarm(BENCH_TIMEOUT_SECONDS)
-    try:
+        ),
+    ):
         yield
-    finally:
-        signal.alarm(0)
-        signal.signal(signal.SIGALRM, previous)
 
 
 @pytest.fixture(scope="session")

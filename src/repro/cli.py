@@ -13,14 +13,24 @@ Commands:
   inequality graphs;
 * ``bench``          — regenerate the Figure-6 table over the corpus;
 * ``fuzz``           — run a differential fuzzing campaign (random
-  programs, unoptimized vs optimized execution, triage + shrinking).
+  programs, unoptimized vs optimized execution, triage + shrinking);
+* ``serve``          — run the crash-isolated compile service (NDJSON
+  over stdin/stdout or a Unix socket, supervised worker pool);
+* ``storm``          — chaos-test the compile service under injected
+  process faults and verify the no-lost-request guarantee.
+
+Long-running commands (``bench``, ``fuzz``) catch SIGINT/SIGTERM, emit
+their partial report, and exit with :data:`EXIT_INTERRUPTED` (130)
+instead of dying with a raw traceback.
 """
 
 from __future__ import annotations
 
 import argparse
+import contextlib
+import signal
 import sys
-from typing import List, Optional
+from typing import Iterator, List, Optional
 
 from repro.core.abcd import ABCDConfig
 from repro.core.solver import DEFAULT_MAX_STEPS
@@ -30,6 +40,39 @@ from repro.passes.session import CompilationSession
 from repro.pipeline import clone_program, compile_source, run
 from repro.robustness.guard import PassGuard, guarded_optimize_program
 from repro.runtime.profiler import collect_profile
+
+
+#: Exit code for a campaign cut short by SIGINT/SIGTERM — distinct from
+#: success (0), findings/diagnostics (1), and usage errors (2), and
+#: matching the shell convention for fatal-signal exits (128 + SIGINT).
+EXIT_INTERRUPTED = 130
+
+
+@contextlib.contextmanager
+def _sigterm_as_interrupt() -> Iterator[None]:
+    """Deliver SIGTERM as :class:`KeyboardInterrupt` inside the body.
+
+    Long campaigns (``fuzz``, ``bench``) are routinely killed by batch
+    schedulers with SIGTERM; translating it lets one interrupt path
+    produce the partial report for both signals.  Main-thread only (the
+    only place Python delivers signals); restored on exit.
+    """
+    if not hasattr(signal, "SIGTERM"):
+        yield
+        return
+
+    def on_sigterm(signum, frame):
+        raise KeyboardInterrupt()
+
+    try:
+        previous = signal.signal(signal.SIGTERM, on_sigterm)
+    except ValueError:  # not the main thread
+        yield
+        return
+    try:
+        yield
+    finally:
+        signal.signal(signal.SIGTERM, previous)
 
 
 def _read_source(path: str) -> str:
@@ -295,14 +338,34 @@ def cmd_bench(args) -> int:
     from repro.bench.harness import format_figure6, run_benchmark
 
     names = set(args.names) if args.names else None
+    selected = [
+        program_def
+        for program_def in CORPUS
+        if names is None or program_def.name in names
+    ]
     results = []
-    for program_def in CORPUS:
-        if names is not None and program_def.name not in names:
-            continue
-        print(f"measuring {program_def.name}...", file=sys.stderr)
-        config = ABCDConfig(certify=True) if args.certify else None
-        results.append(run_benchmark(program_def, config=config, pre=not args.no_pre))
+    interrupted = False
+    with _sigterm_as_interrupt():
+        try:
+            for program_def in selected:
+                print(f"measuring {program_def.name}...", file=sys.stderr)
+                config = ABCDConfig(certify=True) if args.certify else None
+                results.append(
+                    run_benchmark(program_def, config=config, pre=not args.no_pre)
+                )
+        except KeyboardInterrupt:
+            # Keep what was measured: a 20-minute sweep killed at program
+            # 18 of 20 still yields 18 usable rows and a distinct exit
+            # code, not a raw traceback.
+            interrupted = True
+            print(
+                f"interrupted after {len(results)}/{len(selected)} "
+                "program(s); reporting partial results",
+                file=sys.stderr,
+            )
     if not results:
+        if interrupted:
+            return EXIT_INTERRUPTED
         print("no matching corpus programs", file=sys.stderr)
         return 1
     if args.json:
@@ -336,7 +399,7 @@ def cmd_bench(args) -> int:
     if args.certify and any(r.report.certificates_rejected for r in results):
         print("certificate rejections detected", file=sys.stderr)
         return 1
-    return 0
+    return EXIT_INTERRUPTED if interrupted else 0
 
 
 def cmd_fuzz(args) -> int:
@@ -359,16 +422,17 @@ def cmd_fuzz(args) -> int:
         if classification not in ("match", "fuel-limit"):
             print(f"  seed {seed}: {classification}", file=sys.stderr)
 
-    result = run_campaign(
-        seeds=args.seeds,
-        seed_base=args.seed_base,
-        shrink=args.shrink,
-        oracle_config=oracle_config,
-        generator_config=generator_config,
-        corpus_dir=args.corpus_dir,
-        report_path=args.report,
-        progress=progress,
-    )
+    with _sigterm_as_interrupt():
+        result = run_campaign(
+            seeds=args.seeds,
+            seed_base=args.seed_base,
+            shrink=args.shrink,
+            oracle_config=oracle_config,
+            generator_config=generator_config,
+            corpus_dir=args.corpus_dir,
+            report_path=args.report,
+            progress=progress,
+        )
     if args.json:
         import json
 
@@ -379,7 +443,80 @@ def cmd_fuzz(args) -> int:
             if entry.reproducer:
                 print(f"\n--- reproducer for {key} ---")
                 print(entry.reproducer, end="")
+    if result.interrupted:
+        return EXIT_INTERRUPTED
     return 1 if result.unexplained else 0
+
+
+def cmd_serve(args) -> int:
+    """Run the crash-isolated compile service until EOF or SIGTERM."""
+    import json
+
+    from repro.serve.supervisor import ServeConfig, Supervisor
+
+    config = ServeConfig(
+        workers=args.workers,
+        deadline=args.deadline,
+        mem_mb=args.mem_mb,
+        retries=args.retries,
+        recycle_after=args.recycle_after,
+        breaker_threshold=args.breaker_threshold,
+        breaker_cooldown=args.breaker_cooldown,
+        fuel=args.fuel,
+    )
+    if args.chaos:
+        # Testing only: forward a chaos spec to the workers.  Production
+        # servers leave this unset, which also makes workers ignore any
+        # per-request "chaos" fields a client might try.
+        config.chaos = json.loads(args.chaos)
+    supervisor = Supervisor(config=config)
+    if args.socket:
+        print(f"serving on unix socket {args.socket}", file=sys.stderr)
+        telemetry = supervisor.serve_socket(args.socket)
+    else:
+        telemetry = supervisor.serve_stdio()
+    if args.json:
+        telemetry["type"] = "telemetry"
+        # One NDJSON line: the telemetry shares stdout with the response
+        # frames, so it must stay line-parseable like everything else.
+        print(json.dumps(telemetry, sort_keys=True, separators=(",", ":")))
+    else:
+        counters = telemetry["counters"]
+        summary = ", ".join(
+            f"{name.split('.', 1)[1]} {value}"
+            for name, value in sorted(counters.items())
+            if name.startswith("serve.")
+        )
+        print(f"served: {summary or 'no requests'}", file=sys.stderr)
+    return 0
+
+
+def cmd_storm(args) -> int:
+    """Chaos-storm the compile service; exit 1 on any lost/wrong request."""
+    from repro.serve.chaos import format_storm, run_storm
+
+    def progress(position, response):
+        if args.quiet:
+            return
+        mode = response.get("mode") or response.get("status")
+        if mode not in ("optimized",):
+            print(f"  request {position}: {mode}", file=sys.stderr)
+
+    result = run_storm(
+        requests=args.requests,
+        fault_rate=args.fault_rate,
+        seed=args.seed,
+        workers=args.workers,
+        deadline=args.deadline,
+        progress=progress,
+    )
+    if args.json:
+        import json
+
+        print(json.dumps(result.to_json(), indent=2, sort_keys=True))
+    else:
+        print(format_storm(result))
+    return 0 if result.passed else 1
 
 
 # ----------------------------------------------------------------------
@@ -532,6 +669,91 @@ def build_parser() -> argparse.ArgumentParser:
         "--quiet", action="store_true", help="suppress the stderr ticker"
     )
     fuzz_parser.set_defaults(handler=cmd_fuzz)
+
+    serve_parser = commands.add_parser(
+        "serve",
+        help="crash-isolated compile service (NDJSON over stdin/stdout "
+        "or a Unix socket)",
+    )
+    serve_parser.add_argument(
+        "--socket", metavar="PATH",
+        help="serve on this Unix socket instead of stdin/stdout",
+    )
+    serve_parser.add_argument(
+        "--workers", type=int, default=2, metavar="N",
+        help="worker subprocess pool size",
+    )
+    serve_parser.add_argument(
+        "--deadline", type=float, default=10.0, metavar="SECONDS",
+        help="supervisor-side wall-clock deadline per worker attempt",
+    )
+    serve_parser.add_argument(
+        "--mem-mb", type=int, default=512, metavar="MB",
+        help="worker RLIMIT_AS address-space cap (0 = uncapped)",
+    )
+    serve_parser.add_argument(
+        "--retries", type=int, default=2, metavar="N",
+        help="optimized attempts per request beyond the first",
+    )
+    serve_parser.add_argument(
+        "--recycle-after", type=int, default=64, metavar="N",
+        help="recycle each worker after N requests (0 = never)",
+    )
+    serve_parser.add_argument(
+        "--breaker-threshold", type=int, default=3, metavar="N",
+        help="consecutive failures that open a fingerprint's breaker",
+    )
+    serve_parser.add_argument(
+        "--breaker-cooldown", type=float, default=30.0, metavar="SECONDS",
+        help="open-breaker cooldown before a half-open probe",
+    )
+    serve_parser.add_argument(
+        "--fuel", type=int, default=50_000_000, metavar="N",
+        help="interpreter instruction budget per execution",
+    )
+    serve_parser.add_argument(
+        "--chaos", metavar="JSON",
+        help="(testing) chaos fault spec forwarded to workers",
+    )
+    serve_parser.add_argument(
+        "--json", action="store_true",
+        help="emit final telemetry (counters, breakers, workers) as JSON",
+    )
+    serve_parser.set_defaults(handler=cmd_serve)
+
+    storm_parser = commands.add_parser(
+        "storm",
+        help="chaos-storm the compile service under injected process "
+        "faults; exit 1 on any lost request or wrong answer",
+    )
+    storm_parser.add_argument(
+        "--requests", type=int, default=200, metavar="N",
+        help="number of requests in the storm",
+    )
+    storm_parser.add_argument(
+        "--fault-rate", type=float, default=0.1, metavar="R",
+        help="fraction of requests carrying an injected fault",
+    )
+    storm_parser.add_argument(
+        "--seed", type=int, default=0, metavar="K",
+        help="storm schedule seed (same seed => same storm)",
+    )
+    storm_parser.add_argument(
+        "--workers", type=int, default=2, metavar="N",
+        help="worker subprocess pool size",
+    )
+    storm_parser.add_argument(
+        "--deadline", type=float, default=3.0, metavar="SECONDS",
+        help="per-attempt deadline (hang faults cost this long)",
+    )
+    storm_parser.add_argument(
+        "--json", action="store_true",
+        help="emit the storm verdict as JSON",
+    )
+    storm_parser.add_argument(
+        "--quiet", action="store_true", help="suppress the stderr ticker"
+    )
+    storm_parser.set_defaults(handler=cmd_storm)
 
     return parser
 

@@ -64,6 +64,9 @@ class CampaignResult:
     verdicts: List[Tuple[int, str]] = field(default_factory=list)
     triage: TriageReport = field(default_factory=TriageReport)
     stats: SessionStats = field(default_factory=SessionStats)
+    #: The campaign was cut short by SIGINT/SIGTERM; everything above is
+    #: a valid *partial* result (``counters["programs"]`` says how far).
+    interrupted: bool = False
 
     @property
     def unexplained(self) -> int:
@@ -74,6 +77,7 @@ class CampaignResult:
         return {
             "seed_base": self.seed_base,
             "seeds": self.seeds,
+            "interrupted": self.interrupted,
             "counters": dict(sorted(self.counters.items())),
             "unexplained": self.unexplained,
             "triage": self.triage.to_json(),
@@ -122,6 +126,49 @@ def run_campaign(
     ):
         counters[name] = 0
 
+    try:
+        _run_seed_loop(
+            result,
+            seeds,
+            seed_base,
+            shrink,
+            oracle_config,
+            generator_config,
+            max_shrink_iterations,
+            progress,
+        )
+    except KeyboardInterrupt:
+        # A long campaign must be interruptible without losing its triage:
+        # mark the result partial and fall through to the normal report /
+        # corpus persistence below.  (The CLI maps this to exit code 130.)
+        result.interrupted = True
+
+    counters["unique-signatures"] = len(result.triage)
+    for name, value in counters.items():
+        result.stats.bump(f"fuzz.{name}", value)
+    if result.interrupted:
+        result.stats.bump("fuzz.interrupted")
+
+    if report_path is not None:
+        result.triage.write(report_path)
+    if corpus_dir is not None:
+        for entry in result.triage.entries.values():
+            if entry.signature.kind not in BENIGN_KINDS and entry.reproducer:
+                write_reproducer(corpus_dir, entry)
+    return result
+
+
+def _run_seed_loop(
+    result: CampaignResult,
+    seeds: int,
+    seed_base: int,
+    shrink: bool,
+    oracle_config: OracleConfig,
+    generator_config: GeneratorConfig,
+    max_shrink_iterations: int,
+    progress: Optional[Callable[[int, str], None]],
+) -> None:
+    counters = result.counters
     for offset in range(seeds):
         seed = seed_base + offset
         source = generate_source(seed, generator_config)
@@ -162,25 +209,18 @@ def run_campaign(
         if progress is not None:
             progress(seed, verdict.classification)
 
-    counters["unique-signatures"] = len(result.triage)
-    for name, value in counters.items():
-        result.stats.bump(f"fuzz.{name}", value)
-
-    if report_path is not None:
-        result.triage.write(report_path)
-    if corpus_dir is not None:
-        for entry in result.triage.entries.values():
-            if entry.signature.kind not in BENIGN_KINDS and entry.reproducer:
-                write_reproducer(corpus_dir, entry)
-    return result
-
 
 def format_summary(result: CampaignResult) -> str:
     """The deterministic human-readable campaign summary."""
     counters = result.counters
     lines = [
         f"fuzz campaign: {counters['programs']} program(s), "
-        f"seed base {result.seed_base}",
+        f"seed base {result.seed_base}"
+        + (
+            f" — INTERRUPTED after {counters['programs']}/{result.seeds}"
+            if result.interrupted
+            else ""
+        ),
         f"  match: {counters['match']}  fuel-limit: {counters['fuel-limit']}",
         f"  divergences: value {counters['value-divergence']}, "
         f"trap {counters['trap-divergence']}, "

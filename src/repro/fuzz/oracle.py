@@ -37,8 +37,6 @@ job is to surface it.
 from __future__ import annotations
 
 import contextlib
-import signal
-import threading
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Iterator, Optional
 
@@ -47,6 +45,7 @@ if TYPE_CHECKING:  # pragma: no cover - annotation only
 
 from repro.core.abcd import ABCDConfig
 from repro.errors import CallDepthExceeded, ReproError, TrapLimitExceeded
+from repro.limits import hard_deadline
 
 #: Trap classes that are resource limits, not program semantics: the two
 #: sides legitimately burn different amounts of fuel/stack, so a limit
@@ -71,29 +70,15 @@ class OracleTimeout(Exception):
 
 @contextlib.contextmanager
 def program_deadline(seconds: Optional[float]) -> Iterator[None]:
-    """Bound one oracle check with ``SIGALRM`` so a pathological program
-    can never hang the campaign.  No-op off the main thread or on
-    platforms without ``SIGALRM`` (the fuel bound still applies)."""
-    usable = (
-        seconds is not None
-        and seconds > 0
-        and hasattr(signal, "SIGALRM")
-        and threading.current_thread() is threading.main_thread()
-    )
-    if not usable:
+    """Bound one oracle check with :func:`repro.limits.hard_deadline` so a
+    pathological program can never hang the campaign.  No-op off the main
+    thread or on platforms without ``SIGALRM`` (the fuel bound still
+    applies)."""
+    with hard_deadline(
+        seconds,
+        lambda: OracleTimeout(f"program exceeded {seconds:.1f}s deadline"),
+    ):
         yield
-        return
-
-    def on_timeout(signum, frame):
-        raise OracleTimeout(f"program exceeded {seconds:.1f}s deadline")
-
-    previous = signal.signal(signal.SIGALRM, on_timeout)
-    signal.setitimer(signal.ITIMER_REAL, seconds)
-    try:
-        yield
-    finally:
-        signal.setitimer(signal.ITIMER_REAL, 0)
-        signal.signal(signal.SIGALRM, previous)
 
 
 @dataclass(frozen=True)

@@ -607,3 +607,172 @@ def run_all_trials(
     """Run every registered fault (or the named subset)."""
     selected = names if names is not None else list(FAULTS)
     return [run_trial(name) for name in selected]
+
+
+# ----------------------------------------------------------------------
+# Process-level chaos faults (the compile-service failure model).
+#
+# The faults above corrupt the optimizer *logically* and are contained
+# in-process (guard / gate / checker).  The compile service adds a second
+# failure domain: the worker subprocess itself can die, hang, run out of
+# memory, or scribble on its response pipe.  Each chaos fault below
+# executes *inside a worker* at the optimization injection point
+# (see :mod:`repro.serve.worker`); the supervisor must recover via its
+# deadline / retry / circuit-breaker / degradation machinery, never by
+# dying.  ``tests/test_serve.py`` and the ``repro storm`` harness assert
+# exactly that.
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class ChaosContext:
+    """What a chaos fault may touch inside the worker.
+
+    ``raw_write`` bypasses the framing layer and writes bytes straight to
+    the response pipe — the only way to produce the truncated/corrupt
+    frames the supervisor's protocol validation must survive.
+    """
+
+    raw_write: Callable[[bytes], None]
+    #: How long a hang sleeps — far past any supervisor deadline, so the
+    #: supervisor-side timer (not the worker) must end it.
+    hang_seconds: float = 3600.0
+    #: How long a slow-but-honest response stalls (must stay well inside
+    #: the deadline: the request should still succeed).
+    slow_seconds: float = 0.05
+    #: Whether ``resource.setrlimit`` actually capped this worker; the
+    #: OOM fault only allocates for real under a cap.
+    mem_cap_applied: bool = False
+
+
+def _chaos_crash(ctx: ChaosContext) -> None:
+    import os
+    import signal as signal_module
+
+    os.kill(os.getpid(), signal_module.SIGKILL)
+
+
+def _chaos_hang(ctx: ChaosContext) -> None:
+    import time
+
+    time.sleep(ctx.hang_seconds)
+
+
+def _chaos_oom(ctx: ChaosContext) -> None:
+    if not ctx.mem_cap_applied:
+        # No rlimit on this platform: allocating for real could drive the
+        # host into swap, which is the exact failure the cap prevents.
+        raise MemoryError("simulated allocation blowup (no RLIMIT_AS)")
+    hoard = []
+    while True:  # raises MemoryError when the address-space cap fires
+        hoard.append(bytearray(16 * 1024 * 1024))
+
+
+def _chaos_truncated_frame(ctx: ChaosContext) -> None:
+    import os
+
+    ctx.raw_write(b'{"status":"ok","value":42,"id"')  # no newline, no end
+    os._exit(1)
+
+
+def _chaos_corrupt_frame(ctx: ChaosContext) -> None:
+    import os
+
+    ctx.raw_write(b"\x00\xffnot json at all{{{\n")
+    os._exit(1)
+
+
+def _chaos_slow_response(ctx: ChaosContext) -> None:
+    import time
+
+    time.sleep(ctx.slow_seconds)
+
+
+@dataclass(frozen=True)
+class ChaosFaultSpec:
+    """One process-level fault a worker can self-inject mid-compile."""
+
+    name: str
+    description: str
+    #: "fatal" — the optimized attempt cannot produce a response (the
+    #: supervisor must deadline-kill / respawn / retry / degrade);
+    #: "benign" — the response still arrives correct and within deadline.
+    severity: str
+    inject: Callable[[ChaosContext], None]
+
+
+CHAOS_FAULTS: Dict[str, ChaosFaultSpec] = {
+    spec.name: spec
+    for spec in [
+        ChaosFaultSpec(
+            "worker-crash",
+            "the worker SIGKILLs itself mid-compile (segfault stand-in)",
+            "fatal",
+            _chaos_crash,
+        ),
+        ChaosFaultSpec(
+            "worker-hang",
+            "the worker sleeps far past the request deadline",
+            "fatal",
+            _chaos_hang,
+        ),
+        ChaosFaultSpec(
+            "worker-oom",
+            "the worker allocates until the RLIMIT_AS memory cap fires",
+            "fatal",
+            _chaos_oom,
+        ),
+        ChaosFaultSpec(
+            "frame-truncated",
+            "the worker emits half a response frame and exits",
+            "fatal",
+            _chaos_truncated_frame,
+        ),
+        ChaosFaultSpec(
+            "frame-corrupt",
+            "the worker emits non-JSON bytes as its response and exits",
+            "fatal",
+            _chaos_corrupt_frame,
+        ),
+        ChaosFaultSpec(
+            "slow-response",
+            "the worker stalls briefly but answers correctly in time",
+            "benign",
+            _chaos_slow_response,
+        ),
+    ]
+}
+
+#: The fault names whose optimized attempt can never succeed.
+FATAL_CHAOS_FAULTS = tuple(
+    name for name, spec in CHAOS_FAULTS.items() if spec.severity == "fatal"
+)
+
+
+def decide_chaos_fault(
+    seed: int,
+    request_id,
+    attempt: int,
+    rate: float,
+    names: Optional[Sequence[str]] = None,
+) -> Optional[str]:
+    """Deterministic per-attempt fault decision for rate-based chaos.
+
+    Hashing ``(seed, request_id, attempt)`` makes a campaign replayable
+    (same seed ⇒ same faults) while still letting a *retry* of the same
+    request draw a fresh decision — exactly how a real transient fault
+    behaves under retry.
+    """
+    import hashlib
+    import random
+
+    if rate <= 0:
+        return None
+    pool = list(names) if names else list(CHAOS_FAULTS)
+    digest = hashlib.sha256(
+        f"{seed}:{request_id}:{attempt}".encode("utf-8")
+    ).digest()
+    rng = random.Random(int.from_bytes(digest[:8], "big"))
+    if rng.random() >= rate:
+        return None
+    return rng.choice(sorted(pool))

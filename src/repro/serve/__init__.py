@@ -1,0 +1,28 @@
+"""The crash-isolated compile service (``repro serve``).
+
+A long-running supervisor process dispatches each compile/run request to
+a pool of worker subprocesses, so a segfault, hang, or memory blowup in
+any optimization pass is a recoverable event — the paper's Jalapeño
+setting, where the optimizer lives inside a VM that must never die.
+
+Layers (each its own module):
+
+* :mod:`repro.serve.protocol` — newline-delimited JSON framing shared by
+  clients, the supervisor, and workers;
+* :mod:`repro.serve.worker` — the sandboxed subprocess that actually
+  compiles, optimizes (behind the differential gate), and executes;
+* :mod:`repro.serve.breaker` — the per-function-fingerprint circuit
+  breaker that routes repeatedly failing fingerprints to degraded
+  (unoptimized, checks-intact) compilation;
+* :mod:`repro.serve.supervisor` — worker lifecycle (spawn/recycle/kill),
+  per-request deadlines, retry with bounded exponential backoff, and the
+  stdio / Unix-socket serve loops;
+* :mod:`repro.serve.chaos` — the storm harness that drives the service
+  under injected process-level faults and verifies the no-lost-request /
+  degraded-but-correct guarantees.
+"""
+
+from repro.serve.breaker import BreakerState, CircuitBreaker
+from repro.serve.supervisor import ServeConfig, Supervisor
+
+__all__ = ["BreakerState", "CircuitBreaker", "ServeConfig", "Supervisor"]

@@ -1,0 +1,146 @@
+"""Per-function-fingerprint circuit breaking.
+
+The supervisor keys a breaker on each request's *function fingerprint*
+(a content hash of the submitted source plus entry function).  A
+fingerprint whose optimized compilation keeps failing — crashing
+workers, blowing deadlines, exhausting the memory cap — is exactly the
+input most likely to keep doing so, and retrying it through the
+optimizer burns a worker (and a deadline) every time.  After
+``failure_threshold`` *consecutive* failures the breaker **opens**:
+subsequent requests for that fingerprint skip the optimizer entirely and
+are served *degraded* — compiled without optimization, every bounds
+check intact, behaviorally identical to the unoptimized interpreter
+(CHOP's stance: bounds-check optimization is best-effort and must fall
+back to the checked baseline when its analysis cannot be trusted).
+
+After ``cooldown`` seconds an open breaker lets exactly one optimized
+**half-open probe** through; success closes the breaker, failure
+re-opens it for a fresh cooldown.  The clock is injected so tests drive
+the state machine without sleeping.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List
+
+
+def function_fingerprint(source: str, fn: str = "main") -> str:
+    """Content-addressed identity of one compile request's function.
+
+    Two requests with byte-identical source and entry point hit the same
+    breaker (and, later, the same cross-request cache line — ROADMAP
+    item 1 promotes this to a content-addressed analysis store).
+    """
+    digest = hashlib.sha256()
+    digest.update(source.encode("utf-8"))
+    digest.update(b"\x00")
+    digest.update(fn.encode("utf-8"))
+    return digest.hexdigest()[:16]
+
+
+# Breaker states.  Plain strings (not an enum) so they serialize into
+# status frames and JSON telemetry without adapters.
+CLOSED = "closed"
+OPEN = "open"
+HALF_OPEN = "half-open"
+
+
+@dataclass
+class BreakerState:
+    """One fingerprint's failure history and current verdict."""
+
+    fingerprint: str
+    state: str = CLOSED
+    consecutive_failures: int = 0
+    #: Lifetime tallies, surfaced through ``status`` requests.
+    total_failures: int = 0
+    total_successes: int = 0
+    times_opened: int = 0
+    opened_at: float = 0.0
+    #: A half-open probe is in flight; further requests stay degraded
+    #: until it reports back.
+    probing: bool = False
+
+    def to_json(self) -> Dict[str, object]:
+        return {
+            "fingerprint": self.fingerprint,
+            "state": self.state,
+            "consecutive_failures": self.consecutive_failures,
+            "total_failures": self.total_failures,
+            "total_successes": self.total_successes,
+            "times_opened": self.times_opened,
+        }
+
+
+@dataclass
+class CircuitBreaker:
+    """The supervisor's breaker table: one :class:`BreakerState` per
+    fingerprint, advanced by ``allow_optimized`` / ``record_*`` calls."""
+
+    failure_threshold: int = 3
+    cooldown: float = 30.0
+    clock: Callable[[], float] = time.monotonic
+    _states: Dict[str, BreakerState] = field(default_factory=dict)
+
+    def state_of(self, fingerprint: str) -> BreakerState:
+        state = self._states.get(fingerprint)
+        if state is None:
+            state = self._states[fingerprint] = BreakerState(fingerprint)
+        return state
+
+    def allow_optimized(self, fingerprint: str) -> bool:
+        """May this request attempt the optimized path right now?
+
+        ``True`` for closed breakers and for the single half-open probe
+        after the cooldown; ``False`` (serve degraded) while open or
+        while a probe is already in flight.
+        """
+        state = self.state_of(fingerprint)
+        if state.state == CLOSED:
+            return True
+        if state.state == OPEN:
+            if self.clock() - state.opened_at < self.cooldown:
+                return False
+            state.state = HALF_OPEN
+            state.probing = False
+        # HALF_OPEN: admit exactly one probe at a time.
+        if state.probing:
+            return False
+        state.probing = True
+        return True
+
+    def record_success(self, fingerprint: str) -> None:
+        """An optimized attempt succeeded: reset (and close) the breaker."""
+        state = self.state_of(fingerprint)
+        state.total_successes += 1
+        state.consecutive_failures = 0
+        state.probing = False
+        state.state = CLOSED
+
+    def record_failure(self, fingerprint: str) -> bool:
+        """An optimized attempt failed; returns ``True`` when this
+        failure opened (or re-opened) the breaker."""
+        state = self.state_of(fingerprint)
+        state.total_failures += 1
+        state.consecutive_failures += 1
+        was_probe = state.state == HALF_OPEN
+        state.probing = False
+        if was_probe or state.consecutive_failures >= self.failure_threshold:
+            state.state = OPEN
+            state.opened_at = self.clock()
+            state.times_opened += 1
+            return True
+        return False
+
+    def open_fingerprints(self) -> List[str]:
+        return sorted(
+            fp for fp, s in self._states.items() if s.state != CLOSED
+        )
+
+    def to_json(self) -> List[Dict[str, object]]:
+        return [
+            self._states[fp].to_json() for fp in sorted(self._states)
+        ]

@@ -1,0 +1,375 @@
+"""The chaos storm: drive the compile service under injected process
+faults and verify its two hard guarantees.
+
+For every request in a seeded storm the harness knows the ground truth
+*before* the service answers: each template is compiled unoptimized and
+executed in the harness process (the same checked-baseline path a
+degraded worker runs).  The service may then answer a request in exactly
+two acceptable ways:
+
+* **optimized-and-gated** — behaviorally identical outcome (value, trap
+  class, and failing check identity all equal to the baseline); or
+* **degraded-but-correct** — additionally byte-identical dynamic check
+  and instruction counters, because degraded compilation *is* the
+  baseline.
+
+A storm fails on any lost request (no response), any incorrect response,
+any fatally-faulted request that still claims optimized service, or any
+exception escaping the supervisor (supervisor death).  ``repro storm``
+is the CLI entry; the CI chaos-smoke job runs a 200-request storm at a
+10% fault rate with a fixed seed.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from repro.robustness.faults import CHAOS_FAULTS, FATAL_CHAOS_FAULTS
+from repro.serve.supervisor import ServeConfig, Supervisor
+
+# ----------------------------------------------------------------------
+# Request templates.  Each template instantiates to MiniJ source whose
+# expected behavior the harness derives by running the checked baseline.
+# ----------------------------------------------------------------------
+
+
+def _template_sum_loop(n: int) -> str:
+    """Clean counted loop — fully optimizable, returns a value."""
+    return f"""
+fn main(): int {{
+  let a: int[] = new int[{n}];
+  let s: int = 0;
+  for (let i: int = 0; i < len(a); i = i + 1) {{
+    a[i] = i;
+    s = s + a[i];
+  }}
+  return s;
+}}
+"""
+
+
+def _template_trap(n: int, idx: int) -> str:
+    """Reads ``a[idx]`` with ``len(a) == n`` — traps when ``idx >= n``."""
+    return f"""
+fn main(): int {{
+  let a: int[] = new int[{n}];
+  let j: int = {idx};
+  return a[j];
+}}
+"""
+
+
+def _template_off_by_one(n: int) -> str:
+    """``i <= len(a)`` loop: the final iteration's check must fire."""
+    return f"""
+fn main(): int {{
+  let a: int[] = new int[{n}];
+  let s: int = 0;
+  let i: int = 0;
+  while (i <= len(a)) {{
+    a[i] = i;
+    s = s + a[i];
+    i = i + 1;
+  }}
+  return s;
+}}
+"""
+
+
+_USER_ERROR_SOURCE = """
+fn main(): int {
+  let a: int[] = new int[4];
+  return a + 1;
+}
+"""
+
+
+def _instantiate(rng: random.Random) -> Dict[str, Any]:
+    """Draw one request: source plus what class of answer is expected."""
+    roll = rng.random()
+    if roll < 0.45:
+        return {"source": _template_sum_loop(rng.randrange(2, 12)), "expect": "ok"}
+    if roll < 0.70:
+        n = rng.randrange(2, 8)
+        idx = rng.randrange(0, n + 3)  # may or may not trap
+        return {"source": _template_trap(n, idx), "expect": "ok"}
+    if roll < 0.92:
+        return {"source": _template_off_by_one(rng.randrange(2, 8)), "expect": "ok"}
+    return {"source": _USER_ERROR_SOURCE, "expect": "error"}
+
+
+# The fields an optimized answer must reproduce exactly (the gate's
+# contract), and the extra fields a degraded answer must also match (the
+# degraded compile IS the baseline, counters included).
+_OUTCOME_FIELDS = ("value", "trap", "kind", "index", "length", "check_id")
+_BASELINE_FIELDS = ("checks", "instructions")
+
+
+def _baseline(source: str, cache: Dict[str, Dict[str, Any]]) -> Dict[str, Any]:
+    """Ground truth: the worker's own degraded path, run in-process."""
+    from repro.serve import worker as worker_module
+
+    cached = cache.get(source)
+    if cached is None:
+        cached = cache[source] = worker_module._serve_request(
+            {"op": "run", "id": "baseline", "source": source,
+             "fn": "main", "args": [], "mode": "degraded"},
+            None, False, 0,
+        )
+    return cached
+
+
+# ----------------------------------------------------------------------
+# Storm driver.
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class StormResult:
+    """Everything a storm observed, plus its verdict."""
+
+    requests: int
+    seed: int
+    fault_rate: float
+    responses: int = 0
+    optimized: int = 0
+    degraded: int = 0
+    errors: int = 0
+    injected_faults: Dict[str, int] = field(default_factory=dict)
+    breaker_open_served: int = 0
+    violations: List[str] = field(default_factory=list)
+    counters: Dict[str, int] = field(default_factory=dict)
+    breakers: List[Dict[str, Any]] = field(default_factory=list)
+    supervisor_alive: bool = True
+
+    @property
+    def lost(self) -> int:
+        return self.requests - self.responses
+
+    @property
+    def passed(self) -> bool:
+        return self.supervisor_alive and self.lost == 0 and not self.violations
+
+    def to_json(self) -> Dict[str, Any]:
+        return {
+            "requests": self.requests,
+            "seed": self.seed,
+            "fault_rate": self.fault_rate,
+            "responses": self.responses,
+            "lost": self.lost,
+            "optimized": self.optimized,
+            "degraded": self.degraded,
+            "errors": self.errors,
+            "injected_faults": dict(sorted(self.injected_faults.items())),
+            "breaker_open_served": self.breaker_open_served,
+            "violations": self.violations,
+            "supervisor_alive": self.supervisor_alive,
+            "counters": dict(sorted(self.counters.items())),
+            "passed": self.passed,
+        }
+
+
+def storm_config(workers: int = 2, deadline: float = 3.0) -> ServeConfig:
+    """A :class:`ServeConfig` tuned for storms: short deadlines and
+    backoffs (faults resolve fast), frequent recycling (so the recycle
+    path is exercised within one storm), and a cooldown longer than any
+    storm (an opened breaker stays observably open)."""
+    return ServeConfig(
+        workers=workers,
+        deadline=deadline,
+        mem_mb=512,
+        retries=1,
+        backoff_base=0.01,
+        backoff_cap=0.1,
+        recycle_after=25,
+        breaker_threshold=3,
+        breaker_cooldown=300.0,
+        chaos={"rate": 0.0, "seed": 0},  # enables explicit per-request faults
+    )
+
+
+def _plan_requests(
+    requests: int, fault_rate: float, seed: int, breaker_block: bool
+) -> List[Dict[str, Any]]:
+    """The deterministic request schedule for one storm.
+
+    With ``breaker_block`` the schedule opens with one fingerprint hit by
+    ``breaker_threshold`` consecutive fatal faults followed by clean
+    requests on the same source — the storm can then assert the breaker
+    opened and that breaker-open service is degraded with checks intact.
+    """
+    rng = random.Random(seed)
+    plan: List[Dict[str, Any]] = []
+    if breaker_block and requests >= 8:
+        block_source = _template_sum_loop(9)
+        for _ in range(3):
+            plan.append(
+                {"source": block_source, "expect": "ok", "chaos": "worker-crash"}
+            )
+        for _ in range(3):
+            plan.append({"source": block_source, "expect": "ok"})
+    while len(plan) < requests:
+        request = _instantiate(rng)
+        if rng.random() < fault_rate:
+            request["chaos"] = rng.choice(sorted(CHAOS_FAULTS))
+        plan.append(request)
+    return plan[:requests]
+
+
+def run_storm(
+    requests: int = 200,
+    fault_rate: float = 0.1,
+    seed: int = 0,
+    workers: int = 2,
+    deadline: float = 3.0,
+    config: Optional[ServeConfig] = None,
+    breaker_block: bool = True,
+    progress=None,
+) -> StormResult:
+    """Storm the service and verify every response against ground truth."""
+    result = StormResult(requests=requests, seed=seed, fault_rate=fault_rate)
+    plan = _plan_requests(requests, fault_rate, seed, breaker_block)
+    baseline_cache: Dict[str, Dict[str, Any]] = {}
+    if config is None:
+        config = storm_config(workers=workers, deadline=deadline)
+
+    supervisor = Supervisor(config=config)
+    supervisor.start()
+    try:
+        for position, request in enumerate(plan):
+            frame = {
+                "op": "run",
+                "id": f"storm-{position}",
+                "source": request["source"],
+            }
+            fault = request.get("chaos")
+            if fault:
+                frame["chaos"] = fault
+                result.injected_faults[fault] = (
+                    result.injected_faults.get(fault, 0) + 1
+                )
+            try:
+                response = supervisor.handle_request(frame)
+            except Exception as exc:  # supervisor death — the cardinal sin
+                result.supervisor_alive = False
+                result.violations.append(
+                    f"request {position}: supervisor died: "
+                    f"{type(exc).__name__}: {exc}"
+                )
+                break
+            result.responses += 1
+            _verify_response(result, position, request, response, baseline_cache)
+            if progress is not None:
+                progress(position, response)
+    finally:
+        try:
+            supervisor.shutdown()
+        except Exception as exc:  # pragma: no cover - drain must not throw
+            result.supervisor_alive = False
+            result.violations.append(
+                f"shutdown: {type(exc).__name__}: {exc}"
+            )
+
+    if breaker_block and requests >= 8:
+        if not supervisor.stats.counters.get("serve.breaker-opened"):
+            result.violations.append(
+                "breaker block never opened a circuit breaker"
+            )
+        if result.breaker_open_served == 0:
+            result.violations.append(
+                "no request was served through an open breaker"
+            )
+
+    result.counters = dict(supervisor.stats.counters)
+    result.breakers = supervisor.breaker.to_json()
+    return result
+
+
+def _verify_response(
+    result: StormResult,
+    position: int,
+    request: Dict[str, Any],
+    response: Dict[str, Any],
+    baseline_cache: Dict[str, Dict[str, Any]],
+) -> None:
+    def violate(message: str) -> None:
+        result.violations.append(f"request {position}: {message}")
+
+    status = response.get("status")
+    if request["expect"] == "error":
+        if status == "error":
+            result.errors += 1
+        else:
+            violate(f"expected a user error, got status {status!r}")
+        return
+    if status != "ok":
+        violate(
+            f"expected ok, got {status!r}: {response.get('message', '')!r}"
+        )
+        return
+
+    expected = _baseline(request["source"], baseline_cache)
+    mode = response.get("mode")
+    if mode == "optimized":
+        result.optimized += 1
+    elif mode == "degraded":
+        result.degraded += 1
+    else:
+        violate(f"response has unknown mode {mode!r}")
+        return
+
+    fault = request.get("chaos")
+    if fault in FATAL_CHAOS_FAULTS and mode == "optimized":
+        violate(f"fatal fault {fault!r} was answered as optimized service")
+
+    for field_name in _OUTCOME_FIELDS:
+        if response.get(field_name) != expected.get(field_name):
+            violate(
+                f"{mode} answer diverges from checked baseline on "
+                f"{field_name}: {response.get(field_name)!r} != "
+                f"{expected.get(field_name)!r}"
+            )
+            return
+    if mode == "degraded":
+        if response.get("degraded_reason") == "breaker-open":
+            result.breaker_open_served += 1
+        for field_name in _BASELINE_FIELDS:
+            if response.get(field_name) != expected.get(field_name):
+                violate(
+                    f"degraded answer lost checks: {field_name} "
+                    f"{response.get(field_name)!r} != "
+                    f"{expected.get(field_name)!r}"
+                )
+                return
+
+
+def format_storm(result: StormResult) -> str:
+    lines = [
+        f"chaos storm: {result.requests} request(s), seed {result.seed}, "
+        f"fault rate {result.fault_rate:.0%}",
+        f"  responses: {result.responses}  lost: {result.lost}",
+        f"  optimized: {result.optimized}  degraded: {result.degraded}  "
+        f"user-errors: {result.errors}",
+        f"  injected faults: "
+        + (
+            ", ".join(
+                f"{name} x{count}"
+                for name, count in sorted(result.injected_faults.items())
+            )
+            or "none"
+        ),
+        f"  served through open breaker: {result.breaker_open_served}",
+        f"  supervisor alive: {result.supervisor_alive}",
+    ]
+    for name in sorted(result.counters):
+        if name.startswith("serve."):
+            lines.append(f"    {name}: {result.counters[name]}")
+    if result.violations:
+        lines.append(f"  VIOLATIONS ({len(result.violations)}):")
+        lines.extend(f"    {violation}" for violation in result.violations)
+    else:
+        lines.append("  no violations: every request optimized-and-gated "
+                     "or degraded-but-correct")
+    return "\n".join(lines)

@@ -1,0 +1,574 @@
+"""The compile-service supervisor: worker pool, deadlines, retries,
+circuit breaking, and graceful degradation.
+
+The supervisor is the process that must never die.  It therefore does no
+compilation work itself: every ``run``/``compile`` request is written to
+a worker subprocess and the response read back under a **supervisor-side
+wall-clock deadline** (a ``select`` timeout on the worker's pipe — not
+``SIGALRM``, which fires in whichever process armed it and so cannot
+bound a *different* process's hang).  A worker that misses its deadline,
+dies, or answers with a malformed frame is SIGKILLed and replaced; the
+request is retried on a fresh worker with bounded exponential backoff.
+
+When a request's optimized attempts are exhausted, or its function
+fingerprint's circuit breaker is open, the request is served *degraded*:
+compiled without optimization, every bounds check intact, behaviorally
+identical to the unoptimized interpreter.  Degradation is the floor the
+service can always reach — if even degraded dispatch fails (the pool is
+being actively massacred), the supervisor compiles degraded *in-process*
+as the final fallback, so no request is ever lost.
+
+Workers are recycled after ``recycle_after`` requests (a leaking or
+fragmenting worker has a bounded lifetime) and drained cleanly on
+SIGTERM/SIGINT: the in-flight request finishes, workers get a shutdown
+frame, stragglers are killed, telemetry is flushed.
+
+All per-request outcomes fold into ``SessionStats.counters`` under the
+``serve.*`` prefix, surfaced by ``status`` requests and ``repro serve
+--json`` telemetry.
+"""
+
+from __future__ import annotations
+
+import os
+import select
+import signal
+import subprocess
+import sys
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.passes.manager import SessionStats
+from repro.serve import protocol
+from repro.serve.breaker import CircuitBreaker, function_fingerprint
+from repro.serve.worker import CHAOS_ENV
+
+
+@dataclass
+class ServeConfig:
+    """Supervisor policy knobs (all surfaced as ``repro serve`` flags)."""
+
+    workers: int = 2
+    #: Wall-clock deadline per worker attempt (compile + execute).
+    deadline: float = 10.0
+    #: Worker address-space cap in MiB (0 = uncapped).
+    mem_mb: int = 512
+    #: Optimized attempts per request beyond the first.
+    retries: int = 2
+    #: Exponential backoff between retries: ``base * 2**(attempt-1)``,
+    #: capped at ``backoff_cap``.
+    backoff_base: float = 0.05
+    backoff_cap: float = 1.0
+    #: Recycle a worker after this many requests (0 = never).
+    recycle_after: int = 64
+    #: Consecutive request-level failures that open a fingerprint's breaker.
+    breaker_threshold: int = 3
+    #: Seconds an open breaker waits before admitting a half-open probe.
+    breaker_cooldown: float = 30.0
+    #: Interpreter fuel forwarded to workers.
+    fuel: int = 50_000_000
+    #: Compile degraded in-process when even degraded dispatch fails.
+    inline_fallback: bool = True
+    #: Chaos configuration forwarded to workers via the environment
+    #: (``None`` in production: workers then ignore ``"chaos"`` fields).
+    chaos: Optional[Dict[str, Any]] = None
+
+
+class WorkerDied(Exception):
+    """The worker exited / closed its pipe before answering."""
+
+
+class WorkerTimeout(Exception):
+    """The worker missed the supervisor-side deadline."""
+
+
+class WorkerHandle:
+    """One worker subprocess plus its framed pipes."""
+
+    def __init__(self, config: ServeConfig) -> None:
+        argv = [sys.executable, "-m", "repro.serve.worker"]
+        if config.mem_mb > 0:
+            argv += ["--mem-mb", str(config.mem_mb)]
+        env = dict(os.environ)
+        # Workers must import repro regardless of how the supervisor was
+        # launched (installed package or PYTHONPATH=src checkout).
+        package_root = os.path.dirname(
+            os.path.dirname(os.path.abspath(__file__))
+        )
+        existing = env.get("PYTHONPATH")
+        env["PYTHONPATH"] = (
+            package_root if not existing else package_root + os.pathsep + existing
+        )
+        if config.chaos is not None:
+            import json
+
+            env[CHAOS_ENV] = json.dumps(config.chaos)
+        else:
+            env.pop(CHAOS_ENV, None)
+        self.proc = subprocess.Popen(
+            argv,
+            stdin=subprocess.PIPE,
+            stdout=subprocess.PIPE,
+            stderr=subprocess.DEVNULL,
+            env=env,
+        )
+        self.served = 0
+        self._buffer = b""
+
+    @property
+    def pid(self) -> int:
+        return self.proc.pid
+
+    def alive(self) -> bool:
+        return self.proc.poll() is None
+
+    def send(self, frame: Dict[str, Any]) -> None:
+        try:
+            self.proc.stdin.write(protocol.encode_frame(frame))
+            self.proc.stdin.flush()
+        except (BrokenPipeError, OSError, ValueError) as exc:
+            raise WorkerDied(f"worker {self.pid} pipe closed: {exc}") from None
+
+    def read_frame(self, timeout: float, clock=time.monotonic) -> Dict[str, Any]:
+        """Read one response frame, bounded by ``timeout`` seconds.
+
+        Raises :class:`WorkerTimeout` when the deadline passes,
+        :class:`WorkerDied` on EOF, and
+        :class:`~repro.serve.protocol.ProtocolError` on garbage.
+        """
+        fd = self.proc.stdout.fileno()
+        deadline = clock() + timeout
+        while b"\n" not in self._buffer:
+            if len(self._buffer) > protocol.MAX_FRAME_BYTES:
+                raise protocol.ProtocolError(
+                    f"worker {self.pid} response exceeds the frame cap"
+                )
+            remaining = deadline - clock()
+            if remaining <= 0:
+                raise WorkerTimeout(
+                    f"worker {self.pid} exceeded the {timeout:.1f}s deadline"
+                )
+            readable, _, _ = select.select([fd], [], [], remaining)
+            if not readable:
+                continue  # re-check the clock; EINTR also lands here
+            chunk = os.read(fd, 65536)
+            if not chunk:
+                raise WorkerDied(f"worker {self.pid} closed its pipe mid-request")
+            self._buffer += chunk
+        line, self._buffer = self._buffer.split(b"\n", 1)
+        return protocol.decode_frame(line)
+
+    def kill(self) -> None:
+        if self.alive():
+            try:
+                self.proc.kill()
+            except OSError:
+                pass
+        self._close_pipes()
+        try:
+            self.proc.wait(timeout=5)
+        except subprocess.TimeoutExpired:  # pragma: no cover - kernel lag
+            pass
+
+    def shutdown(self, grace: float = 1.0) -> None:
+        """Polite drain: shutdown frame, short wait, then the hammer."""
+        if self.alive():
+            try:
+                self.send({"op": "shutdown"})
+            except WorkerDied:
+                pass
+            try:
+                self.proc.wait(timeout=grace)
+            except subprocess.TimeoutExpired:
+                pass
+        self.kill()
+
+    def _close_pipes(self) -> None:
+        for pipe in (self.proc.stdin, self.proc.stdout):
+            if pipe is not None:
+                try:
+                    pipe.close()
+                except OSError:
+                    pass
+
+
+class _DrainRequested(Exception):
+    """Raised inside a blocking client read when SIGTERM/SIGINT arrives."""
+
+
+class Supervisor:
+    """Owns the worker pool and serves requests through it."""
+
+    def __init__(
+        self,
+        config: Optional[ServeConfig] = None,
+        stats: Optional[SessionStats] = None,
+        clock=time.monotonic,
+        sleep=time.sleep,
+    ) -> None:
+        self.config = config if config is not None else ServeConfig()
+        self.stats = stats if stats is not None else SessionStats()
+        self.breaker = CircuitBreaker(
+            failure_threshold=self.config.breaker_threshold,
+            cooldown=self.config.breaker_cooldown,
+            clock=clock,
+        )
+        self.pool: List[WorkerHandle] = []
+        self._clock = clock
+        self._sleep = sleep
+        self._next_slot = 0
+        self._request_counter = 0
+        self._stop = False
+        self._reading_client = False
+        self._started = False
+
+    # ------------------------------------------------------------------
+    # Pool lifecycle.
+    # ------------------------------------------------------------------
+
+    def start(self) -> None:
+        if self._started:
+            return
+        for _ in range(max(1, self.config.workers)):
+            self.pool.append(WorkerHandle(self.config))
+        self._started = True
+
+    def shutdown(self) -> None:
+        """Drain the pool: polite shutdown frames, then SIGKILL."""
+        for worker in self.pool:
+            worker.shutdown()
+        self.pool.clear()
+        self._started = False
+
+    def _checkout_worker(self) -> WorkerHandle:
+        """Round-robin over the pool, replacing dead workers on the way."""
+        self.start()
+        slot = self._next_slot % len(self.pool)
+        self._next_slot += 1
+        worker = self.pool[slot]
+        if not worker.alive():
+            worker = self._replace_worker(slot)
+        return worker
+
+    def _replace_worker(self, slot: int) -> WorkerHandle:
+        self.pool[slot].kill()
+        self.pool[slot] = WorkerHandle(self.config)
+        self.stats.bump("serve.respawned")
+        return self.pool[slot]
+
+    def _slot_of(self, worker: WorkerHandle) -> int:
+        return self.pool.index(worker)
+
+    def _maybe_recycle(self, worker: WorkerHandle) -> None:
+        limit = self.config.recycle_after
+        if limit > 0 and worker.served >= limit and worker in self.pool:
+            slot = self._slot_of(worker)
+            worker.shutdown(grace=0.5)
+            self.pool[slot] = WorkerHandle(self.config)
+            self.stats.bump("serve.recycled")
+
+    # ------------------------------------------------------------------
+    # Request handling.
+    # ------------------------------------------------------------------
+
+    def handle_request(self, frame: Dict[str, Any]) -> Dict[str, Any]:
+        """Serve one client frame; always returns a response frame."""
+        self.stats.bump("serve.requests")
+        try:
+            if not isinstance(frame, dict):
+                raise protocol.ProtocolError(
+                    f"request must be a JSON object, got {type(frame).__name__}"
+                )
+            frame = protocol.validate_request(dict(frame))
+        except protocol.ProtocolError as exc:
+            self.stats.bump("serve.protocol-errors")
+            return protocol.error_response(
+                frame.get("id") if isinstance(frame, dict) else None,
+                "ProtocolError",
+                str(exc),
+            )
+        if frame.get("id") is None:
+            self._request_counter += 1
+            frame["id"] = f"r{self._request_counter}"
+
+        op = frame["op"]
+        if op == "status":
+            return self.status_payload(frame["id"])
+        if op == "shutdown":
+            self._stop = True
+            return {"id": frame["id"], "status": "ok", "op": "shutdown"}
+        return self._serve_compile_or_run(frame)
+
+    def _serve_compile_or_run(self, frame: Dict[str, Any]) -> Dict[str, Any]:
+        fingerprint = function_fingerprint(frame["source"], frame["fn"])
+        want_optimized = bool(frame.get("optimize", True))
+
+        if not want_optimized:
+            return self._serve_degraded(frame, fingerprint, "requested")
+
+        if not self.breaker.allow_optimized(fingerprint):
+            self.stats.bump("serve.breaker-open")
+            return self._serve_degraded(frame, fingerprint, "breaker-open")
+        if self.breaker.state_of(fingerprint).probing:
+            self.stats.bump("serve.breaker-probes")
+
+        attempts = 0
+        last_failure = ""
+        for attempt in range(self.config.retries + 1):
+            if attempt:
+                self.stats.bump("serve.retried")
+                self._sleep(self._backoff(attempt))
+            attempts += 1
+            kind, payload = self._dispatch(frame, "optimized", attempt)
+            if kind == "response":
+                if payload["status"] == "error":
+                    # Deterministic user error: terminal, and says nothing
+                    # about the optimizer's health — the breaker is not
+                    # advanced in either direction.
+                    self.stats.bump("serve.errors")
+                    payload["fingerprint"] = fingerprint
+                    return payload
+                self.breaker.record_success(fingerprint)
+                self.stats.bump("serve.optimized")
+                payload.update(
+                    fingerprint=fingerprint, attempts=attempts, retried=attempt > 0
+                )
+                return payload
+            last_failure = payload
+            self.stats.bump("serve.worker-failures")
+
+        # Optimized service failed outright: advance the breaker once per
+        # *request* (its unit of "consecutive failures") and degrade.
+        if self.breaker.record_failure(fingerprint):
+            self.stats.bump("serve.breaker-opened")
+        response = self._serve_degraded(frame, fingerprint, "retries-exhausted")
+        response["attempts"] = attempts + response.get("attempts", 0)
+        response["last_failure"] = last_failure
+        return response
+
+    def _serve_degraded(
+        self, frame: Dict[str, Any], fingerprint: str, reason: str
+    ) -> Dict[str, Any]:
+        """Unoptimized, checks-intact service — the always-available floor."""
+        attempts = 0
+        for attempt in range(self.config.retries + 1):
+            if attempt:
+                self._sleep(self._backoff(attempt))
+            attempts += 1
+            kind, payload = self._dispatch(frame, "degraded", attempt)
+            if kind == "response":
+                if payload["status"] == "ok":
+                    self.stats.bump("serve.degraded")
+                payload.update(
+                    fingerprint=fingerprint,
+                    attempts=attempts,
+                    degraded_reason=reason,
+                )
+                return payload
+            self.stats.bump("serve.worker-failures")
+
+        if not self.config.inline_fallback:
+            self.stats.bump("serve.failed")
+            return {
+                "id": frame["id"],
+                "status": "failure",
+                "reason": "pool-exhausted",
+                "message": "degraded dispatch failed and inline fallback is off",
+                "fingerprint": fingerprint,
+            }
+
+        # The pool is being massacred: serve degraded in-process.  This
+        # reuses the worker's own request handler as a plain library call
+        # — same compile path, same response shape, no subprocess.
+        from repro.serve import worker as worker_module
+
+        self.stats.bump("serve.inline-fallback")
+        inline_frame = dict(frame)
+        inline_frame["mode"] = "degraded"
+        payload = worker_module._serve_request(inline_frame, None, False, 0)
+        if payload.get("status") == "ok":
+            self.stats.bump("serve.degraded")
+        payload.update(
+            fingerprint=fingerprint,
+            attempts=attempts,
+            degraded_reason=reason,
+            inline_fallback=True,
+        )
+        return payload
+
+    def _dispatch(
+        self, frame: Dict[str, Any], mode: str, attempt: int
+    ) -> Tuple[str, Any]:
+        """One attempt on one worker.
+
+        Returns ``("response", payload)`` for a terminal worker answer
+        (``ok`` or ``error``) and ``("failure", detail)`` when the
+        attempt must be retried — worker death, deadline, protocol
+        violation, or a worker-contained ``failure`` report.
+        """
+        worker = self._checkout_worker()
+        wire = {
+            "op": frame["op"],
+            "id": frame["id"],
+            "source": frame["source"],
+            "fn": frame["fn"],
+            "args": frame["args"],
+            "mode": mode,
+            "attempt": attempt,
+            "fuel": self.config.fuel,
+        }
+        for optional in ("inline", "chaos"):
+            if optional in frame:
+                wire[optional] = frame[optional]
+        try:
+            worker.send(wire)
+            response = worker.read_frame(self.config.deadline, self._clock)
+            response = protocol.validate_worker_response(response, frame["id"])
+        except WorkerTimeout as exc:
+            self.stats.bump("serve.deadline-kills")
+            self._replace_worker(self._slot_of(worker))
+            return ("failure", f"deadline: {exc}")
+        except (WorkerDied, protocol.ProtocolError) as exc:
+            self._replace_worker(self._slot_of(worker))
+            return ("failure", f"{type(exc).__name__}: {exc}")
+        worker.served += 1
+        self._maybe_recycle(worker)
+        if response["status"] == "failure":
+            return ("failure", f"{response.get('reason')}: {response.get('message')}")
+        return ("response", response)
+
+    def _backoff(self, attempt: int) -> float:
+        return min(
+            self.config.backoff_cap,
+            self.config.backoff_base * (2 ** (attempt - 1)),
+        )
+
+    # ------------------------------------------------------------------
+    # Telemetry.
+    # ------------------------------------------------------------------
+
+    def status_payload(self, request_id: Any = None) -> Dict[str, Any]:
+        return {
+            "id": request_id,
+            "status": "ok",
+            "op": "status",
+            "counters": dict(sorted(self.stats.counters.items())),
+            "breakers": self.breaker.to_json(),
+            "open_fingerprints": self.breaker.open_fingerprints(),
+            "workers": [
+                {"pid": worker.pid, "served": worker.served, "alive": worker.alive()}
+                for worker in self.pool
+            ],
+        }
+
+    # ------------------------------------------------------------------
+    # Serve loops (stdio and Unix socket).
+    # ------------------------------------------------------------------
+
+    def _install_drain_handlers(self):
+        """SIGTERM/SIGINT → finish the in-flight request, then drain.
+
+        The handler only *raises* while the loop is blocked reading the
+        next client frame; mid-request it just sets the stop flag, so the
+        response already being computed is still written back.
+        """
+        def on_signal(signum, frame):
+            self._stop = True
+            if self._reading_client:
+                raise _DrainRequested()
+
+        previous = {}
+        for signum in (signal.SIGTERM, signal.SIGINT):
+            try:
+                previous[signum] = signal.signal(signum, on_signal)
+            except (ValueError, OSError):  # pragma: no cover - non-main thread
+                pass
+        return previous
+
+    @staticmethod
+    def _restore_handlers(previous) -> None:
+        for signum, handler in previous.items():
+            try:
+                signal.signal(signum, handler)
+            except (ValueError, OSError):  # pragma: no cover
+                pass
+
+    def serve_stdio(self, infile=None, outfile=None) -> Dict[str, Any]:
+        """NDJSON server over stdin/stdout; returns final telemetry."""
+        infile = infile if infile is not None else sys.stdin.buffer
+        outfile = outfile if outfile is not None else sys.stdout.buffer
+        self.start()
+        previous = self._install_drain_handlers()
+        try:
+            while not self._stop:
+                try:
+                    self._reading_client = True
+                    line = infile.readline()
+                finally:
+                    self._reading_client = False
+                if not line:
+                    break  # client EOF: drain
+                if not line.strip():
+                    continue
+                response = self._serve_line(line)
+                outfile.write(protocol.encode_frame(response))
+                outfile.flush()
+        except _DrainRequested:
+            pass
+        finally:
+            self._restore_handlers(previous)
+            self.shutdown()
+        return self.status_payload()
+
+    def serve_socket(self, path: str) -> Dict[str, Any]:
+        """NDJSON server on a Unix socket (one client at a time)."""
+        import socket
+
+        if os.path.exists(path):
+            os.unlink(path)
+        server = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        server.bind(path)
+        server.listen(1)
+        self.start()
+        previous = self._install_drain_handlers()
+        try:
+            while not self._stop:
+                try:
+                    self._reading_client = True
+                    conn, _ = server.accept()
+                finally:
+                    self._reading_client = False
+                with conn:
+                    reader = conn.makefile("rb")
+                    writer = conn.makefile("wb")
+                    while not self._stop:
+                        try:
+                            self._reading_client = True
+                            line = reader.readline()
+                        finally:
+                            self._reading_client = False
+                        if not line:
+                            break
+                        if not line.strip():
+                            continue
+                        response = self._serve_line(line)
+                        writer.write(protocol.encode_frame(response))
+                        writer.flush()
+        except _DrainRequested:
+            pass
+        finally:
+            self._restore_handlers(previous)
+            self.shutdown()
+            server.close()
+            if os.path.exists(path):
+                os.unlink(path)
+        return self.status_payload()
+
+    def _serve_line(self, line: bytes) -> Dict[str, Any]:
+        try:
+            frame = protocol.decode_frame(line)
+        except protocol.ProtocolError as exc:
+            self.stats.bump("serve.protocol-errors")
+            return protocol.error_response(None, "ProtocolError", str(exc))
+        return self.handle_request(frame)

@@ -1,0 +1,281 @@
+"""The compile-service worker subprocess (``python -m repro.serve.worker``).
+
+One worker serves one request at a time: frames arrive on stdin, the
+response leaves on stdout, and *everything dangerous happens here* — the
+supervisor never compiles, optimizes, or interprets in its own process.
+The worker's defenses are layered:
+
+* an ``RLIMIT_AS`` address-space cap (``--mem-mb``) turns allocation
+  blowups into a contained ``MemoryError`` → ``"failure"`` response;
+* the optimized path runs behind the in-process safety net (pass guards
+  plus the differential gate), so a logically wrong optimization
+  degrades to the unoptimized program before it can answer wrongly;
+* anything still escaping — a genuine crash, a hang, a corrupted frame —
+  is the supervisor's problem, by design: it deadline-kills and respawns
+  this whole process.
+
+Degraded mode (``"mode": "degraded"``) compiles with no optimization at
+all — plain lowering + e-SSA, every bounds check intact — which is
+byte-identical in behavior to the unoptimized reference interpreter.
+Chaos faults (:data:`repro.robustness.faults.CHAOS_FAULTS`) inject only
+on the *optimized* path: they model optimizer bugs, and the degraded
+path is exactly the code that must stay trustworthy when the optimizer
+is not.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from typing import Any, Dict, Optional
+
+from repro.core.abcd import ABCDConfig
+from repro.errors import MiniJRuntimeError, ReproError
+from repro.limits import address_space_cap
+from repro.robustness.faults import CHAOS_FAULTS, ChaosContext, decide_chaos_fault
+from repro.serve import protocol
+
+#: Environment variable carrying the chaos configuration (JSON object
+#: with ``rate``/``seed``/``faults``/``slow_seconds`` keys).  Unset or
+#: unparsable ⇒ chaos disabled; explicit per-request ``"chaos"`` fields
+#: are honored only while this is set, so production servers cannot be
+#: fault-injected by a client.
+CHAOS_ENV = "REPRO_SERVE_CHAOS"
+
+
+def _load_chaos_config() -> Optional[Dict[str, Any]]:
+    raw = os.environ.get(CHAOS_ENV)
+    if not raw:
+        return None
+    try:
+        config = json.loads(raw)
+    except ValueError:
+        return None
+    return config if isinstance(config, dict) else {}
+
+
+def _execute(program, fn: str, args, fuel: int) -> Dict[str, Any]:
+    """Run ``fn(args)`` and capture outcome *and* dynamic counters.
+
+    Uses the :class:`Interpreter` object directly (not ``run_program``)
+    so the check/instruction counters survive a trap — a degraded
+    response must report its intact checks even when the program traps.
+    """
+    from repro.errors import BoundsCheckError
+    from repro.runtime.interpreter import Interpreter
+
+    interp = Interpreter(program, fuel=fuel)
+    outcome: Dict[str, Any] = {
+        "value": None,
+        "trap": None,
+        "trap_message": "",
+        "check_id": None,
+        "index": None,
+        "length": None,
+        "kind": None,
+    }
+    try:
+        result = interp.run(fn, tuple(args))
+        outcome["value"] = result.value
+    except BoundsCheckError as exc:
+        outcome.update(
+            trap=type(exc).__name__,
+            trap_message=str(exc),
+            check_id=exc.check_id,
+            index=exc.index,
+            length=exc.length,
+            kind=exc.kind,
+        )
+    except MiniJRuntimeError as exc:
+        outcome.update(trap=type(exc).__name__, trap_message=str(exc))
+    stats = interp.stats
+    outcome["checks"] = {
+        "total": stats.total_checks,
+        "lower": stats.lower_checks,
+        "upper": stats.upper_checks,
+        "speculative": stats.speculative_checks,
+    }
+    outcome["instructions"] = stats.instructions
+    return outcome
+
+
+def _maybe_inject_chaos(
+    chaos: Optional[Dict[str, Any]],
+    frame: Dict[str, Any],
+    mem_cap_applied: bool,
+) -> None:
+    """Fire at most one chaos fault at the mid-compile injection point."""
+    if chaos is None:
+        return
+    name = frame.get("chaos")
+    if not name:
+        name = decide_chaos_fault(
+            seed=int(chaos.get("seed", 0)),
+            request_id=frame.get("id"),
+            attempt=int(frame.get("attempt", 0)),
+            rate=float(chaos.get("rate", 0.0)),
+            names=chaos.get("faults"),
+        )
+    spec = CHAOS_FAULTS.get(name) if name else None
+    if spec is None:
+        return
+    context = ChaosContext(
+        raw_write=_raw_write,
+        slow_seconds=float(chaos.get("slow_seconds", 0.05)),
+        mem_cap_applied=mem_cap_applied,
+    )
+    spec.inject(context)
+
+
+def _raw_write(data: bytes) -> None:
+    sys.stdout.buffer.write(data)
+    sys.stdout.buffer.flush()
+
+
+def _serve_request(
+    frame: Dict[str, Any],
+    chaos: Optional[Dict[str, Any]],
+    mem_cap_applied: bool,
+    served: int,
+) -> Dict[str, Any]:
+    """One ``run``/``compile`` request → one response payload."""
+    from repro.passes.session import CompilationSession
+    from repro.robustness.differential import gated_optimize
+
+    request_id = frame.get("id")
+    op = frame["op"]
+    source = frame["source"]
+    fn = frame.get("fn", "main")
+    args = frame.get("args", [])
+    mode = frame.get("mode", "optimized")
+    fuel = int(frame.get("fuel", 50_000_000))
+
+    response: Dict[str, Any] = {
+        "id": request_id,
+        "status": "ok",
+        "op": op,
+        "mode": mode,
+        "served": served,
+    }
+
+    try:
+        if mode == "degraded":
+            # Pure lowering + e-SSA: no standard opts, no ABCD, every
+            # check intact — the unoptimized reference behavior.
+            session = CompilationSession()
+            program = session.compile(source, standard_opts=False)
+            response["report"] = {"analyzed": 0, "eliminated": 0, "rollbacks": 0}
+        else:
+            _maybe_inject_chaos(chaos, frame, mem_cap_applied)
+            session = CompilationSession(config=ABCDConfig())
+            program = session.compile(
+                source, standard_opts=True, inline=bool(frame.get("inline", False))
+            )
+            if op == "run":
+                # Optimize behind the differential gate on the request's
+                # own input: a divergent optimization reverts to the
+                # checked baseline before it can answer.
+                gated = gated_optimize(
+                    program,
+                    session.config,
+                    entry=fn,
+                    inputs=(tuple(args),),
+                    fuel=fuel,
+                )
+                report = gated.report
+                response["gate_reverted"] = gated.reverted
+            else:
+                report = session.optimize(program)
+            response["report"] = {
+                "analyzed": report.analyzed,
+                "eliminated": report.eliminated_count(),
+                "rollbacks": len(report.pass_failures),
+            }
+    except ReproError as exc:
+        # Deterministic user error (syntax/type/lowering): terminal, not
+        # a worker failure — retrying cannot change the answer.
+        return protocol.error_response(
+            request_id, type(exc).__name__, str(exc), op=op
+        )
+    except MemoryError:
+        return {
+            "id": request_id,
+            "status": "failure",
+            "reason": "oom",
+            "message": "worker memory cap exceeded during compile/optimize",
+        }
+
+    if op == "run":
+        try:
+            response.update(_execute(program, fn, args, fuel))
+        except ReproError as exc:
+            return protocol.error_response(
+                request_id, type(exc).__name__, str(exc), op=op
+            )
+        except MemoryError:
+            return {
+                "id": request_id,
+                "status": "failure",
+                "reason": "oom",
+                "message": "worker memory cap exceeded during execution",
+            }
+    return response
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(prog="repro.serve.worker")
+    parser.add_argument(
+        "--mem-mb",
+        type=int,
+        default=0,
+        help="RLIMIT_AS address-space cap in MiB (0 = uncapped)",
+    )
+    args = parser.parse_args(argv)
+
+    mem_cap_applied = False
+    if args.mem_mb > 0:
+        mem_cap_applied = address_space_cap(args.mem_mb * 1024 * 1024)
+    chaos = _load_chaos_config()
+
+    stdin = sys.stdin.buffer
+    served = 0
+    while True:
+        line = stdin.readline()
+        if not line:
+            return 0  # supervisor closed our stdin: drain complete
+        try:
+            frame = protocol.decode_frame(line)
+            op = frame.get("op")
+            if op == "shutdown":
+                return 0
+            if op not in ("run", "compile"):
+                raise protocol.ProtocolError(f"worker cannot serve op {op!r}")
+        except protocol.ProtocolError as exc:
+            _raw_write(
+                protocol.encode_frame(
+                    {
+                        "id": None,
+                        "status": "failure",
+                        "reason": "protocol",
+                        "message": str(exc),
+                    }
+                )
+            )
+            continue
+        served += 1
+        try:
+            response = _serve_request(frame, chaos, mem_cap_applied, served)
+        except Exception as exc:  # last-ditch: report, let supervisor retry
+            response = {
+                "id": frame.get("id"),
+                "status": "failure",
+                "reason": "internal",
+                "message": f"{type(exc).__name__}: {exc}",
+            }
+        _raw_write(protocol.encode_frame(response))
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,137 @@
+"""Interrupt handling of the long-running CLI campaigns.
+
+``repro fuzz`` and ``repro bench`` can run for many minutes; Ctrl-C (or
+a SIGTERM from a CI timeout) must not discard everything measured so
+far.  Both commands catch the interrupt, report the *partial* result,
+and exit with the distinct code 130 so callers can tell "interrupted"
+from "failed" and from "clean".
+"""
+
+from __future__ import annotations
+
+import json
+import signal
+
+import pytest
+
+from repro import cli
+from repro.cli import EXIT_INTERRUPTED, _sigterm_as_interrupt
+from repro.fuzz.campaign import run_campaign
+from repro.fuzz.oracle import OracleVerdict
+
+
+def interrupt_after(n: int):
+    """An oracle stand-in that raises KeyboardInterrupt on call ``n``."""
+    calls = {"count": 0}
+
+    def fake_check_source(source, config):
+        calls["count"] += 1
+        if calls["count"] >= n:
+            raise KeyboardInterrupt
+        return OracleVerdict(classification="match")
+
+    return fake_check_source
+
+
+class TestFuzzInterrupt:
+    def test_campaign_keeps_partial_result(self, monkeypatch):
+        monkeypatch.setattr(
+            "repro.fuzz.campaign.check_source", interrupt_after(3)
+        )
+        result = run_campaign(seeds=10)
+        assert result.interrupted
+        assert result.counters["programs"] == 2
+        assert result.counters["match"] == 2
+        assert result.stats.counters["fuzz.interrupted"] == 1
+        assert result.to_json()["interrupted"] is True
+
+    def test_cli_exits_130_with_partial_summary(self, monkeypatch, capsys):
+        monkeypatch.setattr(
+            "repro.fuzz.campaign.check_source", interrupt_after(4)
+        )
+        code = cli.main(["fuzz", "--seeds", "10", "--quiet"])
+        assert code == EXIT_INTERRUPTED == 130
+        out = capsys.readouterr().out
+        assert "INTERRUPTED after 3/10" in out
+        assert "3 program(s)" in out
+
+    def test_cli_json_payload_marks_interrupted(self, monkeypatch, capsys):
+        monkeypatch.setattr(
+            "repro.fuzz.campaign.check_source", interrupt_after(2)
+        )
+        code = cli.main(["fuzz", "--seeds", "10", "--quiet", "--json"])
+        assert code == EXIT_INTERRUPTED
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["interrupted"] is True
+        assert payload["counters"]["programs"] == 1
+
+    def test_interrupted_report_is_still_written(self, monkeypatch, tmp_path):
+        monkeypatch.setattr(
+            "repro.fuzz.campaign.check_source", interrupt_after(3)
+        )
+        report = tmp_path / "triage.json"
+        result = run_campaign(seeds=10, report_path=str(report))
+        assert result.interrupted
+        assert report.exists()
+
+    def test_clean_campaign_is_not_marked_interrupted(self, monkeypatch):
+        monkeypatch.setattr(
+            "repro.fuzz.campaign.check_source",
+            lambda source, config: OracleVerdict(classification="match"),
+        )
+        result = run_campaign(seeds=3)
+        assert not result.interrupted
+        assert result.counters["programs"] == 3
+        assert "fuzz.interrupted" not in result.stats.counters
+
+
+class TestBenchInterrupt:
+    def test_cli_exits_130_with_partial_rows(self, monkeypatch, capsys):
+        from repro.bench import harness
+
+        real_run_benchmark = harness.run_benchmark
+        calls = {"count": 0}
+
+        def fake_run_benchmark(program, config=None, pre=True, fuel=100_000_000):
+            calls["count"] += 1
+            if calls["count"] >= 2:
+                raise KeyboardInterrupt
+            return real_run_benchmark(program, config=config, pre=pre, fuel=fuel)
+
+        monkeypatch.setattr(harness, "run_benchmark", fake_run_benchmark)
+        code = cli.main(
+            ["bench", "--names", "bubbleSort", "Qsort", "--json"]
+        )
+        captured = capsys.readouterr()
+        assert code == EXIT_INTERRUPTED
+        assert "reporting partial results" in captured.err
+        payload = json.loads(captured.out)
+        assert len(payload) == 1  # one finished row survived
+
+    def test_interrupt_before_any_row_is_still_130(self, monkeypatch, capsys):
+        from repro.bench import harness
+
+        def immediate_interrupt(program, config=None, pre=True, fuel=100_000_000):
+            raise KeyboardInterrupt
+
+        monkeypatch.setattr(harness, "run_benchmark", immediate_interrupt)
+        code = cli.main(["bench", "--names", "bubbleSort"])
+        assert code == EXIT_INTERRUPTED
+        assert capsys.readouterr().out == ""
+
+
+class TestSigtermTranslation:
+    def test_sigterm_becomes_keyboard_interrupt(self):
+        import os
+        import time
+
+        with pytest.raises(KeyboardInterrupt):
+            with _sigterm_as_interrupt():
+                os.kill(os.getpid(), signal.SIGTERM)
+                time.sleep(1)  # interrupted by the handler immediately
+
+    def test_previous_handler_restored(self):
+        previous = signal.getsignal(signal.SIGTERM)
+        with _sigterm_as_interrupt():
+            assert signal.getsignal(signal.SIGTERM) is not previous
+        assert signal.getsignal(signal.SIGTERM) is previous

@@ -1,0 +1,606 @@
+"""Tests for the crash-isolated compile service (``src/repro/serve/``).
+
+Covers the protocol layer, the circuit-breaker state machine (driven by
+a fake clock), supervisor end-to-end service through real worker
+subprocesses, containment of every registered process-level chaos fault,
+the crash-recovery property (random SIGKILLs mid-request never lose a
+request), and the degradation guarantee (a degraded response is
+byte-identical — outcome *and* dynamic counters — to the unoptimized
+reference interpreter).
+"""
+
+from __future__ import annotations
+
+import io
+import os
+import random
+import signal
+import threading
+
+import pytest
+
+from repro.robustness.faults import CHAOS_FAULTS, FATAL_CHAOS_FAULTS
+from repro.serve import protocol
+from repro.serve.breaker import (
+    CLOSED,
+    HALF_OPEN,
+    OPEN,
+    CircuitBreaker,
+    function_fingerprint,
+)
+from repro.serve.supervisor import ServeConfig, Supervisor
+
+pytestmark = pytest.mark.skipif(
+    os.name != "posix", reason="the compile service requires POSIX pipes/signals"
+)
+
+
+SUM_SOURCE = """
+fn main(): int {
+  let a: int[] = new int[8];
+  let s: int = 0;
+  for (let i: int = 0; i < len(a); i = i + 1) {
+    a[i] = i;
+    s = s + a[i];
+  }
+  return s;
+}
+"""
+
+TRAP_SOURCE = """
+fn main(): int {
+  let a: int[] = new int[4];
+  let j: int = 6;
+  return a[j];
+}
+"""
+
+OFF_BY_ONE_SOURCE = """
+fn main(): int {
+  let a: int[] = new int[5];
+  let s: int = 0;
+  let i: int = 0;
+  while (i <= len(a)) {
+    a[i] = i;
+    s = s + a[i];
+    i = i + 1;
+  }
+  return s;
+}
+"""
+
+TYPE_ERROR_SOURCE = """
+fn main(): int {
+  let a: int[] = new int[4];
+  return a + 1;
+}
+"""
+
+
+def fast_config(**overrides) -> ServeConfig:
+    """Small deadlines/backoffs so failure paths resolve quickly."""
+    defaults = dict(
+        workers=2,
+        deadline=5.0,
+        mem_mb=512,
+        retries=1,
+        backoff_base=0.001,
+        backoff_cap=0.01,
+        recycle_after=0,
+        breaker_threshold=3,
+        breaker_cooldown=300.0,
+    )
+    defaults.update(overrides)
+    return ServeConfig(**defaults)
+
+
+@pytest.fixture
+def supervisor():
+    sup = Supervisor(config=fast_config())
+    yield sup
+    sup.shutdown()
+
+
+def degraded_baseline(source: str, fn: str = "main", args=()):
+    """The unoptimized reference: same compile path a degraded worker runs."""
+    from repro.serve import worker as worker_module
+
+    return worker_module._serve_request(
+        {"op": "run", "id": "ref", "source": source, "fn": fn,
+         "args": list(args), "mode": "degraded"},
+        None, False, 0,
+    )
+
+
+# ----------------------------------------------------------------------
+# Protocol.
+# ----------------------------------------------------------------------
+
+
+class TestProtocol:
+    def test_roundtrip_is_byte_stable(self):
+        payload = {"op": "run", "id": "r1", "args": [1, 2], "source": "x"}
+        once = protocol.encode_frame(payload)
+        again = protocol.encode_frame(protocol.decode_frame(once))
+        assert once == again
+        assert once.endswith(b"\n")
+
+    def test_decode_rejects_garbage(self):
+        with pytest.raises(protocol.ProtocolError):
+            protocol.decode_frame(b"\x00\xffnot json{{{")
+
+    def test_decode_rejects_non_object(self):
+        with pytest.raises(protocol.ProtocolError):
+            protocol.decode_frame(b"[1, 2, 3]")
+
+    def test_decode_rejects_oversized(self):
+        with pytest.raises(protocol.ProtocolError):
+            protocol.decode_frame(b" " * (protocol.MAX_FRAME_BYTES + 1))
+
+    def test_validate_request_unknown_op(self):
+        with pytest.raises(protocol.ProtocolError):
+            protocol.validate_request({"op": "explode"})
+
+    def test_validate_request_requires_source(self):
+        with pytest.raises(protocol.ProtocolError):
+            protocol.validate_request({"op": "run"})
+
+    def test_validate_request_rejects_bool_args(self):
+        with pytest.raises(protocol.ProtocolError):
+            protocol.validate_request(
+                {"op": "run", "source": "x", "args": [True]}
+            )
+
+    def test_validate_request_defaults(self):
+        frame = protocol.validate_request({"op": "run", "source": "x"})
+        assert frame["fn"] == "main"
+        assert frame["args"] == []
+
+    def test_validate_worker_response_id_mismatch(self):
+        with pytest.raises(protocol.ProtocolError):
+            protocol.validate_worker_response(
+                {"status": "ok", "id": "other"}, "mine"
+            )
+
+    def test_validate_worker_response_unknown_status(self):
+        with pytest.raises(protocol.ProtocolError):
+            protocol.validate_worker_response(
+                {"status": "confused", "id": "r"}, "r"
+            )
+
+
+# ----------------------------------------------------------------------
+# Circuit breaker (fake clock — no sleeping).
+# ----------------------------------------------------------------------
+
+
+class TestCircuitBreaker:
+    def make(self, threshold=2, cooldown=10.0):
+        clock = {"now": 0.0}
+        breaker = CircuitBreaker(
+            failure_threshold=threshold,
+            cooldown=cooldown,
+            clock=lambda: clock["now"],
+        )
+        return breaker, clock
+
+    def test_opens_after_threshold_consecutive_failures(self):
+        breaker, _ = self.make(threshold=2)
+        assert breaker.allow_optimized("fp")
+        assert not breaker.record_failure("fp")
+        assert breaker.state_of("fp").state == CLOSED
+        assert breaker.record_failure("fp")
+        assert breaker.state_of("fp").state == OPEN
+        assert not breaker.allow_optimized("fp")
+
+    def test_success_resets_the_streak(self):
+        breaker, _ = self.make(threshold=2)
+        breaker.record_failure("fp")
+        breaker.record_success("fp")
+        assert not breaker.record_failure("fp")
+        assert breaker.state_of("fp").state == CLOSED
+
+    def test_half_open_probe_after_cooldown(self):
+        breaker, clock = self.make(threshold=1, cooldown=10.0)
+        breaker.record_failure("fp")
+        assert not breaker.allow_optimized("fp")
+        clock["now"] = 10.1
+        # Exactly one probe is admitted; concurrent requests stay degraded.
+        assert breaker.allow_optimized("fp")
+        assert breaker.state_of("fp").state == HALF_OPEN
+        assert not breaker.allow_optimized("fp")
+
+    def test_probe_success_closes(self):
+        breaker, clock = self.make(threshold=1, cooldown=10.0)
+        breaker.record_failure("fp")
+        clock["now"] = 10.1
+        assert breaker.allow_optimized("fp")
+        breaker.record_success("fp")
+        assert breaker.state_of("fp").state == CLOSED
+        assert breaker.allow_optimized("fp")
+
+    def test_probe_failure_reopens_with_fresh_cooldown(self):
+        breaker, clock = self.make(threshold=5, cooldown=10.0)
+        for _ in range(5):
+            breaker.record_failure("fp")
+        clock["now"] = 10.1
+        assert breaker.allow_optimized("fp")
+        # A single probe failure re-opens regardless of the threshold.
+        assert breaker.record_failure("fp")
+        assert breaker.state_of("fp").state == OPEN
+        clock["now"] = 15.0
+        assert not breaker.allow_optimized("fp")
+        clock["now"] = 20.3
+        assert breaker.allow_optimized("fp")
+
+    def test_fingerprints_are_independent(self):
+        breaker, _ = self.make(threshold=1)
+        breaker.record_failure("a")
+        assert not breaker.allow_optimized("a")
+        assert breaker.allow_optimized("b")
+        assert breaker.open_fingerprints() == ["a"]
+
+    def test_fingerprint_depends_on_source_and_fn(self):
+        assert function_fingerprint("x", "main") != function_fingerprint("y", "main")
+        assert function_fingerprint("x", "main") != function_fingerprint("x", "aux")
+        assert function_fingerprint("x", "main") == function_fingerprint("x", "main")
+
+
+# ----------------------------------------------------------------------
+# Supervisor end-to-end (real worker subprocesses).
+# ----------------------------------------------------------------------
+
+
+class TestSupervisorService:
+    def test_optimized_run(self, supervisor):
+        response = supervisor.handle_request({"op": "run", "source": SUM_SOURCE})
+        assert response["status"] == "ok"
+        assert response["mode"] == "optimized"
+        assert response["value"] == 28
+        assert response["trap"] is None
+        assert response["report"]["eliminated"] > 0
+        assert response["gate_reverted"] is False
+
+    def test_trap_preserved_through_optimization(self, supervisor):
+        response = supervisor.handle_request({"op": "run", "source": TRAP_SOURCE})
+        baseline = degraded_baseline(TRAP_SOURCE)
+        assert response["status"] == "ok"
+        assert response["trap"] == "BoundsCheckError"
+        for field in ("trap", "kind", "index", "length", "check_id"):
+            assert response[field] == baseline[field]
+
+    def test_compile_only(self, supervisor):
+        response = supervisor.handle_request(
+            {"op": "compile", "source": SUM_SOURCE}
+        )
+        assert response["status"] == "ok"
+        assert response["report"]["analyzed"] > 0
+        assert "value" not in response
+
+    def test_user_error_is_terminal_not_retried(self, supervisor):
+        response = supervisor.handle_request(
+            {"op": "run", "source": TYPE_ERROR_SOURCE}
+        )
+        assert response["status"] == "error"
+        assert response["error"] == "TypeCheckError"
+        assert supervisor.stats.counters.get("serve.retried", 0) == 0
+        # A deterministic user error says nothing about optimizer health.
+        fingerprint = function_fingerprint(TYPE_ERROR_SOURCE, "main")
+        assert supervisor.breaker.state_of(fingerprint).total_failures == 0
+
+    def test_args_are_forwarded(self, supervisor):
+        source = """
+fn main(x: int, y: int): int {
+  return x * 10 + y;
+}
+"""
+        response = supervisor.handle_request(
+            {"op": "run", "source": source, "args": [4, 2]}
+        )
+        assert response["status"] == "ok"
+        assert response["value"] == 42
+
+    def test_status_request(self, supervisor):
+        supervisor.handle_request({"op": "run", "source": SUM_SOURCE})
+        status = supervisor.handle_request({"op": "status"})
+        assert status["op"] == "status"
+        assert status["counters"]["serve.optimized"] == 1
+        assert status["counters"]["serve.requests"] == 2
+        assert len(status["workers"]) == supervisor.config.workers
+        assert all(worker["alive"] for worker in status["workers"])
+
+    def test_malformed_request_is_answered_not_fatal(self, supervisor):
+        response = supervisor.handle_request({"op": "run"})  # no source
+        assert response["status"] == "error"
+        assert response["error"] == "ProtocolError"
+        response = supervisor.handle_request({"op": "teleport"})
+        assert response["status"] == "error"
+        # The service still works afterwards.
+        ok = supervisor.handle_request({"op": "run", "source": SUM_SOURCE})
+        assert ok["status"] == "ok"
+
+    def test_worker_recycled_after_quota(self):
+        sup = Supervisor(config=fast_config(workers=1, recycle_after=2))
+        try:
+            for _ in range(5):
+                response = sup.handle_request(
+                    {"op": "run", "source": SUM_SOURCE}
+                )
+                assert response["status"] == "ok"
+            assert sup.stats.counters.get("serve.recycled", 0) >= 2
+            # The replacement pool is healthy.
+            assert all(worker.alive() for worker in sup.pool)
+        finally:
+            sup.shutdown()
+
+
+# ----------------------------------------------------------------------
+# Chaos fault containment: every registered process-level fault.
+# ----------------------------------------------------------------------
+
+
+class TestChaosFaultContainment:
+    @pytest.fixture
+    def chaos_supervisor(self):
+        sup = Supervisor(
+            config=fast_config(
+                deadline=2.0,
+                retries=0,
+                breaker_threshold=100,  # isolate: no breaker interference
+                chaos={"rate": 0.0, "seed": 0},
+            )
+        )
+        yield sup
+        sup.shutdown()
+
+    @pytest.mark.parametrize("fault", sorted(CHAOS_FAULTS))
+    def test_fault_contained(self, chaos_supervisor, fault):
+        response = chaos_supervisor.handle_request(
+            {"op": "run", "source": SUM_SOURCE, "chaos": fault}
+        )
+        assert response["status"] == "ok"
+        assert response["value"] == 28
+        if fault in FATAL_CHAOS_FAULTS:
+            # The optimized path cannot survive the fault; service must
+            # degrade — with the full dynamic check load intact.
+            assert response["mode"] == "degraded"
+            baseline = degraded_baseline(SUM_SOURCE)
+            assert response["checks"] == baseline["checks"]
+            assert response["checks"]["total"] > 0
+        else:
+            # Benign faults (slow-response) answer correctly in time.
+            assert response["mode"] == "optimized"
+
+    def test_chaos_field_ignored_without_chaos_env(self, supervisor):
+        """A production server (no chaos config) must not let clients
+        fault-inject workers through the request field."""
+        response = supervisor.handle_request(
+            {"op": "run", "source": SUM_SOURCE, "chaos": "worker-crash"}
+        )
+        assert response["status"] == "ok"
+        assert response["mode"] == "optimized"
+
+
+# ----------------------------------------------------------------------
+# Crash recovery property: random SIGKILLs never lose a request.
+# ----------------------------------------------------------------------
+
+
+class TestCrashRecovery:
+    def test_random_sigkill_mid_request_never_loses_a_request(self):
+        """SIGKILL workers at random moments from outside while requests
+        flow; every request must still be answered correctly (optimized
+        or degraded — never lost, never wrong)."""
+        sup = Supervisor(config=fast_config(workers=2, deadline=5.0, retries=1))
+        sup.start()
+        rng = random.Random(1234)
+        stop = threading.Event()
+
+        def killer():
+            while not stop.is_set():
+                stop.wait(rng.uniform(0.0, 0.03))
+                for worker in list(sup.pool):
+                    if rng.random() < 0.5:
+                        try:
+                            os.kill(worker.pid, signal.SIGKILL)
+                        except (ProcessLookupError, OSError):
+                            pass
+
+        thread = threading.Thread(target=killer, daemon=True)
+        thread.start()
+        cases = [
+            (SUM_SOURCE, None),
+            (TRAP_SOURCE, "BoundsCheckError"),
+            (OFF_BY_ONE_SOURCE, "BoundsCheckError"),
+        ]
+        try:
+            for index in range(24):
+                source, expected_trap = cases[index % len(cases)]
+                response = sup.handle_request({"op": "run", "source": source})
+                assert response["status"] == "ok", response
+                assert response["mode"] in ("optimized", "degraded"), response
+                baseline = degraded_baseline(source)
+                assert response["trap"] == baseline["trap"] == expected_trap
+                assert response["value"] == baseline["value"]
+                if response["trap"] is not None:
+                    assert response["index"] == baseline["index"]
+                    assert response["length"] == baseline["length"]
+        finally:
+            stop.set()
+            thread.join(timeout=5)
+            sup.shutdown()
+
+    def test_degraded_response_byte_identical_to_unoptimized_interpreter(self):
+        """The degradation guarantee: a degraded response reproduces the
+        unoptimized interpreter exactly — value/trap identity *and* the
+        dynamic check/instruction counters (checks intact)."""
+        from repro.passes.session import CompilationSession
+        from repro.runtime.interpreter import Interpreter
+
+        sup = Supervisor(config=fast_config(workers=1))
+        try:
+            for source in (SUM_SOURCE, TRAP_SOURCE, OFF_BY_ONE_SOURCE):
+                response = sup.handle_request(
+                    {"op": "run", "source": source, "optimize": False}
+                )
+                assert response["status"] == "ok"
+                assert response["mode"] == "degraded"
+
+                program = CompilationSession().compile(source, standard_opts=False)
+                interp = Interpreter(program, fuel=50_000_000)
+                value = trap = None
+                try:
+                    value = interp.run("main", ()).value
+                except Exception as exc:
+                    trap = type(exc).__name__
+                assert response["value"] == value
+                assert response["trap"] == trap
+                stats = interp.stats
+                assert response["checks"] == {
+                    "total": stats.total_checks,
+                    "lower": stats.lower_checks,
+                    "upper": stats.upper_checks,
+                    "speculative": stats.speculative_checks,
+                }
+                assert response["instructions"] == stats.instructions
+        finally:
+            sup.shutdown()
+
+    def test_inline_fallback_when_pool_cannot_be_sustained(self, monkeypatch):
+        """When even degraded dispatch fails, the supervisor serves the
+        request degraded in its own process — the absolute floor."""
+        sup = Supervisor(config=fast_config(workers=1, retries=0))
+        sup.start()
+        try:
+            from repro.serve import supervisor as supervisor_module
+
+            def always_dead(self, frame, mode, attempt):
+                return ("failure", "simulated: every worker is gone")
+
+            monkeypatch.setattr(
+                supervisor_module.Supervisor, "_dispatch", always_dead
+            )
+            response = sup.handle_request({"op": "run", "source": SUM_SOURCE})
+            assert response["status"] == "ok"
+            assert response["mode"] == "degraded"
+            assert response["inline_fallback"] is True
+            assert response["value"] == 28
+            assert sup.stats.counters["serve.inline-fallback"] == 1
+        finally:
+            sup.shutdown()
+
+
+# ----------------------------------------------------------------------
+# Breaker integration: failures open it, open means degraded service,
+# cooldown admits a probe that closes it again.
+# ----------------------------------------------------------------------
+
+
+class TestBreakerIntegration:
+    def test_breaker_opens_serves_degraded_then_probes_closed(self):
+        clock = {"now": 0.0}
+        sup = Supervisor(
+            config=fast_config(
+                workers=1,
+                retries=0,
+                breaker_threshold=2,
+                breaker_cooldown=60.0,
+                chaos={"rate": 0.0, "seed": 0},
+            ),
+            clock=lambda: clock["now"],
+        )
+        fingerprint = function_fingerprint(SUM_SOURCE, "main")
+        try:
+            # Two fatally-faulted requests exhaust their retries and open
+            # the breaker.
+            for _ in range(2):
+                response = sup.handle_request(
+                    {"op": "run", "source": SUM_SOURCE, "chaos": "worker-crash"}
+                )
+                assert response["status"] == "ok"
+                assert response["mode"] == "degraded"
+                assert response["degraded_reason"] == "retries-exhausted"
+            assert sup.breaker.state_of(fingerprint).state == OPEN
+            assert sup.stats.counters["serve.breaker-opened"] == 1
+
+            # While open: no optimized attempt at all, served degraded
+            # with the checked baseline's counters intact.
+            before = sup.stats.counters.get("serve.worker-failures", 0)
+            response = sup.handle_request({"op": "run", "source": SUM_SOURCE})
+            assert response["mode"] == "degraded"
+            assert response["degraded_reason"] == "breaker-open"
+            assert response["checks"] == degraded_baseline(SUM_SOURCE)["checks"]
+            assert sup.stats.counters.get("serve.worker-failures", 0) == before
+            assert sup.stats.counters["serve.breaker-open"] == 1
+
+            # After the cooldown the next request is a half-open probe;
+            # it succeeds (no fault) and closes the breaker.
+            clock["now"] = 61.0
+            response = sup.handle_request({"op": "run", "source": SUM_SOURCE})
+            assert response["mode"] == "optimized"
+            assert sup.breaker.state_of(fingerprint).state == CLOSED
+        finally:
+            sup.shutdown()
+
+
+# ----------------------------------------------------------------------
+# Serve loop: NDJSON over stdio, drain semantics, telemetry.
+# ----------------------------------------------------------------------
+
+
+class TestServeStdio:
+    def run_transcript(self, frames, config=None):
+        infile = io.BytesIO(
+            b"".join(protocol.encode_frame(frame) for frame in frames)
+        )
+        outfile = io.BytesIO()
+        sup = Supervisor(config=config or fast_config(workers=1))
+        telemetry = sup.serve_stdio(infile=infile, outfile=outfile)
+        lines = [
+            line for line in outfile.getvalue().split(b"\n") if line.strip()
+        ]
+        return [protocol.decode_frame(line) for line in lines], telemetry, sup
+
+    def test_transcript_roundtrip(self):
+        responses, telemetry, _ = self.run_transcript(
+            [
+                {"op": "run", "id": "a", "source": SUM_SOURCE},
+                {"op": "run", "id": "b", "source": TRAP_SOURCE},
+                {"op": "status", "id": "c"},
+            ]
+        )
+        assert [response["id"] for response in responses] == ["a", "b", "c"]
+        assert responses[0]["value"] == 28
+        assert responses[1]["trap"] == "BoundsCheckError"
+        assert responses[2]["op"] == "status"
+        assert telemetry["counters"]["serve.requests"] == 3
+        # The pool was drained on EOF.
+        assert telemetry["workers"] == []
+
+    def test_shutdown_op_stops_the_loop(self):
+        responses, _, _ = self.run_transcript(
+            [
+                {"op": "run", "id": "a", "source": SUM_SOURCE},
+                {"op": "shutdown", "id": "z"},
+                {"op": "run", "id": "never", "source": SUM_SOURCE},
+            ]
+        )
+        assert [response["id"] for response in responses] == ["a", "z"]
+
+    def test_garbage_line_gets_error_response(self):
+        infile = io.BytesIO(
+            b"this is not json\n"
+            + protocol.encode_frame({"op": "run", "id": "a", "source": SUM_SOURCE})
+        )
+        outfile = io.BytesIO()
+        sup = Supervisor(config=fast_config(workers=1))
+        sup.serve_stdio(infile=infile, outfile=outfile)
+        lines = [
+            protocol.decode_frame(line)
+            for line in outfile.getvalue().split(b"\n")
+            if line.strip()
+        ]
+        assert lines[0]["status"] == "error"
+        assert lines[0]["error"] == "ProtocolError"
+        assert lines[1]["id"] == "a"
+        assert lines[1]["status"] == "ok"

@@ -1,0 +1,163 @@
+"""Tests for the chaos storm harness (``repro storm``).
+
+The CI chaos-smoke job runs the full 200-request storm; these tests keep
+the harness itself honest at a smaller scale — a seeded storm under a
+20% fault rate must pass its own verdict, the request plan must be
+deterministic, and the verifier must actually catch the violations it
+claims to (lost requests, wrong answers, fatal faults answered as
+optimized service).
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.robustness.faults import CHAOS_FAULTS, FATAL_CHAOS_FAULTS
+from repro.serve.chaos import (
+    StormResult,
+    _plan_requests,
+    _verify_response,
+    format_storm,
+    run_storm,
+    storm_config,
+)
+
+pytestmark = pytest.mark.skipif(
+    os.name != "posix", reason="the compile service requires POSIX pipes/signals"
+)
+
+
+def test_plan_is_deterministic():
+    plan_a = _plan_requests(60, 0.2, seed=7, breaker_block=True)
+    plan_b = _plan_requests(60, 0.2, seed=7, breaker_block=True)
+    assert plan_a == plan_b
+    plan_c = _plan_requests(60, 0.2, seed=8, breaker_block=True)
+    assert plan_a != plan_c
+
+
+def test_plan_opens_with_breaker_block():
+    plan = _plan_requests(20, 0.0, seed=0, breaker_block=True)
+    assert [request.get("chaos") for request in plan[:3]] == ["worker-crash"] * 3
+    # Followed by clean requests on the same fingerprint.
+    assert plan[3]["source"] == plan[0]["source"]
+    assert "chaos" not in plan[3]
+    assert len(plan) == 20
+
+
+def test_plan_faults_are_registered_names():
+    plan = _plan_requests(200, 0.5, seed=3, breaker_block=False)
+    faulted = [request["chaos"] for request in plan if "chaos" in request]
+    assert faulted, "a 50% fault rate must inject some faults"
+    assert set(faulted) <= set(CHAOS_FAULTS)
+
+
+def test_small_storm_passes():
+    """The acceptance property at test scale: a seeded storm with fault
+    injection completes with zero lost requests, zero incorrect
+    responses, and a live supervisor."""
+    result = run_storm(
+        requests=30, fault_rate=0.2, seed=0, workers=2, deadline=2.0
+    )
+    assert result.passed, format_storm(result)
+    assert result.lost == 0
+    assert result.responses == 30
+    assert result.supervisor_alive
+    assert result.injected_faults, "the storm must actually inject faults"
+    # The breaker block opened a breaker and clean requests on that
+    # fingerprint were served degraded through it, checks intact.
+    assert result.breaker_open_served >= 1
+    assert result.counters.get("serve.breaker-opened", 0) >= 1
+    assert result.optimized > 0 and result.degraded > 0
+
+
+def test_storm_json_payload_is_complete():
+    result = run_storm(
+        requests=12, fault_rate=0.0, seed=1, workers=1, deadline=3.0
+    )
+    payload = result.to_json()
+    assert payload["passed"] is True
+    assert payload["lost"] == 0
+    assert payload["requests"] == 12
+    assert payload["responses"] == 12
+    assert "serve.requests" in payload["counters"]
+    assert isinstance(payload["violations"], list)
+
+
+def test_storm_config_keeps_breakers_observably_open():
+    config = storm_config()
+    assert config.breaker_cooldown > 60.0
+    assert config.chaos is not None  # explicit per-request faults enabled
+
+
+class TestVerifier:
+    """The storm verifier must catch each violation class it reports."""
+
+    def fresh_result(self) -> StormResult:
+        return StormResult(requests=1, seed=0, fault_rate=0.0)
+
+    def test_flags_wrong_value(self):
+        result = self.fresh_result()
+        request = {"source": "fn main(): int { return 1; }", "expect": "ok"}
+        response = {"status": "ok", "mode": "optimized", "value": 999,
+                    "trap": None, "kind": None, "index": None,
+                    "length": None, "check_id": None}
+        _verify_response(result, 0, request, response, {})
+        assert result.violations and "diverges" in result.violations[0]
+
+    def test_flags_fatal_fault_answered_optimized(self):
+        result = self.fresh_result()
+        request = {
+            "source": "fn main(): int { return 1; }",
+            "expect": "ok",
+            "chaos": FATAL_CHAOS_FAULTS[0],
+        }
+        response = {"status": "ok", "mode": "optimized", "value": 1,
+                    "trap": None, "kind": None, "index": None,
+                    "length": None, "check_id": None}
+        _verify_response(result, 0, request, response, {})
+        assert any("fatal fault" in violation for violation in result.violations)
+
+    def test_flags_missing_user_error(self):
+        result = self.fresh_result()
+        request = {"source": "irrelevant", "expect": "error"}
+        response = {"status": "ok", "mode": "optimized"}
+        _verify_response(result, 0, request, response, {})
+        assert result.violations
+
+    def test_accepts_degraded_with_checks_intact(self):
+        result = self.fresh_result()
+        source = "fn main(): int { return 1; }"
+        request = {"source": source, "expect": "ok"}
+        cache = {}
+        from repro.serve.chaos import _baseline
+
+        expected = _baseline(source, cache)
+        response = dict(expected)
+        response["mode"] = "degraded"
+        response["degraded_reason"] = "breaker-open"
+        _verify_response(result, 0, request, response, cache)
+        assert not result.violations
+        assert result.degraded == 1
+        assert result.breaker_open_served == 1
+
+    def test_flags_degraded_that_lost_checks(self):
+        result = self.fresh_result()
+        source = "fn main(): int { let a: int[] = new int[3]; return a[1]; }"
+        request = {"source": source, "expect": "ok"}
+        cache = {}
+        from repro.serve.chaos import _baseline
+
+        expected = _baseline(source, cache)
+        response = dict(expected)
+        response["mode"] = "degraded"
+        response["checks"] = {"total": 0, "lower": 0, "upper": 0, "speculative": 0}
+        _verify_response(result, 0, request, response, cache)
+        assert any("lost checks" in violation for violation in result.violations)
+
+    def test_lost_requests_fail_the_storm(self):
+        result = StormResult(requests=10, seed=0, fault_rate=0.0)
+        result.responses = 9
+        assert result.lost == 1
+        assert not result.passed
