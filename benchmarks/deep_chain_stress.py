@@ -1,0 +1,69 @@
+#!/usr/bin/env python
+"""Deep-chain stress: the solver must not lean on the interpreter stack.
+
+Compiles and certifies the committed depth-10,000 fuzz reproducer with
+``sys.setrecursionlimit(1000)`` pinned *below* the chain depth.  Every
+depth-proportional layer — the solver's frame machine, witness
+construction, witness serialization, and the independent checker's
+replay — runs under the pinned limit, so any reintroduced recursion over
+the proof structure fails here immediately with a ``RecursionError``.
+
+Exit status: 0 when the program optimizes and certifies cleanly under
+the pinned limit, 1 otherwise.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import sys
+import time
+
+REPRODUCER = (
+    pathlib.Path(__file__).resolve().parent.parent
+    / "tests"
+    / "fuzz_corpus"
+    / "crash-recursionerror-core.solver._prove.mj"
+)
+
+PINNED_LIMIT = 1000
+
+
+def main() -> int:
+    from repro.core.abcd import ABCDConfig
+    from repro.fuzz.triage import read_reproducer
+    from repro.pipeline import abcd, compile_source
+
+    _, source = read_reproducer(REPRODUCER)
+    program = compile_source(source)
+
+    sys.setrecursionlimit(PINNED_LIMIT)
+    try:
+        started = time.monotonic()
+        report = abcd(program, config=ABCDConfig(certify=True))
+        elapsed = time.monotonic() - started
+    finally:
+        sys.setrecursionlimit(10_000)
+
+    eliminated = report.eliminated_count()
+    accepted = report.certificates_accepted
+    rejected = report.certificates_rejected
+    revoked = report.revoked_count
+    print(
+        f"deep-chain stress: recursionlimit {PINNED_LIMIT}, "
+        f"{report.analyzed} checks analyzed, {eliminated} eliminated, "
+        f"{accepted} certificates accepted, {rejected} rejected, "
+        f"{revoked} revoked in {elapsed:.1f}s"
+    )
+    if eliminated == 0:
+        print("deep-chain stress: no eliminations — chain program "
+              "no longer exercises the solver", file=sys.stderr)
+        return 1
+    if rejected or revoked or accepted != report.certificates_emitted:
+        print("deep-chain stress: certificate pipeline degraded under "
+              "the pinned recursion limit", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -81,6 +81,9 @@ class _Replay:
         #: vertex -> (telescoped budget, φ count on the path when pushed).
         self._active: Dict[Node, Tuple[int, int]] = {}
         self._phi_count = 0
+        #: Cycle closures validated but not yet resolved by their closing
+        #: frame's exit (see :meth:`check`).
+        self._cycle_log: list = []
 
     # ------------------------------------------------------------------
 
@@ -88,22 +91,77 @@ class _Replay:
         raise CertificateRejected(message)
 
     def check(self, vertex: Node, budget: int, witness: Witness) -> None:
-        if witness.vertex != vertex:
-            self._reject(
-                f"witness proves {witness.vertex}, obligation is {vertex}"
-            )
-        if isinstance(witness, AxiomWitness):
-            self._axiom(vertex, budget, witness)
-        elif isinstance(witness, CycleWitness):
-            self._cycle(vertex, budget)
-        elif isinstance(witness, AssumeWitness):
-            self._assumption(vertex, budget, witness)
-        elif isinstance(witness, EdgeWitness):
-            self._edge(vertex, budget, witness)
-        elif isinstance(witness, PhiWitness):
-            self._phi(vertex, budget, witness)
-        else:
-            self._reject(f"unknown witness node {type(witness).__name__}")
+        """Replay the witness tree with an explicit work stack.
+
+        The replay is iterative for the same reason the solver is: a
+        deep-chain certificate is as deep as the program's π/copy chain,
+        and must verify under a pinned interpreter recursion limit.  The
+        stack holds ``("check", vertex, budget, witness)`` obligations
+        and ``("exit", ...)`` markers that undo the active-set/φ-counter
+        bookkeeping once a subtree is discharged — exactly the scopes the
+        recursive formulation kept in ``try/finally`` blocks.
+
+        The solver memoizes, so a witness is a DAG: both branches of a φ
+        routinely share their tail sub-witness.  Walking it as a tree is
+        exponential in φ depth, so the replay keeps a cache of
+        *self-contained* subtrees it has already verified: a subtree
+        whose cycle leaves all close within itself replays identically
+        under any root budget at least as large as the verified one (all
+        leaf conditions are monotone in the budget — the same fact that
+        makes the solver's memo subsumption certifiable).  Containment is
+        computed by the replay itself from the cycle leaves it validated
+        (``self._cycle_log``), never trusted from the producer's witness
+        objects.
+        """
+        stack: list = [("check", vertex, budget, witness)]
+        #: id(witness) -> smallest budget this self-contained subtree
+        #: verified at.  Keyed by identity: the cache exists precisely
+        #: because the producer aliases subtrees.
+        verified: Dict[int, int] = {}
+        self._cycle_log: list = []
+        while stack:
+            action = stack.pop()
+            if action[0] == "exit":
+                _, exit_vertex, pushed, was_phi, sub, sub_budget, base = action
+                if was_phi:
+                    self._phi_count -= 1
+                if pushed:
+                    del self._active[exit_vertex]
+                escaped = self._cycle_log[base:]
+                if escaped:
+                    if pushed:
+                        # Cycles closing on this vertex resolve here; a
+                        # repeated descent (pushed=False) validated them
+                        # against an *outer* entry, so they keep escaping.
+                        escaped = [u for u in escaped if u != exit_vertex]
+                    del self._cycle_log[base:]
+                    self._cycle_log.extend(escaped)
+                if not escaped:
+                    prior = verified.get(id(sub))
+                    if prior is None or sub_budget < prior:
+                        verified[id(sub)] = sub_budget
+                continue
+            _, vertex, budget, witness = action
+            prior = verified.get(id(witness))
+            if prior is not None and budget >= prior:
+                continue
+            if witness.vertex != vertex:
+                self._reject(
+                    f"witness proves {witness.vertex}, obligation is {vertex}"
+                )
+            if isinstance(witness, AxiomWitness):
+                self._axiom(vertex, budget, witness)
+            elif isinstance(witness, CycleWitness):
+                self._cycle(vertex, budget)
+                self._cycle_log.append(vertex)
+            elif isinstance(witness, AssumeWitness):
+                self._assumption(vertex, budget, witness)
+            elif isinstance(witness, EdgeWitness):
+                self._edge(vertex, budget, witness, stack)
+            elif isinstance(witness, PhiWitness):
+                self._phi(vertex, budget, witness, stack)
+            else:
+                self._reject(f"unknown witness node {type(witness).__name__}")
 
     # ------------------------------------------------------------------
     # Leaves.
@@ -230,7 +288,9 @@ class _Replay:
     # Interior nodes.
     # ------------------------------------------------------------------
 
-    def _edge(self, vertex: Node, budget: int, witness: EdgeWitness) -> None:
+    def _edge(
+        self, vertex: Node, budget: int, witness: EdgeWitness, stack: list
+    ) -> None:
         if self._graph.is_phi(vertex):
             self._reject(
                 f"single-edge witness at φ vertex {vertex} (all in-edges "
@@ -242,13 +302,16 @@ class _Replay:
                 f"<= {witness.weight}"
             )
         pushed = self._push(vertex, budget)
-        try:
-            self.check(witness.source, budget - witness.weight, witness.sub)
-        finally:
-            if pushed:
-                del self._active[vertex]
+        stack.append(
+            ("exit", vertex, pushed, False, witness, budget, len(self._cycle_log))
+        )
+        stack.append(
+            ("check", witness.source, budget - witness.weight, witness.sub)
+        )
 
-    def _phi(self, vertex: Node, budget: int, witness: PhiWitness) -> None:
+    def _phi(
+        self, vertex: Node, budget: int, witness: PhiWitness, stack: list
+    ) -> None:
         if not self._graph.is_phi(vertex):
             self._reject(f"φ witness at non-φ vertex {vertex}")
         claimed = {
@@ -278,13 +341,11 @@ class _Replay:
                 )
         pushed = self._push(vertex, budget)
         self._phi_count += 1
-        try:
-            for source, weight, sub in witness.branches:
-                self.check(source, budget - weight, sub)
-        finally:
-            self._phi_count -= 1
-            if pushed:
-                del self._active[vertex]
+        stack.append(
+            ("exit", vertex, pushed, True, witness, budget, len(self._cycle_log))
+        )
+        for source, weight, sub in reversed(witness.branches):
+            stack.append(("check", source, budget - weight, sub))
 
     # ------------------------------------------------------------------
     # Plumbing.

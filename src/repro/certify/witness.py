@@ -133,40 +133,61 @@ def _node_json(node: Node) -> Dict[str, object]:
 
 
 def witness_to_json(witness: Optional[Witness]) -> Optional[Dict[str, object]]:
-    """Recursive JSON form of a witness (``None`` passes through)."""
+    """JSON form of a witness (``None`` passes through).
+
+    Iterative: a deep-chain certificate nests as deep as the program's
+    π/copy chain, and serialization must not depend on the interpreter
+    recursion limit any more than the solver or the checker do.  The
+    work stack carries ``(witness, container, key)`` triples; each
+    converted node is written into its parent's slot, with sub-witnesses
+    scheduled for later passes.
+    """
     if witness is None:
         return None
-    if isinstance(witness, AxiomWitness):
-        return {"node": "axiom", "vertex": _node_json(witness.vertex),
-                "rule": witness.rule}
-    if isinstance(witness, CycleWitness):
-        return {"node": "cycle", "vertex": _node_json(witness.vertex)}
-    if isinstance(witness, AssumeWitness):
-        return {
-            "node": "assume",
-            "vertex": _node_json(witness.vertex),
-            "phi_block": witness.phi_block,
-            "pred": witness.pred,
-            "offset": witness.offset,
-        }
-    if isinstance(witness, EdgeWitness):
-        return {
-            "node": "edge",
-            "vertex": _node_json(witness.vertex),
-            "source": _node_json(witness.source),
-            "weight": witness.weight,
-            "sub": witness_to_json(witness.sub),
-        }
-    assert isinstance(witness, PhiWitness)
-    return {
-        "node": "phi",
-        "vertex": _node_json(witness.vertex),
-        "branches": [
-            {
-                "source": _node_json(source),
-                "weight": weight,
-                "sub": witness_to_json(sub),
+    holder: Dict[str, object] = {"root": None}
+    stack = [(witness, holder, "root")]
+    while stack:
+        w, container, key = stack.pop()
+        if isinstance(w, AxiomWitness):
+            converted: Dict[str, object] = {
+                "node": "axiom",
+                "vertex": _node_json(w.vertex),
+                "rule": w.rule,
             }
-            for source, weight, sub in witness.branches
-        ],
-    }
+        elif isinstance(w, CycleWitness):
+            converted = {"node": "cycle", "vertex": _node_json(w.vertex)}
+        elif isinstance(w, AssumeWitness):
+            converted = {
+                "node": "assume",
+                "vertex": _node_json(w.vertex),
+                "phi_block": w.phi_block,
+                "pred": w.pred,
+                "offset": w.offset,
+            }
+        elif isinstance(w, EdgeWitness):
+            converted = {
+                "node": "edge",
+                "vertex": _node_json(w.vertex),
+                "source": _node_json(w.source),
+                "weight": w.weight,
+                "sub": None,
+            }
+            stack.append((w.sub, converted, "sub"))
+        else:
+            assert isinstance(w, PhiWitness)
+            branches: list = []
+            converted = {
+                "node": "phi",
+                "vertex": _node_json(w.vertex),
+                "branches": branches,
+            }
+            for source, weight, sub in w.branches:
+                entry: Dict[str, object] = {
+                    "source": _node_json(source),
+                    "weight": weight,
+                    "sub": None,
+                }
+                branches.append(entry)
+                stack.append((sub, entry, "sub"))
+        container[key] = converted
+    return holder["root"]

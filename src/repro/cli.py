@@ -414,7 +414,9 @@ def cmd_fuzz(args) -> int:
         fuel=args.fuel,
         deadline=args.deadline_per_program,
     )
-    generator_config = GeneratorConfig()
+    generator_config = GeneratorConfig(
+        profile=args.profile, chain_depth=args.chain_depth
+    )
 
     def progress(seed: int, classification: str) -> None:
         if args.quiet:
@@ -664,6 +666,15 @@ def build_parser() -> argparse.ArgumentParser:
     fuzz_parser.add_argument(
         "--json", action="store_true",
         help="emit the deterministic campaign payload as JSON",
+    )
+    fuzz_parser.add_argument(
+        "--profile", choices=("default", "deep-chain"), default="default",
+        help="program shape: ABCD-biased random mix, or straight-line "
+        "π/copy chains and φ-ladders stressing solver depth",
+    )
+    fuzz_parser.add_argument(
+        "--chain-depth", type=int, default=2000, metavar="N",
+        help="value-chain length for --profile deep-chain",
     )
     fuzz_parser.add_argument(
         "--quiet", action="store_true", help="suppress the stderr ticker"

@@ -301,12 +301,22 @@ def analyze_checks(
     program: Program,
     config: Optional[ABCDConfig] = None,
     analysis=None,
+    stats=None,
 ) -> AbcdState:
     """Run the demand-driven proofs over one e-SSA function.
 
     Pure analysis: the function is not mutated.  ``analysis`` (an
     :class:`~repro.passes.analysis.AnalysisManager`) serves GVN and
-    dominance results from the session cache.
+    dominance results from the session cache.  ``stats`` (a
+    :class:`~repro.passes.manager.SessionStats`) receives solver
+    telemetry counters when provided.
+
+    In plain mode all of the function's queries — both directions —
+    share one proof session over the unified dual graph, so memo
+    entries earned by one check site (keyed by direction and source
+    vertex) answer later sites for free.  Certify mode keeps per-site
+    sessions: witness bytes must not depend on which sites happened to
+    run earlier.
     """
     config = config or ABCDConfig()
     if fn.ssa_form != "essa":
@@ -333,6 +343,11 @@ def analyze_checks(
     )
     state = AbcdState(bundle=bundle, gvn=gvn)
 
+    shared = None
+    if not config.certify and bundle.dual is not None:
+        shared = _new_prover(config, bundle.dual)
+    session_provers = []
+
     for site in _check_sites(fn):
         if site.kind == "upper" and not config.upper:
             continue
@@ -346,8 +361,12 @@ def analyze_checks(
         target = site.target
 
         started = time.perf_counter()
-        prover = _new_prover(config, graph)
-        outcome = prover.demand_prove(source, target, budget)
+        if shared is not None:
+            outcome = shared.demand_prove(source, target, budget, direction=site.kind)
+        else:
+            prover = _new_prover(config, graph)
+            session_provers.append(prover)
+            outcome = prover.demand_prove(source, target, budget)
         record = CheckAnalysis(
             check_id=check_id,
             kind=site.kind,
@@ -364,7 +383,7 @@ def analyze_checks(
             record.cert_source = source
 
         if not outcome.proven and site.kind == "upper" and gvn is not None:
-            retry = _gvn_retry(bundle, gvn, site, budget, config)
+            retry = _gvn_retry(bundle, gvn, site, budget, config, shared=shared)
             if retry is not None:
                 other, gvn_outcome = retry
                 record.result = ProofResult.TRUE
@@ -383,7 +402,32 @@ def analyze_checks(
             state.pre_candidates.append((site, record))
         record.seconds = time.perf_counter() - started
         state.analyses.append(record)
+
+    if stats is not None:
+        _collect_solver_stats(stats, [shared] if shared is not None else session_provers)
     return state
+
+
+def _collect_solver_stats(stats, provers) -> None:
+    """Fold proof-session telemetry into the pass-manager counters.
+
+    ``getattr`` defaults keep this safe against fault-injected prover
+    doubles that expose only ``steps``/``budget_exhausted``.
+    """
+    frames = 0
+    frontier = 0
+    by_direction = {"upper": 0, "lower": 0}
+    for prover in provers:
+        frames += getattr(prover, "frames_pushed", 0)
+        frontier = max(frontier, getattr(prover, "frontier_peak", 0))
+        directed = getattr(prover, "steps_by_direction", None)
+        if directed:
+            for direction, count in directed.items():
+                by_direction[direction] = by_direction.get(direction, 0) + count
+    stats.bump("solver.frames_pushed", frames)
+    stats.bump_peak("solver.frontier_peak", frontier)
+    for direction, count in by_direction.items():
+        stats.bump(f"solver.steps.{direction}", count)
 
 
 def apply_pre(
@@ -596,12 +640,15 @@ def _gvn_retry(
     site: _CheckSite,
     budget: int,
     config: ABCDConfig,
+    shared=None,
 ):
     """Section 7.1 (restricted form): on failure against ``len(A)``, retry
     against the lengths of arrays value-congruent to ``A``.
 
     Returns ``(other_array, outcome)`` for the first congruent array whose
-    proof succeeds, else ``None``.
+    proof succeeds, else ``None``.  ``shared`` reuses the function's
+    dual-direction proof session (plain mode); certify mode derives each
+    retry witness in a fresh session.
     """
     assert site.array is not None
     congruent = gvn.class_members(site.array)
@@ -609,8 +656,13 @@ def _gvn_retry(
     for other in sorted(congruent):
         if other == site.array or other not in bundle.array_vars:
             continue
-        prover = _new_prover(config, bundle.upper)
-        outcome = prover.demand_prove(len_node(other), target, budget)
+        if shared is not None:
+            outcome = shared.demand_prove(
+                len_node(other), target, budget, direction="upper"
+            )
+        else:
+            prover = _new_prover(config, bundle.upper)
+            outcome = prover.demand_prove(len_node(other), target, budget)
         if outcome.proven:
             return other, outcome
     return None

@@ -47,9 +47,9 @@ same discipline:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Set
+from typing import Dict, List, Optional, Set
 
-from repro.core.graph import InequalityGraph, Node, const_node, len_node, var_node
+from repro.core.graph import DualGraph, Node, const_node, len_node, var_node
 from repro.ir.function import Function
 from repro.ir.instructions import (
     ArrayLen,
@@ -69,12 +69,21 @@ from repro.ir.instructions import (
 
 @dataclass
 class GraphBundle:
-    """The two dual constraint systems of one function."""
+    """The dual constraint system of one function.
 
-    upper: InequalityGraph
-    lower: InequalityGraph
+    ``dual`` is the single direction-weighted graph both problems share;
+    ``upper``/``lower`` are its :class:`~repro.core.graph.DirectionView`
+    halves, kept for every consumer that works one direction at a time
+    (PRE, the exhaustive oracle, baselines, tests).
+    """
+
+    upper: object
+    lower: object
     #: Variables known to hold array references (for GVN consultation).
     array_vars: Set[str]
+    #: The unified graph behind the two views (``None`` only for
+    #: hand-assembled bundles built from two standalone graphs).
+    dual: Optional[DualGraph] = None
 
 
 def build_graphs(
@@ -241,8 +250,12 @@ class _GraphBuilder:
         #: half — C4/C5 predicate edges are dropped, degrading e-SSA to
         #: plain SSA value flow.
         self._pi_constraints = pi_constraints
-        self.upper = InequalityGraph("upper")
-        self.lower = InequalityGraph("lower")
+        #: The single direction-weighted constraint graph; ``upper`` and
+        #: ``lower`` are its views (one statement's Table-1 contribution
+        #: to both systems lands in one ``dual.add_edge`` call).
+        self.dual = DualGraph()
+        self.upper = self.dual.view("upper")
+        self.lower = self.dual.view("lower")
         self.array_vars: Set[str] = set()
 
     def build(self) -> GraphBundle:
@@ -253,8 +266,8 @@ class _GraphBuilder:
         # Axiom: every array length is non-negative.  Lower-space edge
         # 0 -> len(A) / 0 encodes len(A) >= 0.
         for array in sorted(self.array_vars):
-            self.lower.add_edge(const_node(0), len_node(array), 0, None)
-        return GraphBundle(self.upper, self.lower, self.array_vars)
+            self.dual.add_edge(const_node(0), len_node(array), lower=0)
+        return GraphBundle(self.upper, self.lower, self.array_vars, dual=self.dual)
 
     # ------------------------------------------------------------------
     # Per-instruction rules.
@@ -266,8 +279,7 @@ class _GraphBuilder:
             # (lower), each the direction that lets proofs flow from the
             # index variable toward the length literal.
             dest = var_node(instr.dest)
-            self.upper.add_edge(len_node(instr.array), dest, 0, block)
-            self.lower.add_edge(len_node(instr.array), dest, 0, block)
+            self.dual.add_edge(len_node(instr.array), dest, upper=0, lower=0, block=block)
         elif isinstance(instr, Copy):
             if instr.dest in self.array_vars:
                 if isinstance(instr.src, Var):
@@ -277,8 +289,7 @@ class _GraphBuilder:
             # per graph.
             dest = var_node(instr.dest)
             source = _operand_node(instr.src)
-            self.upper.add_edge(source, dest, 0, block)
-            self.lower.add_edge(source, dest, 0, block)
+            self.dual.add_edge(source, dest, upper=0, lower=0, block=block)
         elif isinstance(instr, BinOp):
             self._binop(instr, block)
         elif isinstance(instr, Phi):
@@ -291,8 +302,7 @@ class _GraphBuilder:
     def _alias_lengths(self, dest: str, src: str, block: str) -> None:
         """``dest := src`` for arrays: ``len(dest) == len(src)``; single
         direction per graph (dest's length bounded by src's)."""
-        self.upper.add_edge(len_node(src), len_node(dest), 0, block)
-        self.lower.add_edge(len_node(src), len_node(dest), 0, block)
+        self.dual.add_edge(len_node(src), len_node(dest), upper=0, lower=0, block=block)
 
     def _allocation(self, instr: ArrayNew, block: str) -> None:
         """``a := newarray n``: encode ``n <= len(a)`` (upper) and
@@ -303,9 +313,14 @@ class _GraphBuilder:
         (it carries no information beyond the axiom anyway).
         """
         length = _operand_node(instr.length)
-        self.upper.add_edge(len_node(instr.dest), length, 0, block)
-        if not (isinstance(instr.length, Const) and instr.length.value == 0):
-            self.lower.add_edge(len_node(instr.dest), length, 0, block)
+        skip_lower = isinstance(instr.length, Const) and instr.length.value == 0
+        self.dual.add_edge(
+            len_node(instr.dest),
+            length,
+            upper=0,
+            lower=None if skip_lower else 0,
+            block=block,
+        )
 
     def _binop(self, instr: BinOp, block: str) -> None:
         """C3: ``v := y ± c``.  Any other arithmetic leaves ``v``

@@ -44,7 +44,7 @@ from repro.certify.witness import (
 from repro.core.constraints import GraphBundle
 from repro.core.graph import InequalityGraph, Node, const_node, len_node, var_node
 from repro.core.lattice import ProofResult
-from repro.core.solver import DEFAULT_MAX_STEPS, _Memo
+from repro.core.solver import DEFAULT_MAX_STEPS, DemandProver, _Frame, _Memo
 from repro.ir.function import Function, Program
 from repro.ir.instructions import (
     BinOp,
@@ -97,12 +97,17 @@ class PREDecision:
     witness: Optional[Witness] = None
 
 
-class PREProver:
-    """Figure-5 traversal extended with insertion-set collection.
+class PREProver(DemandProver):
+    """The iterative frame machine extended with insertion-set collection.
 
-    Plain (insertion-free) results are memoized with budget subsumption;
-    insertion-carrying results are recomputed — inequality graphs are small
-    and PRE runs only for checks that already failed the cheap prover.
+    Inherits :class:`~repro.core.solver.DemandProver`'s explicit-stack
+    traversal — budgets, memo subsumption, active-set cycle rule — and
+    overrides only the *value hooks*: the values threaded through the
+    machine are :class:`PREValue` objects whose insertion sets accumulate
+    as frames pop.  Plain (insertion-free) results are memoized with
+    budget subsumption; insertion-carrying results are recomputed —
+    inequality graphs are small and PRE runs only for checks that already
+    failed the cheap prover.
     """
 
     def __init__(
@@ -114,15 +119,10 @@ class PREProver:
         max_steps: int = DEFAULT_MAX_STEPS,
         witnesses: bool = False,
     ) -> None:
-        self._graph = graph
+        super().__init__(graph, max_steps=max_steps, witnesses=witnesses)
         self._fn = fn
         self._profile = profile
         self._kind = kind
-        self._max_steps = max_steps
-        self._witnesses = witnesses
-        self._memo: Dict[Node, _Memo] = {}
-        self._active: Dict[Node, int] = {}
-        self.steps = 0
         # Map a φ destination variable to (pred label -> incoming operand).
         self._phi_incomings: Dict[str, Dict[str, Operand]] = {}
         self._phi_blocks: Dict[str, str] = {}
@@ -132,85 +132,65 @@ class PREProver:
                 self._phi_blocks[phi.dest] = label
 
     def prove(self, source: Node, target: Node, budget: int) -> PREValue:
-        return self._prove(source, target, budget)
+        direction = self._resolve_direction(None)
+        self._begin_query()
+        return self._run_query(source, target, budget, direction)
 
+    # ------------------------------------------------------------------
+    # Value hooks: PREValue instead of (result, witness) pairs.
     # ------------------------------------------------------------------
 
     def _axiom(self, v: Node, rule: str) -> Optional[Witness]:
         return AxiomWitness(v, rule) if self._witnesses else None
 
-    def _prove(self, a: Node, v: Node, c: int) -> PREValue:
-        self.steps += 1
-        if self.steps > self._max_steps:
-            # Conservative bail-out: the check simply stays partially
-            # redundant (same fail-safe contract as the main solver).
-            return PREValue(ProofResult.FALSE)
+    def _false_value(self) -> PREValue:
+        return PREValue(ProofResult.FALSE)
 
-        memo = self._memo.get(v)
-        if memo is not None:
-            cached = memo.lookup(c)
-            if cached is not None:
-                stored = memo.witness_for(cached)
-                if not self._witnesses or not cached.proven or stored is not None:
-                    return PREValue(cached, witness=stored)
-                # Witness mode, proven, but the stored witness was open:
-                # re-derive in the current context (see DemandProver).
+    def _memo_hit(self, cached: ProofResult, stored: Optional[Witness]) -> PREValue:
+        return PREValue(cached, witness=stored)
 
-        if v == a and c >= 0:
-            return PREValue(ProofResult.TRUE, witness=self._axiom(v, "source"))
-        if v.kind == "const" and a.kind == "const":
-            difference = self._graph.const_value(v) - self._graph.const_value(a)
-            if difference <= c:
-                return PREValue(
-                    ProofResult.TRUE, witness=self._axiom(v, "const-const")
-                )
-            return PREValue(ProofResult.FALSE)
-        if (
-            v.kind == "const"
-            and a.kind == "len"
-            and self._graph.direction == "upper"
-            and v.value <= c
-        ):
-            # Array lengths are non-negative: const(k) <= len(A) + k.
-            return PREValue(ProofResult.TRUE, witness=self._axiom(v, "len-nonneg"))
+    def _axiom_value(self, v: Node, rule: str) -> PREValue:
+        return PREValue(ProofResult.TRUE, witness=self._axiom(v, rule))
 
-        in_edges = self._graph.in_edges(v)
-        if not in_edges:
-            return PREValue(ProofResult.FALSE)
+    def _cycle_value(self, v: Node) -> PREValue:
+        return PREValue(
+            ProofResult.REDUCED,
+            witness=CycleWitness(v) if self._witnesses else None,
+        )
 
-        active_budget = self._active.get(v)
-        if active_budget is not None:
-            if c < active_budget:
-                return PREValue(ProofResult.FALSE)
-            return PREValue(
-                ProofResult.REDUCED,
-                witness=CycleWitness(v) if self._witnesses else None,
-            )
+    def _cycle_false_value(self, v: Node) -> PREValue:
+        return PREValue(ProofResult.FALSE)
 
-        self._active[v] = c
-        if self._graph.is_phi(v):
-            value = self._merge_phi(a, v, c, in_edges)
-        else:
-            value = self._merge_min(a, v, c, in_edges)
-        del self._active[v]
-
-        if not value.insertions:
-            self._memo.setdefault(v, _Memo()).record(c, value.result, value.witness)
+    def _seal_value(self, frame: _Frame, value: PREValue) -> PREValue:
+        # PRE sessions serve exactly one query (one per attempt), so the
+        # base machine's open-set bookkeeping for cross-query memo safety
+        # does not apply; values pass through untouched.
         return value
 
-    def _merge_phi(self, a: Node, v: Node, c: int, in_edges) -> PREValue:
-        """Max vertex: all arguments must prove; failing arguments become
-        insertion candidates when at least one argument proves and the φ
-        is an insertable program φ (a scalar variable merge)."""
-        child_values: List[Tuple[object, PREValue, int]] = []
-        for edge in in_edges:
-            child_budget = c - edge.weight
-            child_values.append(
-                (edge, self._prove(a, edge.source, child_budget), child_budget)
-            )
+    def _prepare_frame(self, frame: _Frame) -> None:
+        if frame.is_phi:
+            frame.children = []
+        else:
+            frame.best = None
 
-        proven = [(e, val) for e, val, _ in child_values if val.proven]
-        failing = [(e, b) for e, val, b in child_values if not val.proven]
+    # Max vertex: all arguments must prove; failing arguments become
+    # insertion candidates.  No short-circuit on False — every child is
+    # queried so the failing ones can be collected "during the
+    # backtracking into the insertion set".
+
+    def _phi_absorb(self, frame: _Frame, value: PREValue) -> Optional[PREValue]:
+        edge = frame.pending
+        frame.children.append((edge, value, frame.c - edge.weight))
+        return None
+
+    def _phi_finish(self, frame: _Frame) -> PREValue:
+        """Merge a fully queried φ: all-proven folds like the plain
+        solver; a proven/failing mix turns the failing in-edges into
+        insertion candidates when the φ is an insertable program φ (a
+        scalar variable merge)."""
+        v = frame.v
+        proven = [(e, val) for e, val, _ in frame.children if val.proven]
+        failing = [(e, b) for e, val, b in frame.children if not val.proven]
         if not failing:
             result = ProofResult.TRUE
             insertions: Tuple[InsertionPoint, ...] = ()
@@ -280,32 +260,40 @@ class PREProver:
             return None
         return EdgeWitness(v, edge.source, edge.weight, sub)
 
-    def _merge_min(self, a: Node, v: Node, c: int, in_edges) -> PREValue:
-        """Min vertex: any constraint suffices; among proven alternatives
-        prefer no insertions, then the cheapest insertion set (paper: "at a
-        min vertex, ABCD selects the set that has the lower execution
-        frequency")."""
-        best: Optional[Tuple[object, PREValue]] = None
-        for edge in in_edges:
-            value = self._prove(a, edge.source, c - edge.weight)
-            if not value.proven:
-                continue
-            if not value.insertions:
-                return PREValue(
-                    value.result,
-                    witness=self._edge_witness(v, edge, value.witness),
-                )
-            if best is None or self.insertion_cost(value.insertions) < self.insertion_cost(
-                best[1].insertions
-            ):
-                best = (edge, value)
-        if best is None:
+    # Min vertex: any constraint suffices; among proven alternatives
+    # prefer no insertions (short-circuit), then the cheapest insertion
+    # set (paper: "at a min vertex, ABCD selects the set that has the
+    # lower execution frequency").
+
+    def _min_absorb(self, frame: _Frame, value: PREValue) -> Optional[PREValue]:
+        if not value.proven:
+            return None
+        if not value.insertions:
+            return PREValue(
+                value.result,
+                witness=self._edge_witness(frame.v, frame.pending, value.witness),
+            )
+        if frame.best is None or self.insertion_cost(
+            value.insertions
+        ) < self.insertion_cost(frame.best[1].insertions):
+            frame.best = (frame.pending, value)
+        return None
+
+    def _min_finish(self, frame: _Frame) -> PREValue:
+        if frame.best is None:
             return PREValue(ProofResult.FALSE)
-        edge, value = best
+        edge, value = frame.best
         return PREValue(
             value.result,
             value.insertions,
-            self._edge_witness(v, edge, value.witness),
+            self._edge_witness(frame.v, edge, value.witness),
+        )
+
+    def _record(self, frame: _Frame, value: PREValue) -> None:
+        if self._query_exhausted is not None or value.insertions:
+            return
+        self._memo.setdefault(frame.memo_key, _Memo()).record(
+            frame.c, value.result, value.witness
         )
 
     def insertion_cost(self, insertions: Tuple[InsertionPoint, ...]) -> int:

@@ -48,6 +48,14 @@ class GeneratorConfig:
     #: Probability that a generated index deliberately risks going one
     #: past the end (the oracle requires the trap to match on both sides).
     off_by_one_bias: float = 0.25
+    #: Program shape: ``"default"`` is the ABCD-biased random mix;
+    #: ``"deep-chain"`` emits straight-line π/copy chains and φ-ladders
+    #: ``chain_depth`` links long — the structural stress for the
+    #: iterative solver (a recursive solver hits the interpreter stack
+    #: long before the step budget on these).
+    profile: str = "default"
+    #: Length of the value chain in ``"deep-chain"`` profile programs.
+    chain_depth: int = 2000
 
 
 DEFAULT_CONFIG = GeneratorConfig()
@@ -404,6 +412,76 @@ class _Generator:
         return "\n".join(self.lines) + "\n"
 
 
+class _DeepChainGenerator:
+    """``--profile deep-chain``: one flat function whose inequality graph
+    is a single chain thousands of vertices long.
+
+    The chain is built from three link kinds, all at statement level (no
+    syntactic nesting, so the recursive-descent parser is untouched by
+    the depth):
+
+    * **copy** — ``let v_k = v_{k-1};`` a 0-weight copy edge;
+    * **φ rung** — an ``if`` whose branch reassigns the carrier through
+      an ``add 0``, merging at a φ vertex (the meet must prove both the
+      branch and the fall-through path);
+    * **π rung** — a branch on ``v_{k-1} < len(a)``, so the true arm
+      flows through a π vertex carrying the comparison's constraint.
+
+    The chain ends in a bounds-checked store, so both the upper and the
+    lower proof walk the full chain.  The value is constant 0 throughout
+    and the array is non-empty: the checks are *provable*, which makes
+    the emitted certificate as deep as the chain — exercising witness
+    construction, serialization, and the independent checker at depth,
+    not just the solver.
+    """
+
+    def __init__(self, seed: int, config: GeneratorConfig) -> None:
+        self.rng = random.Random(seed)
+        self.config = config
+
+    def generate(self) -> str:
+        rng = self.rng
+        size = rng.randrange(1, max(2, self.config.max_array_size + 1))
+        store_value = rng.randrange(0, 100)
+        lines: List[str] = [
+            "fn main(): int {",
+            f"  let a: int[] = new int[{size}];",
+            "  let m: int = 0;",
+            "  let v0: int = 0;",
+        ]
+        prev = "v0"
+        for k in range(1, self.config.chain_depth + 1):
+            roll = rng.random()
+            if roll < 0.6:
+                lines.append(f"  let v{k}: int = {prev};")
+            elif roll < 0.85:
+                # φ rung: branch and fall-through merge at a φ vertex.
+                lines.append(f"  m = {prev};")
+                lines.append(f"  if (m < len(a)) {{")
+                lines.append("    m = m + 0;")
+                lines.append("  }")
+                lines.append(f"  let v{k}: int = m;")
+            else:
+                # π rung: the true arm carries the comparison constraint.
+                lines.append(f"  if ({prev} < len(a)) {{")
+                lines.append(f"    m = {prev};")
+                lines.append("  } else {")
+                lines.append("    m = 0;")
+                lines.append("  }")
+                lines.append(f"  let v{k}: int = m;")
+            prev = f"v{k}"
+        lines += [
+            f"  a[{prev}] = {store_value};",
+            f"  return {prev} + a[{prev}] + len(a);",
+            "}",
+        ]
+        return "\n".join(lines) + "\n"
+
+
 def generate_source(seed: int, config: GeneratorConfig = DEFAULT_CONFIG) -> str:
     """One seed → one deterministic, well-typed MiniJ source text."""
+    if config.profile == "deep-chain":
+        return _DeepChainGenerator(seed, config).generate()
+    if config.profile != "default":
+        raise ValueError(f"unknown generator profile {config.profile!r}")
     return _Generator(seed, config).generate()

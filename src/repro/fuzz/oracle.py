@@ -64,8 +64,13 @@ DEFAULT_FUEL = 400_000
 DEFAULT_DEADLINE = 10.0
 
 
-class OracleTimeout(Exception):
-    """The per-program SIGALRM deadline fired."""
+class OracleTimeout(BaseException):
+    """The per-program SIGALRM deadline fired.
+
+    A ``BaseException`` so that containment layers under the deadline —
+    the pass guard's ``except Exception`` rollback in particular — cannot
+    swallow it: a rollback would otherwise disarm the wall clock and let
+    a stuck program run to completion as a spurious "match"."""
 
 
 @contextlib.contextmanager

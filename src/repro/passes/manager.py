@@ -140,6 +140,15 @@ class SessionStats:
         """Increment a free-form session counter."""
         self.counters[name] = self.counters.get(name, 0) + amount
 
+    def bump_peak(self, name: str, value: int) -> None:
+        """Record a high-water-mark counter (max, not sum).
+
+        Peak counters carry a ``_peak`` name suffix by convention so
+        :meth:`merge` folds them with max semantics too.
+        """
+        if value > self.counters.get(name, 0):
+            self.counters[name] = value
+
     def merge(self, other: "SessionStats") -> None:
         """Fold another session's counters into this one (used by the
         fuzz campaign, which runs one short-lived session per program but
@@ -157,7 +166,10 @@ class SessionStats:
         for name, value in other.certificates.items():
             self.certificates[name] = self.certificates.get(name, 0) + value
         for name, value in other.counters.items():
-            self.bump(name, value)
+            if name.endswith("_peak"):
+                self.bump_peak(name, value)
+            else:
+                self.bump(name, value)
 
     def count_certificates(self, verdicts: Sequence) -> None:
         """Fold one function's certificate verdicts into the session."""
@@ -223,6 +235,11 @@ class SessionStats:
                 f"{self.certificates['accepted']} accepted, "
                 f"{self.certificates['rejected']} rejected"
             )
+        if self.counters:
+            lines.append("")
+            lines.append(f"{'counter':<32}{'value':>12}")
+            for name, value in sorted(self.counters.items()):
+                lines.append(f"{name:<32}{value:>12}")
         if self.analysis is not None:
             lines.append("")
             lines.append(f"{'analysis cache':<24}{'hits':>6}{'misses':>9}{'seconds':>10}")

@@ -166,7 +166,7 @@ class AbcdAnalysisPass(Pass):
 
         config = ctx.config or ABCDConfig()
         state = abcd_module.analyze_checks(
-            fn, ctx.program, config, analysis=ctx.analysis
+            fn, ctx.program, config, analysis=ctx.analysis, stats=ctx.stats
         )
         ctx.state[("abcd", id(fn))] = state
         return None

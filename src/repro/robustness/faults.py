@@ -155,7 +155,7 @@ def _solver_always_true() -> contextlib.AbstractContextManager:
             self.steps = 0
             self.budget_exhausted = False
 
-        def demand_prove(self, source, target, budget):
+        def demand_prove(self, source, target, budget, direction=None):
             self.steps += 1
             return ProveOutcome(ProofResult.TRUE, self.steps)
 
@@ -224,8 +224,8 @@ def _corrupting_witnesses(mutator: Callable) -> contextlib.AbstractContextManage
 
     real = DemandProver.demand_prove
 
-    def wrapper(self, source, target, budget):
-        outcome = real(self, source, target, budget)
+    def wrapper(self, source, target, budget, direction=None):
+        outcome = real(self, source, target, budget, direction=direction)
         if outcome.witness is not None:
             outcome.witness = mutator(outcome.witness)
         return outcome

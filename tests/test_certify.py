@@ -196,6 +196,67 @@ class TestMemoSubsumption:
         check_witness(graph, A, m, -1, outcome.witness)
 
 
+class TestSharedSubtreeReplay:
+    """The checker's replay cache: memo-shared sub-witnesses (the witness
+    is a DAG) must verify once per budget class, not once per tree path —
+    and the cache must never launder a subtree into a context where it
+    does not hold."""
+
+    def test_phi_ladder_replays_in_linear_time(self):
+        # 60 φ rungs whose branches share their tail sub-witness: a
+        # tree-shaped replay would take 2^60 steps; completing at all
+        # proves the shared subtrees are cached.
+        graph = InequalityGraph("upper")
+        rungs = 60
+        x = [var_node(f"x{k}") for k in range(rungs + 1)]
+        graph.add_edge(A, x[0], -1)
+        for k in range(rungs):
+            left, right = var_node(f"l{k}"), var_node(f"r{k}")
+            graph.add_edge(x[k], left, 0)
+            graph.add_edge(x[k], right, 0)
+            graph.add_edge(left, x[k + 1], 0)
+            graph.add_edge(right, x[k + 1], 0)
+            graph.mark_phi(x[k + 1])
+        outcome = _prove_with_witness(graph, A, x[rungs], -1)
+        assert outcome.result.proven
+        check_witness(graph, A, x[rungs], -1, outcome.witness)
+
+    def test_shared_subtree_not_reused_at_smaller_budget(self):
+        # A φ references the same sub-witness twice, first at a budget
+        # where it holds, then — through a heavier in-edge — at one where
+        # it does not: the cached success must not blanket the second
+        # obligation.
+        graph = InequalityGraph("upper")
+        x, y = var_node("x"), var_node("y")
+        graph.add_edge(A, x, -1)
+        graph.add_edge(x, y, 0)
+        graph.add_edge(x, y, 5)
+        graph.mark_phi(y)
+        sub = EdgeWitness(x, A, -1, AxiomWitness(A, "source"))
+        forged = PhiWitness(y, ((x, 0, sub), (x, 5, sub)))
+        with pytest.raises(CertificateRejected, match="source axiom"):
+            check_witness(graph, A, y, -1, forged)
+
+    def test_cycle_escaping_subtree_not_cached(self):
+        # Branch 1 verifies a subtree whose cycle leaf closes on the φ
+        # *above* it; branch 2 presents the same subtree outside that
+        # φ's scope, where the cycle target is no longer active.  The
+        # cache must not carry the first success across.
+        graph = InequalityGraph("upper")
+        q, y, r = var_node("q"), var_node("y"), var_node("r")
+        graph.add_edge(y, q, 0)
+        graph.add_edge(q, y, 0)
+        graph.mark_phi(y)
+        graph.add_edge(y, r, 0)
+        graph.add_edge(q, r, 0)
+        graph.mark_phi(r)
+        escaping = EdgeWitness(q, y, 0, CycleWitness(y))
+        inner = PhiWitness(y, ((q, 0, escaping),))
+        forged = PhiWitness(r, ((y, 0, inner), (q, 0, escaping)))
+        with pytest.raises(CertificateRejected, match="not active"):
+            check_witness(graph, A, r, 0, forged)
+
+
 # ----------------------------------------------------------------------
 # The revocation ladder (driver-level, against real analysis state).
 # ----------------------------------------------------------------------

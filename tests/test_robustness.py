@@ -290,7 +290,7 @@ class TestDifferentialGate:
                 self.steps = 1
                 self.budget_exhausted = False
 
-            def demand_prove(self, source, target, budget):
+            def demand_prove(self, source, target, budget, direction=None):
                 return ProveOutcome(ProofResult.TRUE, self.steps)
 
         monkeypatch.setattr(abcd_module, "DemandProver", AlwaysTrue)
@@ -314,7 +314,7 @@ class TestDifferentialGate:
                 self.steps = 1
                 self.budget_exhausted = False
 
-            def demand_prove(self, source, target, budget):
+            def demand_prove(self, source, target, budget, direction=None):
                 return ProveOutcome(ProofResult.TRUE, self.steps)
 
         monkeypatch.setattr(abcd_module, "DemandProver", AlwaysTrue)

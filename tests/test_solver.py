@@ -287,3 +287,108 @@ class TestPaperFigure4:
         # only after the π; j1 itself is <= A.length (weakest argument
         # bound is j4 = j3+1 <= A.length - 1 + 1).
         assert demand_prove(g, length, var_node("j1"), 0).proven
+
+
+class TestDepthAccounting:
+    """``max_depth`` bounds explicit frames; ``depth_reached`` reports the
+    frame depth the query actually built (exact counts, not headroom
+    estimates — the recursive engine under-reported by its slack)."""
+
+    def _chain(self, length):
+        graph = InequalityGraph()
+        prev = A
+        for k in range(length):
+            node = var_node(f"v{k}")
+            graph.add_edge(prev, node, 0)
+            prev = node
+        return graph, prev
+
+    def test_depth_exhaustion_reports_frames_actually_built(self):
+        graph, target = self._chain(10)
+        prover = DemandProver(graph, max_depth=3)
+        outcome = prover.demand_prove(A, target, 0)
+        assert outcome.result is ProofResult.FALSE
+        assert outcome.budget_exhausted
+        assert outcome.exhausted_budget == "depth"
+        # Pushes succeed while len(stack) <= max_depth, so exactly
+        # max_depth + 1 frames existed when the bound refused the next one.
+        assert outcome.depth_reached == 4
+        assert prover.frames_pushed == 4
+        assert prover.frontier_peak == 4
+
+    def test_successful_chain_reports_peak_depth(self):
+        graph, target = self._chain(6)
+        prover = DemandProver(graph)
+        outcome = prover.demand_prove(A, target, 0)
+        assert outcome.proven
+        assert outcome.depth_reached == 6
+        assert prover.frames_pushed == 6
+        assert prover.frontier_peak == 6
+
+    def test_depth_budget_equal_to_chain_suffices(self):
+        graph, target = self._chain(6)
+        outcome = DemandProver(graph, max_depth=6).demand_prove(A, target, 0)
+        assert outcome.proven
+        assert not outcome.budget_exhausted
+        assert outcome.depth_reached == 6
+
+    def test_deep_chain_needs_no_interpreter_recursion(self):
+        import sys
+
+        graph, target = self._chain(5000)
+        limit = sys.getrecursionlimit()
+        sys.setrecursionlimit(1000)
+        try:
+            outcome = DemandProver(graph).demand_prove(A, target, 0)
+        finally:
+            sys.setrecursionlimit(limit)
+        assert outcome.proven
+        assert outcome.depth_reached == 5000
+
+
+class TestDualSession:
+    """One session over a DualGraph serves both directions with
+    direction-tagged memo entries."""
+
+    def _dual(self):
+        from repro.core.graph import DualGraph
+
+        dual = DualGraph()
+        dual.add_edge(A, var_node("x"), upper=-1)
+        dual.add_edge(const_node(0), var_node("x"), lower=0)
+        return dual
+
+    def test_serves_both_directions(self):
+        prover = DemandProver(self._dual())
+        upper = prover.demand_prove(A, var_node("x"), -1, direction="upper")
+        lower = prover.demand_prove(
+            const_node(0), var_node("x"), 0, direction="lower"
+        )
+        assert upper.proven and lower.proven
+        assert prover.steps_by_direction["upper"] > 0
+        assert prover.steps_by_direction["lower"] > 0
+
+    def test_dual_session_requires_explicit_direction(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            DemandProver(self._dual()).demand_prove(A, var_node("x"), -1)
+
+    def test_memo_is_direction_tagged(self):
+        # x is bounded by len(A) - 1 in upper space only; the lower query
+        # must not be answered by the upper memo entry.
+        dual = self._dual()
+        prover = DemandProver(dual)
+        assert prover.demand_prove(A, var_node("x"), -1, direction="upper").proven
+        missing = prover.demand_prove(A, var_node("x"), -1, direction="lower")
+        assert not missing.proven
+
+    def test_outcome_steps_are_per_query(self):
+        prover = DemandProver(self._dual())
+        first = prover.demand_prove(A, var_node("x"), -1, direction="upper")
+        second = prover.demand_prove(A, var_node("x"), -1, direction="upper")
+        assert first.steps >= 1
+        # The repeat is answered from the memo in a single step, and the
+        # outcome reports the per-query delta, not the session total.
+        assert second.steps == 1
+        assert prover.steps == first.steps + second.steps
