@@ -1,0 +1,72 @@
+"""Store economics: a warm cache load versus a cold certified compile.
+
+The store's value proposition is that replaying stored certificates is
+cheaper than re-running the optimizer, *without* giving up the "no load
+without a passing re-check" guarantee.  These benchmarks put a number on
+both sides of that trade: the cold path (parse + optimize + certify +
+store) and the warm path (load + envelope checks + certificate replay).
+"""
+
+from __future__ import annotations
+
+from repro.core.abcd import ABCDConfig
+from repro.ir.printer import format_program
+from repro.store import CertStore, cached_optimize_source
+
+SRC = """
+fn sum(a: int[], n: int): int {
+  let s: int = 0;
+  for (let i: int = 0; i < n; i = i + 1) {
+    if (i < len(a)) {
+      s = s + a[i];
+    }
+  }
+  return s;
+}
+fn main(): int {
+  let a: int[] = new int[64];
+  for (let i: int = 0; i < len(a); i = i + 1) {
+    a[i] = i * 3;
+  }
+  let total: int = 0;
+  for (let round: int = 0; round < 8; round = round + 1) {
+    total = total + sum(a, len(a));
+  }
+  return total;
+}
+"""
+
+
+def test_cold_certified_compile(benchmark, tmp_path):
+    """The miss path: certified compile + atomic store write."""
+    counter = {"n": 0}
+
+    def cold():
+        # A fresh directory per round keeps every compile a true miss.
+        counter["n"] += 1
+        store = CertStore(str(tmp_path / f"cold-{counter['n']}"))
+        outcome = cached_optimize_source(store, SRC, ABCDConfig())
+        assert not outcome.hit
+        return outcome
+
+    outcome = benchmark(cold)
+    assert outcome.status == "miss-stored", outcome.unstored_reason
+
+
+def test_warm_cache_load(benchmark, tmp_path):
+    """The hit path: envelope checks + certificate replay, no optimizer."""
+    store = CertStore(str(tmp_path / "warm"))
+    seeded = cached_optimize_source(store, SRC, ABCDConfig())
+    assert seeded.status == "miss-stored", seeded.unstored_reason
+    expected = format_program(seeded.program)
+
+    def warm():
+        outcome = cached_optimize_source(store, SRC, ABCDConfig())
+        assert outcome.hit
+        return outcome
+
+    outcome = benchmark(warm)
+    # The guarantee the speed must not cost: byte-identical output and a
+    # replayed certificate behind every elimination.
+    assert format_program(outcome.program) == expected
+    assert store.invariant_violations() == 0

@@ -189,6 +189,62 @@ def _verdict(fn, site, reason: Optional[str]) -> CertVerdict:
 
 
 # ----------------------------------------------------------------------
+# Replay of stored eliminations (the persistent store's re-check hook).
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class _ReplaySite:
+    """The site fields ``_check_one``/``_query`` consume, minus the IR
+    instruction — a stored elimination carries them explicitly."""
+
+    kind: str
+    array: Optional[str]
+    target: Node
+
+
+@dataclass
+class _ReplayRecord:
+    cert_source: Optional[Node]
+    witness: object
+
+
+def fresh_bundle(fn, config):
+    """Public wrapper over the checker-side graph rebuild: inequality
+    graphs constructed from ``fn`` as it stands, sharing nothing with
+    whatever produced the elimination being replayed."""
+    return _fresh_bundle(fn, config)
+
+
+def replay_elimination(
+    fn,
+    bundle,
+    kind: str,
+    array: Optional[str],
+    target: Node,
+    witness,
+    cert_source: Optional[Node] = None,
+    assume: Optional[AssumeContext] = None,
+    gvn_cache: Optional[list] = None,
+) -> Optional[str]:
+    """Replay one *stored* elimination through the independent checker.
+
+    Exactly the validation ``certify_state`` applies to an in-memory
+    elimination, addressed by value instead of by live ``AbcdState``
+    objects: the caller supplies the check's kind/array/proof target and
+    the decoded witness, and gets back ``None`` (accepted) or the
+    rejection reason.  ``gvn_cache`` is a one-slot list shared across
+    calls on the same function so Section-7.1 congruence replays number
+    values once.
+    """
+    site = _ReplaySite(kind=kind, array=array, target=target)
+    record = _ReplayRecord(cert_source=cert_source, witness=witness)
+    if gvn_cache is None:
+        gvn_cache = [None]
+    return _check_one(fn, bundle, site, record, gvn_cache, assume)
+
+
+# ----------------------------------------------------------------------
 # The revocation ladder.
 # ----------------------------------------------------------------------
 

@@ -42,9 +42,9 @@ witnesses, which is what makes budget-subsumption reuse replayable.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Optional, Tuple, Union
+from typing import Dict, List, Optional, Tuple, Union
 
-from repro.core.graph import Node
+from repro.core.graph import Node, const_node
 
 _EMPTY: frozenset = frozenset()
 
@@ -191,3 +191,113 @@ def witness_to_json(witness: Optional[Witness]) -> Optional[Dict[str, object]]:
                 stack.append((sub, entry, "sub"))
         container[key] = converted
     return holder["root"]
+
+
+# ----------------------------------------------------------------------
+# Deserialization (zero-trust: the input is durable bytes that may have
+# been tampered with; every shape violation raises WitnessDecodeError
+# rather than producing a half-formed witness).
+# ----------------------------------------------------------------------
+
+
+class WitnessDecodeError(ValueError):
+    """The JSON does not encode a well-formed witness."""
+
+
+def _node_from_json(data: object) -> Node:
+    if not isinstance(data, dict):
+        raise WitnessDecodeError("node is not an object")
+    kind = data.get("kind")
+    if kind == "const":
+        value = data.get("value")
+        if type(value) is not int:
+            raise WitnessDecodeError("const node without integer value")
+        return const_node(value)
+    name = data.get("name")
+    if not isinstance(kind, str) or not isinstance(name, str):
+        raise WitnessDecodeError("node without string kind/name")
+    return Node(kind, name=name)
+
+
+def witness_from_json(data: Optional[Dict[str, object]]) -> Optional[Witness]:
+    """Rebuild a witness from its :func:`witness_to_json` form.
+
+    Iterative like the encoder (deep π/copy chains must not hit the
+    recursion limit), but post-order: the frozen dataclasses compute
+    their ``open`` sets from their children in ``__post_init__``, so a
+    parent can only be constructed after its sub-witnesses exist.  The
+    stack interleaves ``visit`` frames (decode one JSON node, schedule
+    children) with ``build`` frames (construct the parent once every
+    child slot below it is filled).
+    """
+    if data is None:
+        return None
+    holder: List[Optional[Witness]] = [None]
+    stack: List[tuple] = [("visit", data, holder, 0)]
+    while stack:
+        op, obj, container, index = stack.pop()
+        if op == "build":
+            # obj is (constructor-closure, child holders).
+            container[index] = obj[0]([h[0] for h in obj[1]])
+            continue
+        if not isinstance(obj, dict):
+            raise WitnessDecodeError("witness is not an object")
+        node = obj.get("node")
+        vertex = _node_from_json(obj.get("vertex"))
+        if node == "axiom":
+            rule = obj.get("rule")
+            if not isinstance(rule, str):
+                raise WitnessDecodeError("axiom without string rule")
+            container[index] = AxiomWitness(vertex, rule)
+        elif node == "cycle":
+            container[index] = CycleWitness(vertex)
+        elif node == "assume":
+            phi_block = obj.get("phi_block")
+            pred = obj.get("pred")
+            offset = obj.get("offset")
+            if not isinstance(phi_block, str) or not isinstance(pred, str):
+                raise WitnessDecodeError("assume without string blocks")
+            if type(offset) is not int:
+                raise WitnessDecodeError("assume without integer offset")
+            container[index] = AssumeWitness(vertex, phi_block, pred, offset)
+        elif node == "edge":
+            source = _node_from_json(obj.get("source"))
+            weight = obj.get("weight")
+            if type(weight) is not int:
+                raise WitnessDecodeError("edge without integer weight")
+            sub_holder: List[Optional[Witness]] = [None]
+
+            def _make_edge(children, vertex=vertex, source=source, weight=weight):
+                return EdgeWitness(vertex, source, weight, children[0])
+
+            stack.append(("build", (_make_edge, [sub_holder]), container, index))
+            stack.append(("visit", obj.get("sub"), sub_holder, 0))
+        elif node == "phi":
+            raw_branches = obj.get("branches")
+            if not isinstance(raw_branches, list):
+                raise WitnessDecodeError("phi without branch list")
+            sources: List[Node] = []
+            weights: List[int] = []
+            holders: List[List[Optional[Witness]]] = []
+            for raw in raw_branches:
+                if not isinstance(raw, dict):
+                    raise WitnessDecodeError("phi branch is not an object")
+                sources.append(_node_from_json(raw.get("source")))
+                weight = raw.get("weight")
+                if type(weight) is not int:
+                    raise WitnessDecodeError("phi branch without integer weight")
+                weights.append(weight)
+                holders.append([None])
+
+            def _make_phi(children, vertex=vertex, sources=sources, weights=weights):
+                branches = tuple(
+                    (src, wt, sub) for src, wt, sub in zip(sources, weights, children)
+                )
+                return PhiWitness(vertex, branches)
+
+            stack.append(("build", (_make_phi, holders), container, index))
+            for raw, sub_holder in zip(raw_branches, holders):
+                stack.append(("visit", raw.get("sub"), sub_holder, 0))
+        else:
+            raise WitnessDecodeError(f"unknown witness node {node!r}")
+    return holder[0]

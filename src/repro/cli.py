@@ -174,6 +174,8 @@ def cmd_run(args) -> int:
 
 
 def cmd_optimize(args) -> int:
+    if getattr(args, "cache_dir", None):
+        return _cmd_optimize_cached(args)
     # One session drives compilation and optimization: both share the
     # analysis cache, the guard, and the per-pass stats.
     session = CompilationSession(config=_config_from(args), strict=args.strict)
@@ -255,6 +257,113 @@ def cmd_optimize(args) -> int:
         print()
         print(format_program(program))
     return 0
+
+
+def _cmd_optimize_cached(args) -> int:
+    """``repro optimize --cache-dir``: the store-backed compile path.
+
+    A hit means every stored certificate just re-replayed; a miss
+    compiles fresh (certify forced on) and stores the result when
+    cacheable.  Profiles are not collected on this path, so PRE stays
+    inactive — the fingerprint covers that, keeping hits sound.
+    """
+    from repro.store import CertStore, cached_optimize_source
+
+    store = CertStore(args.cache_dir)
+    outcome = cached_optimize_source(
+        store,
+        _read_source(args.file),
+        config=_config_from(args),
+        standard_opts=not args.no_std_opts,
+        inline=args.inline,
+    )
+    print(f"fingerprint: {outcome.fingerprint}")
+    if outcome.hit:
+        print("cache: hit (every certificate re-checked before use)")
+    else:
+        print(f"cache: {outcome.status}"
+              + (f" ({outcome.unstored_reason})" if outcome.unstored_reason else ""))
+        report = outcome.report
+        print(
+            f"eliminated {report.eliminated_count()} of {report.analyzed} checks"
+        )
+    counters = ", ".join(
+        f"{name.split('.', 1)[1]} {value}"
+        for name, value in sorted(store.counters.items())
+    )
+    print(f"store: {counters or 'no activity'}")
+    if args.emit_ir:
+        print()
+        print(format_program(outcome.program))
+    return 0
+
+
+def cmd_cache(args) -> int:
+    """``repro cache``: maintenance verbs over a store directory."""
+    import json
+
+    from repro.core.abcd import ABCDConfig
+    from repro.store import CertStore
+
+    store = CertStore(args.cache_dir)
+    if args.cache_command == "stats":
+        payload = store.stats_payload()
+        if args.json:
+            print(json.dumps(payload, indent=2, sort_keys=True))
+        else:
+            for name, value in payload.items():
+                print(f"{name}: {value}")
+        return 0
+    if args.cache_command == "verify":
+        # Replays every entry's every certificate under the default
+        # configuration (the one the serve path compiles with) and
+        # quarantines anything that fails any rung of the ladder.
+        results = store.verify_all(ABCDConfig())
+        rejected = [r for r in results if not r.ok]
+        if args.json:
+            print(json.dumps(
+                {
+                    "entries": len(results),
+                    "rejected": len(rejected),
+                    "results": [
+                        {
+                            "fingerprint": r.fingerprint,
+                            "ok": r.ok,
+                            "reason": r.reason,
+                            "eliminations": r.eliminations,
+                        }
+                        for r in results
+                    ],
+                },
+                indent=2,
+                sort_keys=True,
+            ))
+        else:
+            for result in results:
+                verdict = (
+                    f"ok ({result.eliminations} certificate(s) replayed)"
+                    if result.ok
+                    else f"REJECTED: {result.reason}"
+                )
+                print(f"{result.fingerprint}  {verdict}")
+            print(
+                f"verified {len(results)} entr{'y' if len(results) == 1 else 'ies'}, "
+                f"{len(rejected)} rejected (rejections are quarantined)"
+            )
+        return 1 if rejected else 0
+    if args.cache_command == "gc":
+        removed = store.gc(
+            max_entries=args.max_entries, max_age_seconds=args.max_age
+        )
+        print(f"gc: removed {removed} entr{'y' if removed == 1 else 'ies'}")
+        return 0
+    if args.cache_command == "evict":
+        if store.evict(args.fingerprint):
+            print(f"evicted {args.fingerprint}")
+            return 0
+        print(f"no entry for {args.fingerprint}", file=sys.stderr)
+        return 1
+    raise AssertionError(f"unknown cache command {args.cache_command!r}")
 
 
 def cmd_certify(args) -> int:
@@ -465,6 +574,7 @@ def cmd_serve(args) -> int:
         breaker_threshold=args.breaker_threshold,
         breaker_cooldown=args.breaker_cooldown,
         fuel=args.fuel,
+        cache_dir=args.cache_dir,
     )
     if args.chaos:
         # Testing only: forward a chaos spec to the workers.  Production
@@ -501,8 +611,30 @@ def cmd_storm(args) -> int:
         if args.quiet:
             return
         mode = response.get("mode") or response.get("status")
-        if mode not in ("optimized",):
+        if mode not in ("optimized", "cached"):
             print(f"  request {position}: {mode}", file=sys.stderr)
+
+    if args.corrupt:
+        from repro.serve.chaos import format_corruption_storm, run_corruption_storm
+
+        result = run_corruption_storm(
+            requests=args.requests,
+            disk_fault_rate=args.disk_fault_rate,
+            kill_rate=args.kill_rate,
+            seed=args.seed,
+            workers=args.workers,
+            deadline=args.deadline,
+            cache_dir=args.cache_dir,
+            min_warm_hit_rate=args.min_warm_hit_rate,
+            progress=progress,
+        )
+        if args.json:
+            import json
+
+            print(json.dumps(result.to_json(), indent=2, sort_keys=True))
+        else:
+            print(format_corruption_storm(result))
+        return 0 if result.passed else 1
 
     result = run_storm(
         requests=args.requests,
@@ -572,8 +704,52 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="emit and independently check a proof witness per elimination",
     )
+    opt_parser.add_argument(
+        "--cache-dir", metavar="DIR",
+        help="persistent certificate store: serve from a verified cached "
+        "entry when one exists, else compile certified and store it",
+    )
     _add_budget_flags(opt_parser)
     opt_parser.set_defaults(handler=cmd_optimize)
+
+    cache_parser = commands.add_parser(
+        "cache",
+        help="inspect and maintain a persistent certificate store",
+    )
+    cache_commands = cache_parser.add_subparsers(
+        dest="cache_command", required=True
+    )
+    cache_stats = cache_commands.add_parser(
+        "stats", help="entry counts, bytes, and store counters"
+    )
+    cache_stats.add_argument("--json", action="store_true")
+    cache_verify = cache_commands.add_parser(
+        "verify",
+        help="replay every entry's every certificate; quarantine and "
+        "report failures (exit 1 on any rejection)",
+    )
+    cache_verify.add_argument("--json", action="store_true")
+    cache_gc = cache_commands.add_parser(
+        "gc", help="prune entries by age and/or count (oldest first)"
+    )
+    cache_gc.add_argument(
+        "--max-entries", type=int, default=None, metavar="N",
+        help="keep at most N entries",
+    )
+    cache_gc.add_argument(
+        "--max-age", type=float, default=None, metavar="SECONDS",
+        help="drop entries (and quarantine files) older than this",
+    )
+    cache_evict = cache_commands.add_parser(
+        "evict", help="remove one entry by fingerprint"
+    )
+    cache_evict.add_argument("fingerprint", help="the entry's store fingerprint")
+    for sub in (cache_stats, cache_verify, cache_gc, cache_evict):
+        sub.add_argument(
+            "--cache-dir", required=True, metavar="DIR",
+            help="store root directory",
+        )
+        sub.set_defaults(handler=cmd_cache)
 
     cert_parser = commands.add_parser(
         "certify", help="optimize with proof-witness certification and report"
@@ -723,6 +899,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="interpreter instruction budget per execution",
     )
     serve_parser.add_argument(
+        "--cache-dir", metavar="DIR",
+        help="persistent certificate store: hits are certificate-replayed "
+        "by the supervisor and pushed to workers; misses are captured "
+        "and stored; open breakers persist here across restarts",
+    )
+    serve_parser.add_argument(
         "--chaos", metavar="JSON",
         help="(testing) chaos fault spec forwarded to workers",
     )
@@ -756,6 +938,29 @@ def build_parser() -> argparse.ArgumentParser:
     storm_parser.add_argument(
         "--deadline", type=float, default=3.0, metavar="SECONDS",
         help="per-attempt deadline (hang faults cost this long)",
+    )
+    storm_parser.add_argument(
+        "--corrupt", action="store_true",
+        help="corruption storm: cache-enabled service under at-rest disk "
+        "faults, worker SIGKILLs, and a mid-storm supervisor restart, "
+        "followed by a warm-restart hit-rate and byte-identity phase",
+    )
+    storm_parser.add_argument(
+        "--cache-dir", metavar="DIR", default=None,
+        help="(--corrupt) store root; default is a fresh temp directory",
+    )
+    storm_parser.add_argument(
+        "--disk-fault-rate", type=float, default=0.1, metavar="R",
+        help="(--corrupt) per-request probability of corrupting a random "
+        "committed entry at rest",
+    )
+    storm_parser.add_argument(
+        "--kill-rate", type=float, default=0.05, metavar="R",
+        help="(--corrupt) per-request probability of SIGKILLing a worker",
+    )
+    storm_parser.add_argument(
+        "--min-warm-hit-rate", type=float, default=0.5, metavar="R",
+        help="(--corrupt) warm-phase hit-rate floor for a passing storm",
     )
     storm_parser.add_argument(
         "--json", action="store_true",

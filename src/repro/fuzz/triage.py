@@ -140,9 +140,13 @@ class TriageReport:
         }
 
     def write(self, path: str) -> None:
-        pathlib.Path(path).write_text(
+        # Atomic (tmp + fsync + rename): a campaign killed mid-write must
+        # never leave a torn report behind — CI parses these.
+        from repro.store.atomic import atomic_write_text
+
+        atomic_write_text(
+            str(path),
             json.dumps(self.to_json(), indent=2, sort_keys=True) + "\n",
-            encoding="utf-8",
         )
 
 
@@ -167,7 +171,9 @@ def write_reproducer(directory: str, entry: TriageEntry) -> pathlib.Path:
         f"// {entry.detail}\n"
         f"{entry.reproducer or ''}"
     )
-    path.write_text(body, encoding="utf-8")
+    from repro.store.atomic import atomic_write_text
+
+    atomic_write_text(str(path), body)
     return path
 
 

@@ -292,6 +292,10 @@ class PassContext:
     #: Cross-pass scratch space (e.g. ABCD's analysis state consumed by
     #: the PRE and check-removal passes), keyed by ``(pass_name, id(fn))``.
     state: Dict[Tuple[str, int], Any] = field(default_factory=dict)
+    #: Persistent-store capture hook (a :class:`repro.store.capture.
+    #: StoreCapture`); when set, the ``store-capture`` pass snapshots each
+    #: function's pre-removal IR + certified eliminations into it.
+    store_capture: Optional[Any] = None
 
 
 class PassManager:

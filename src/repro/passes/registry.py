@@ -245,6 +245,31 @@ class CertifyPass(Pass):
         return rejected
 
 
+class StoreCapturePass(Pass):
+    """Snapshot one function for the persistent certificate store.
+
+    Scheduled by ``CompilationSession.optimize`` (never part of the
+    default pipeline — pipeline fingerprints must not depend on whether a
+    cache is attached) between ``certify`` and ``check-removal``: the
+    window where PRE has run, every surviving elimination carries an
+    accepted certificate, and the checks are still in the IR — exactly
+    the form certificate replay needs at load time.  Pure observation;
+    nothing is mutated.
+    """
+
+    name = "store-capture"
+    mutates = False
+    snapshot = False
+    verify = False
+
+    def should_run(self, fn: Function, ctx: PassContext) -> bool:
+        return ctx.store_capture is not None and ("abcd", id(fn)) in ctx.state
+
+    def run(self, fn: Function, ctx: PassContext) -> None:
+        ctx.store_capture.add_function(fn, ctx.state[("abcd", id(fn))])
+        return None
+
+
 class CheckRemovalPass(Pass):
     """Delete the checks the analysis proved redundant and publish the
     per-check records into the context's report.
@@ -289,6 +314,7 @@ PASS_REGISTRY: Dict[str, Pass] = {
         AbcdAnalysisPass(),
         PreInsertionPass(),
         CertifyPass(),
+        StoreCapturePass(),
         CheckRemovalPass(),
     ]
 }

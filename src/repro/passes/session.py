@@ -88,17 +88,35 @@ class CompilationSession:
         program: Program,
         profile: Optional[Profile] = None,
         functions: Optional[Sequence[str]] = None,
+        capture=None,
     ) -> ABCDReport:
         """Run the ABCD passes (analyze → PRE → check removal) over every
         (or the named) functions and return the per-check report.
 
         The report carries the failures contained during *this* run plus
         the session's accumulated :class:`SessionStats`.
+
+        ``capture`` (a :class:`repro.store.capture.StoreCapture`) hooks
+        the persistent store in: the ``store-capture`` pass is scheduled
+        between ``certify`` and ``check-removal`` so each function's
+        pre-removal IR and certified eliminations are recorded.  The
+        scheduled pipeline id (and so the store fingerprint) is
+        unaffected — capture observes, it does not transform.
         """
         report = ABCDReport()
         already_recorded = len(self.guard.failures)
-        manager = PassManager(self._context(program, profile=profile, report=report))
-        manager.run(default_optimize_passes(), functions=functions)
+        ctx = self._context(program, profile=profile, report=report)
+        passes = default_optimize_passes()
+        if capture is not None:
+            from repro.passes.registry import PASS_REGISTRY
+
+            ctx.store_capture = capture
+            index = next(
+                i for i, p in enumerate(passes) if p.name == "check-removal"
+            )
+            passes.insert(index, PASS_REGISTRY["store-capture"])
+        manager = PassManager(ctx)
+        manager.run(passes, functions=functions)
         report.pass_failures.extend(self.guard.failures[already_recorded:])
         report.session_stats = self.stats
         return report

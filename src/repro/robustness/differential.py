@@ -172,6 +172,7 @@ def gated_optimize(
     inputs: Sequence[Sequence] = ((),),
     fuel: int = DEFAULT_FUEL,
     strict: bool = False,
+    capture=None,
 ) -> GatedResult:
     """Optimize ``program`` in place behind the full safety net.
 
@@ -192,7 +193,9 @@ def gated_optimize(
 
     candidate = clone_program(program)
     guard = PassGuard(strict=strict)
-    report = guarded_optimize_program(candidate, config, profile, guard=guard)
+    report = guarded_optimize_program(
+        candidate, config, profile, guard=guard, capture=capture
+    )
 
     differentials = []
     reverted = False

@@ -749,6 +749,212 @@ FATAL_CHAOS_FAULTS = tuple(
 )
 
 
+# ----------------------------------------------------------------------
+# Disk faults (the persistent certificate store's failure model).
+#
+# Two shapes.  **At-rest** faults corrupt the bytes of one committed
+# entry the way real storage fails — torn writes, flipped bits, stale
+# formats, or a deliberate forgery — and carry the load-ladder reason the
+# store must answer with (``None`` means the entry must still load: the
+# fault exercises recovery machinery, not rejection).  **Write-time**
+# faults wrap the store's atomic writer (ENOSPC, EACCES, a concurrent
+# writer racing on the same entry); the store must degrade to "uncached"
+# — counters tick, no exception escapes, and the objects directory stays
+# consistent.  The forged-certificate fault is the critical one: it
+# survives every envelope rung (its checksum is valid, its JSON well
+# formed) and must be caught *only* by certificate replay — the rung that
+# makes the whole store zero-trust.
+# ----------------------------------------------------------------------
+
+
+def _entry_root(entry_path) -> "object":
+    """objects/<shard>/<fp>.entry → the store root."""
+    return entry_path.parents[2]
+
+
+def _disk_truncate(entry_path) -> None:
+    data = entry_path.read_bytes()
+    entry_path.write_bytes(data[: max(1, int(len(data) * 0.6))])
+
+
+def _disk_flip_payload_byte(entry_path) -> None:
+    data = bytearray(entry_path.read_bytes())
+    mark = bytes(data).rfind(b"\n#sha256:")
+    position = mark // 2 if mark > 0 else 0
+    data[position] ^= 0x20
+    entry_path.write_bytes(bytes(data))
+
+
+def _disk_flip_footer_byte(entry_path) -> None:
+    data = bytearray(entry_path.read_bytes())
+    mark = bytes(data).rfind(b"\n#sha256:")
+    position = mark + len(b"\n#sha256:") + 10  # inside the 64 hex chars
+    data[position] = ord("1") if data[position] != ord("1") else ord("2")
+    entry_path.write_bytes(bytes(data))
+
+
+def _rewrite_valid_envelope(entry_path, mutate) -> None:
+    """Decode the payload, apply ``mutate(obj)``, re-encode with a
+    *correct* checksum: the result clears every envelope rung."""
+    import hashlib
+    import json
+
+    data = entry_path.read_bytes()
+    mark = data.rfind(b"\n#sha256:")
+    obj = json.loads(data[:mark].decode("utf-8"))
+    mutate(obj)
+    payload = json.dumps(obj, sort_keys=True, separators=(",", ":")).encode("utf-8")
+    digest = hashlib.sha256(payload).hexdigest().encode("ascii")
+    entry_path.write_bytes(payload + b"\n#sha256:" + digest + b"\n")
+
+
+def _disk_stale_schema(entry_path) -> None:
+    _rewrite_valid_envelope(entry_path, lambda obj: obj.__setitem__("schema", 0))
+
+
+def _forge_witness(obj) -> None:
+    """Tamper the first stored certificate: tighten the first edge weight
+    found (an iterative walk — witnesses nest arbitrarily deep), or, for
+    an entry with no edge witnesses, retarget the first elimination."""
+    for elims in obj.get("eliminations", {}).values():
+        for elim in elims:
+            stack = [elim.get("witness")]
+            while stack:
+                node = stack.pop()
+                if not isinstance(node, dict):
+                    continue
+                if node.get("node") == "edge":
+                    node["weight"] = node["weight"] - 1
+                    return
+                stack.append(node.get("sub"))
+                for branch in node.get("branches", []) or []:
+                    stack.append(branch.get("sub") if isinstance(branch, dict) else None)
+            elim["target"] = {"kind": "var", "name": "__forged__"}
+            return
+
+
+def _disk_forged_certificate(entry_path) -> None:
+    _rewrite_valid_envelope(entry_path, _forge_witness)
+
+
+def _disk_stray_tmp(entry_path) -> None:
+    """Plant a half-written temporary (a SIGKILL mid-write): the entry
+    itself stays valid and the next store open must clean the stray."""
+    tmp_dir = _entry_root(entry_path) / "tmp"
+    (tmp_dir / "stray-killed-writer.tmp").write_bytes(b'{"half":')
+
+
+def _disk_write_errno(code: int, message: str) -> contextlib.AbstractContextManager:
+    import repro.store.atomic as atomic_module
+
+    def failing(path, data, tmp_dir=None):
+        raise OSError(code, message)
+
+    return _patched(atomic_module, "atomic_write_bytes", failing)
+
+
+def _disk_enospc() -> contextlib.AbstractContextManager:
+    import errno
+
+    return _disk_write_errno(errno.ENOSPC, "injected fault: no space left on device")
+
+
+def _disk_eacces() -> contextlib.AbstractContextManager:
+    import errno
+
+    return _disk_write_errno(errno.EACCES, "injected fault: permission denied")
+
+
+def _disk_concurrent_writer() -> contextlib.AbstractContextManager:
+    """Two writers race on one entry.  Entries are content-addressed and
+    deterministically encoded, so true racers carry identical bytes; the
+    rename protocol makes the last one win wholesale and the entry must
+    stay valid."""
+    import repro.store.atomic as atomic_module
+
+    real = atomic_module.atomic_write_bytes
+
+    def racing(path, data, tmp_dir=None):
+        real(path, data, tmp_dir=tmp_dir)  # the competitor lands first
+        real(path, data, tmp_dir=tmp_dir)  # then this writer replaces it
+
+    return _patched(atomic_module, "atomic_write_bytes", racing)
+
+
+@dataclass(frozen=True)
+class DiskFaultSpec:
+    """One registered store fault."""
+
+    name: str
+    description: str
+    #: "at-rest" corrupts a committed entry file; "write" wraps the
+    #: store's atomic writer for the duration of the context.
+    mode: str
+    #: at-rest only: prefix of the load-ladder reason the store must
+    #: report (``None`` — the entry must still load as a hit).
+    expect_reason: Optional[str] = None
+    corrupt: Optional[Callable] = None
+    inject: Optional[Callable[[], contextlib.AbstractContextManager]] = None
+    #: write only: "uncached" (put returns False) | "benign" (put works).
+    expect_write: Optional[str] = None
+
+
+DISK_FAULTS: Dict[str, DiskFaultSpec] = {
+    spec.name: spec
+    for spec in [
+        DiskFaultSpec(
+            "disk-torn-write", "entry truncated mid-payload (torn write)",
+            "at-rest", expect_reason="truncated", corrupt=_disk_truncate,
+        ),
+        DiskFaultSpec(
+            "disk-flip-payload-byte", "one payload byte flipped at rest",
+            "at-rest", expect_reason="checksum", corrupt=_disk_flip_payload_byte,
+        ),
+        DiskFaultSpec(
+            "disk-flip-footer-byte", "one checksum-footer byte flipped at rest",
+            "at-rest", expect_reason="checksum", corrupt=_disk_flip_footer_byte,
+        ),
+        DiskFaultSpec(
+            "disk-stale-schema",
+            "valid envelope carrying a foreign schema version",
+            "at-rest", expect_reason="schema", corrupt=_disk_stale_schema,
+        ),
+        DiskFaultSpec(
+            "disk-forged-certificate",
+            "forged certificate inside a perfectly valid envelope — only "
+            "certificate replay can catch it",
+            "at-rest", expect_reason="certificate", corrupt=_disk_forged_certificate,
+        ),
+        DiskFaultSpec(
+            "disk-stray-tmp",
+            "half-written temporary left by a SIGKILLed writer; the entry "
+            "itself must still serve and the next open must clean up",
+            "at-rest", expect_reason=None, corrupt=_disk_stray_tmp,
+        ),
+        DiskFaultSpec(
+            "disk-enospc", "every store write fails with ENOSPC",
+            "write", inject=_disk_enospc, expect_write="uncached",
+        ),
+        DiskFaultSpec(
+            "disk-eacces", "every store write fails with EACCES",
+            "write", inject=_disk_eacces, expect_write="uncached",
+        ),
+        DiskFaultSpec(
+            "disk-concurrent-writer",
+            "a competing writer lands the same entry first",
+            "write", inject=_disk_concurrent_writer, expect_write="benign",
+        ),
+    ]
+}
+
+#: At-rest fault names that must *reject* (quarantine or replay-reject).
+CORRUPTING_DISK_FAULTS = tuple(
+    name
+    for name, spec in DISK_FAULTS.items()
+    if spec.mode == "at-rest" and spec.expect_reason is not None
+)
+
+
 def decide_chaos_fault(
     seed: int,
     request_id,

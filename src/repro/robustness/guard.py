@@ -166,6 +166,7 @@ def guarded_optimize_program(
     profile: Optional[Profile] = None,
     functions: Optional[Sequence[str]] = None,
     guard: Optional[PassGuard] = None,
+    capture=None,
 ) -> ABCDReport:
     """Run the ABCD pass list over every (or the named) functions, each
     pass inside the guard.
@@ -179,4 +180,6 @@ def guarded_optimize_program(
     from repro.passes.session import CompilationSession
 
     session = CompilationSession(config=config, guard=guard)
-    return session.optimize(program, profile=profile, functions=functions)
+    return session.optimize(
+        program, profile=profile, functions=functions, capture=capture
+    )

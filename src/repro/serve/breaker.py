@@ -144,3 +144,60 @@ class CircuitBreaker:
         return [
             self._states[fp].to_json() for fp in sorted(self._states)
         ]
+
+    # ------------------------------------------------------------------
+    # Persistence (the cache directory remembers open breakers across
+    # supervisor restarts).
+    # ------------------------------------------------------------------
+
+    def to_persist(self) -> Dict[str, object]:
+        """Restart-safe snapshot of every breaker.
+
+        The clock is monotonic — its absolute values die with the
+        process — so an open breaker persists its *remaining cooldown*,
+        not ``opened_at``; ``restore`` rebuilds an equivalent deadline
+        against the new process's clock.
+        """
+        now = self.clock()
+        states = []
+        for fingerprint in sorted(self._states):
+            state = self._states[fingerprint]
+            payload = state.to_json()
+            remaining = 0.0
+            if state.state == OPEN:
+                remaining = max(0.0, self.cooldown - (now - state.opened_at))
+            payload["cooldown_remaining"] = remaining
+            states.append(payload)
+        return {"states": states}
+
+    def restore(self, payload: Dict[str, object]) -> int:
+        """Load a :meth:`to_persist` snapshot; returns breakers restored.
+
+        Zero-trust like everything else read from the cache directory: a
+        malformed item is skipped, never raised.  A breaker persisted
+        half-open re-opens (its probe never reported back); expiry still
+        happens through the normal cooldown check in ``allow_optimized``.
+        """
+        restored = 0
+        for item in payload.get("states", []) if isinstance(payload, dict) else []:
+            try:
+                fingerprint = item["fingerprint"]
+                if not isinstance(fingerprint, str):
+                    continue
+                state = self.state_of(fingerprint)
+                persisted = item.get("state", CLOSED)
+                state.state = OPEN if persisted in (OPEN, HALF_OPEN) else CLOSED
+                state.consecutive_failures = int(item.get("consecutive_failures", 0))
+                state.total_failures = int(item.get("total_failures", 0))
+                state.total_successes = int(item.get("total_successes", 0))
+                state.times_opened = int(item.get("times_opened", 0))
+                state.probing = False
+                if state.state == OPEN:
+                    remaining = min(
+                        self.cooldown, float(item.get("cooldown_remaining", 0.0))
+                    )
+                    state.opened_at = self.clock() - (self.cooldown - remaining)
+                restored += 1
+            except (KeyError, TypeError, ValueError):
+                continue
+        return restored

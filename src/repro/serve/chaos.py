@@ -312,7 +312,9 @@ def _verify_response(
 
     expected = _baseline(request["source"], baseline_cache)
     mode = response.get("mode")
-    if mode == "optimized":
+    if mode in ("optimized", "cached"):
+        # Cached service carries the optimized contract: the stored IR's
+        # every certificate re-replayed before it was pushed to a worker.
         result.optimized += 1
     elif mode == "degraded":
         result.degraded += 1
@@ -343,6 +345,387 @@ def _verify_response(
                     f"{expected.get(field_name)!r}"
                 )
                 return
+
+
+# ----------------------------------------------------------------------
+# The corruption storm: the chaos storm's disk-durability sibling.
+#
+# Phase A (cold) storms a cache-enabled service while, between requests,
+# a seeded adversary corrupts committed entries at rest (every at-rest
+# fault in DISK_FAULTS, forged certificates included), SIGKILLs random
+# workers, and restarts the whole supervisor mid-storm with a planted
+# half-written temporary (a killed writer).  Every response is verified
+# against the checked baseline — a corrupted or forged entry must never
+# influence an answer; it must quarantine and fall back to a fresh
+# compile.  Phase B restarts the supervisor warm on the surviving store
+# and replays the schedule with no faults: hits must be plentiful and,
+# sampled per source, byte-identical to a fresh certified compile.
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class CorruptionStormResult:
+    """Verdict of one :func:`run_corruption_storm`."""
+
+    requests: int
+    seed: int
+    disk_fault_rate: float
+    min_warm_hit_rate: float = 0.5
+    # Phase A (cold, faulted).
+    responses: int = 0
+    stored: int = 0
+    cold_hits: int = 0
+    injected_disk_faults: Dict[str, int] = field(default_factory=dict)
+    worker_kills: int = 0
+    supervisor_restarts: int = 0
+    recovered_tmp: int = 0
+    # Post-phase-A verify: the first pass quarantines what the adversary
+    # corrupted but nobody re-requested; the second must find nothing.
+    verify_quarantined: int = 0
+    verify_rejections: int = 0
+    # Phase B (warm, clean).
+    warm_requests: int = 0
+    warm_responses: int = 0
+    warm_hits: int = 0
+    byte_identical_checked: int = 0
+    invariant_violations: int = 0
+    violations: List[str] = field(default_factory=list)
+    counters: Dict[str, int] = field(default_factory=dict)
+    supervisor_alive: bool = True
+
+    @property
+    def lost(self) -> int:
+        return (self.requests - self.responses) + (
+            self.warm_requests - self.warm_responses
+        )
+
+    @property
+    def warm_hit_rate(self) -> float:
+        return self.warm_hits / self.warm_requests if self.warm_requests else 0.0
+
+    @property
+    def passed(self) -> bool:
+        return (
+            self.supervisor_alive
+            and self.lost == 0
+            and not self.violations
+            and self.verify_rejections == 0
+            and self.invariant_violations == 0
+            and self.warm_hit_rate >= self.min_warm_hit_rate
+        )
+
+    def to_json(self) -> Dict[str, Any]:
+        return {
+            "requests": self.requests,
+            "seed": self.seed,
+            "disk_fault_rate": self.disk_fault_rate,
+            "responses": self.responses,
+            "lost": self.lost,
+            "stored": self.stored,
+            "cold_hits": self.cold_hits,
+            "injected_disk_faults": dict(sorted(self.injected_disk_faults.items())),
+            "worker_kills": self.worker_kills,
+            "supervisor_restarts": self.supervisor_restarts,
+            "recovered_tmp": self.recovered_tmp,
+            "verify_quarantined": self.verify_quarantined,
+            "verify_rejections": self.verify_rejections,
+            "warm_requests": self.warm_requests,
+            "warm_responses": self.warm_responses,
+            "warm_hits": self.warm_hits,
+            "warm_hit_rate": round(self.warm_hit_rate, 3),
+            "min_warm_hit_rate": self.min_warm_hit_rate,
+            "byte_identical_checked": self.byte_identical_checked,
+            "invariant_violations": self.invariant_violations,
+            "violations": self.violations,
+            "supervisor_alive": self.supervisor_alive,
+            "counters": dict(sorted(self.counters.items())),
+            "passed": self.passed,
+        }
+
+
+def _corruption_pool(seed: int) -> List[Dict[str, Any]]:
+    """A small fixed pool of sources so the warm phase can actually hit.
+
+    Every source is deterministic per seed; the trap and off-by-one
+    templates keep runtime traps in the mix (a cached entry must
+    reproduce the trap identity exactly, not just return values).
+    """
+    rng = random.Random(seed ^ 0x5EED)
+    pool: List[Dict[str, Any]] = []
+    for n in sorted(rng.sample(range(3, 14), 5)):
+        pool.append({"source": _template_sum_loop(n), "expect": "ok"})
+    for _ in range(3):
+        n = rng.randrange(2, 8)
+        pool.append({"source": _template_trap(n, rng.randrange(0, n + 3)), "expect": "ok"})
+    for n in sorted(rng.sample(range(2, 9), 2)):
+        pool.append({"source": _template_off_by_one(n), "expect": "ok"})
+    pool.append({"source": _USER_ERROR_SOURCE, "expect": "error"})
+    return pool
+
+
+def _corrupt_random_entry(store, rng: random.Random, result: CorruptionStormResult):
+    """Apply one random at-rest disk fault to one random committed entry."""
+    from repro.robustness.faults import CORRUPTING_DISK_FAULTS, DISK_FAULTS
+
+    fingerprints = list(store.iter_fingerprints())
+    if not fingerprints:
+        return
+    fingerprint = rng.choice(fingerprints)
+    name = rng.choice(sorted(CORRUPTING_DISK_FAULTS))
+    try:
+        DISK_FAULTS[name].corrupt(store.entry_path(fingerprint))
+    except Exception:
+        # Entry raced away, or an envelope-rewriting fault landed on an
+        # entry already mangled by an earlier one — either way the bytes
+        # are bad, which is the point.
+        return
+    result.injected_disk_faults[name] = result.injected_disk_faults.get(name, 0) + 1
+
+
+def _kill_random_worker(supervisor: Supervisor, rng: random.Random) -> bool:
+    """SIGKILL one live worker outright (no shutdown frame, no drain)."""
+    live = [w for w in supervisor.pool if w.alive()]
+    if not live:
+        return False
+    try:
+        rng.choice(live).proc.kill()
+    except OSError:
+        return False
+    return True
+
+
+def _fresh_certified_ir(source: str) -> str:
+    """Ground truth for byte-identity: a fresh certified compile's final
+    IR text, exactly what a passing store load must reproduce."""
+    from repro.ir.printer import format_program
+    from repro.passes.session import CompilationSession
+    from repro.store.service import certifying_config
+
+    session = CompilationSession(config=certifying_config(None))
+    program = session.compile(source, standard_opts=True)
+    session.optimize(program)
+    return format_program(program)
+
+
+def run_corruption_storm(
+    requests: int = 200,
+    disk_fault_rate: float = 0.1,
+    kill_rate: float = 0.05,
+    seed: int = 0,
+    workers: int = 2,
+    deadline: float = 3.0,
+    cache_dir: Optional[str] = None,
+    min_warm_hit_rate: float = 0.5,
+    byte_identity_samples: int = 4,
+    progress=None,
+) -> CorruptionStormResult:
+    """Storm a cache-enabled service under disk corruption and kills.
+
+    Asserts the store's hard guarantees end to end: zero lost requests,
+    zero responses influenced by corrupted or forged entries (every
+    response matches the checked baseline), the "no load without a
+    passing re-check" invariant, a clean post-storm ``verify``, and a
+    warm restart that actually hits with byte-identical optimized IR.
+    """
+    import tempfile
+
+    from repro.core.abcd import ABCDConfig
+
+    result = CorruptionStormResult(
+        requests=requests,
+        seed=seed,
+        disk_fault_rate=disk_fault_rate,
+        min_warm_hit_rate=min_warm_hit_rate,
+    )
+    if cache_dir is None:
+        cache_dir = tempfile.mkdtemp(prefix="repro-corruption-storm-")
+    rng = random.Random(seed)
+    pool = _corruption_pool(seed)
+    plan = [rng.choice(pool) for _ in range(requests)]
+    baseline_cache: Dict[str, Dict[str, Any]] = {}
+
+    def storm_serve_config() -> ServeConfig:
+        config = storm_config(workers=workers, deadline=deadline)
+        config.cache_dir = cache_dir
+        config.chaos = None  # disk faults only — process chaos has its own storm
+        return config
+
+    def check_response(position: int, request, response, phase: str) -> None:
+        probe = StormResult(requests=0, seed=seed, fault_rate=0.0)
+        _verify_response(probe, position, request, response, baseline_cache)
+        for violation in probe.violations:
+            result.violations.append(f"{phase} {violation}")
+        cache_tag = response.get("cache")
+        if isinstance(cache_tag, str):
+            if cache_tag == "hit":
+                if phase == "cold":
+                    result.cold_hits += 1
+                else:
+                    result.warm_hits += 1
+            elif cache_tag == "miss-stored":
+                result.stored += 1
+
+    supervisor = Supervisor(config=storm_serve_config())
+    supervisor.start()
+    restart_at = requests // 2
+    try:
+        for position, request in enumerate(plan):
+            if position == restart_at and supervisor.store is not None:
+                # Mid-storm restart: drain, plant a half-written temp (a
+                # writer SIGKILLed mid-put), and come back up — recovery
+                # must clean the stray before the next request.
+                supervisor.shutdown()
+                for name, value in supervisor.stats.counters.items():
+                    result.counters[name] = result.counters.get(name, 0) + value
+                stray = supervisor.store.tmp_dir / "killed-writer.tmp"
+                stray.write_bytes(b'{"fingerprint":"dead')
+                supervisor = Supervisor(config=storm_serve_config())
+                supervisor.start()
+                result.supervisor_restarts += 1
+                if supervisor.store is not None:
+                    result.recovered_tmp += supervisor.store.counters.get(
+                        "store.recovered_tmp", 0
+                    )
+                    if result.recovered_tmp == 0:
+                        result.violations.append(
+                            "restart: recovery scan missed the planted temp"
+                        )
+            if supervisor.store is not None and rng.random() < disk_fault_rate:
+                _corrupt_random_entry(supervisor.store, rng, result)
+            if rng.random() < kill_rate:
+                if _kill_random_worker(supervisor, rng):
+                    result.worker_kills += 1
+            frame = {
+                "op": "run",
+                "id": f"corrupt-{position}",
+                "source": request["source"],
+            }
+            try:
+                response = supervisor.handle_request(frame)
+            except Exception as exc:  # supervisor death — the cardinal sin
+                result.supervisor_alive = False
+                result.violations.append(
+                    f"cold request {position}: supervisor died: "
+                    f"{type(exc).__name__}: {exc}"
+                )
+                break
+            result.responses += 1
+            check_response(position, request, response, "cold")
+            if progress is not None:
+                progress(position, response)
+
+        # Post-storm verify: pass 1 quarantines entries the adversary
+        # corrupted after their last read; pass 2 must find a clean store.
+        if supervisor.store is not None:
+            first = supervisor.store.verify_all(ABCDConfig())
+            result.verify_quarantined = sum(1 for v in first if not v.ok)
+            second = supervisor.store.verify_all(ABCDConfig())
+            result.verify_rejections = sum(1 for v in second if not v.ok)
+            result.invariant_violations += supervisor.store.invariant_violations()
+        for name, value in supervisor.stats.counters.items():
+            result.counters[name] = result.counters.get(name, 0) + value
+    finally:
+        try:
+            supervisor.shutdown()
+        except Exception as exc:  # pragma: no cover - drain must not throw
+            result.supervisor_alive = False
+            result.violations.append(f"shutdown: {type(exc).__name__}: {exc}")
+
+    if not result.supervisor_alive:
+        return result
+
+    # Phase B: warm restart, no faults — the store must carry its weight.
+    warm = Supervisor(config=storm_serve_config())
+    warm.start()
+    try:
+        warm_plan = [rng.choice(pool) for _ in range(max(1, requests // 2))]
+        result.warm_requests = len(warm_plan)
+        for position, request in enumerate(warm_plan):
+            frame = {
+                "op": "run",
+                "id": f"warm-{position}",
+                "source": request["source"],
+            }
+            try:
+                response = warm.handle_request(frame)
+            except Exception as exc:
+                result.supervisor_alive = False
+                result.violations.append(
+                    f"warm request {position}: supervisor died: "
+                    f"{type(exc).__name__}: {exc}"
+                )
+                break
+            result.warm_responses += 1
+            check_response(position, request, response, "warm")
+        # Sampled byte-identity: a warm hit's stored IR must equal a fresh
+        # certified compile of the same source, byte for byte.
+        if warm.store is not None:
+            from repro.store.fingerprint import store_fingerprint
+
+            sampled = 0
+            for request in pool:
+                if sampled >= byte_identity_samples or request["expect"] != "ok":
+                    continue
+                source = request["source"]
+                fingerprint = store_fingerprint(source, ABCDConfig())
+                loaded = warm.store.load(fingerprint, ABCDConfig())
+                if not loaded.hit:
+                    continue
+                sampled += 1
+                if loaded.ir_text != _fresh_certified_ir(source):
+                    result.violations.append(
+                        "warm hit IR diverges from fresh certified compile "
+                        f"for fingerprint {fingerprint[:12]}"
+                    )
+            result.byte_identical_checked = sampled
+            result.invariant_violations += warm.store.invariant_violations()
+        result.counters.update(
+            {f"warm.{k}": v for k, v in warm.stats.counters.items()}
+        )
+    finally:
+        try:
+            warm.shutdown()
+        except Exception as exc:  # pragma: no cover
+            result.supervisor_alive = False
+            result.violations.append(f"warm shutdown: {type(exc).__name__}: {exc}")
+    return result
+
+
+def format_corruption_storm(result: CorruptionStormResult) -> str:
+    lines = [
+        f"corruption storm: {result.requests} cold + {result.warm_requests} warm "
+        f"request(s), seed {result.seed}, disk fault rate "
+        f"{result.disk_fault_rate:.0%}",
+        f"  responses: {result.responses + result.warm_responses}  "
+        f"lost: {result.lost}",
+        f"  stored: {result.stored}  cold hits: {result.cold_hits}  "
+        f"warm hits: {result.warm_hits} "
+        f"({result.warm_hit_rate:.0%}, floor {result.min_warm_hit_rate:.0%})",
+        "  injected disk faults: "
+        + (
+            ", ".join(
+                f"{name} x{count}"
+                for name, count in sorted(result.injected_disk_faults.items())
+            )
+            or "none"
+        ),
+        f"  worker kills: {result.worker_kills}  supervisor restarts: "
+        f"{result.supervisor_restarts}  recovered tmp: {result.recovered_tmp}",
+        f"  post-storm verify: {result.verify_quarantined} quarantined, then "
+        f"{result.verify_rejections} rejection(s) on the clean pass",
+        f"  byte-identical warm loads checked: {result.byte_identical_checked}",
+        f"  store invariant violations: {result.invariant_violations}",
+        f"  supervisor alive: {result.supervisor_alive}",
+    ]
+    if result.violations:
+        lines.append(f"  VIOLATIONS ({len(result.violations)}):")
+        lines.extend(f"    {violation}" for violation in result.violations)
+    else:
+        lines.append(
+            "  no violations: every answer matched the checked baseline and "
+            "no load skipped its re-check"
+        )
+    return "\n".join(lines)
 
 
 def format_storm(result: StormResult) -> str:

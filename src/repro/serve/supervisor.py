@@ -73,6 +73,12 @@ class ServeConfig:
     #: Chaos configuration forwarded to workers via the environment
     #: (``None`` in production: workers then ignore ``"chaos"`` fields).
     chaos: Optional[Dict[str, Any]] = None
+    #: Root of the persistent certificate store (``None`` = no cache).
+    #: The supervisor owns the store handle: it loads (and certificate-
+    #: replays) entries, pushes hits to workers for execution, and writes
+    #: entries captured by workers on misses.  Open circuit breakers are
+    #: persisted here too, so a supervisor restart does not forget them.
+    cache_dir: Optional[str] = None
 
 
 class WorkerDied(Exception):
@@ -215,6 +221,9 @@ class Supervisor:
             clock=clock,
         )
         self.pool: List[WorkerHandle] = []
+        #: The persistent certificate store (opened by :meth:`start` when
+        #: ``config.cache_dir`` is set; ``None`` = caching disabled).
+        self.store = None
         self._clock = clock
         self._sleep = sleep
         self._next_slot = 0
@@ -230,16 +239,71 @@ class Supervisor:
     def start(self) -> None:
         if self._started:
             return
+        if self.config.cache_dir and self.store is None:
+            try:
+                from repro.store.store import CertStore
+
+                # Opening runs the recovery scan: stray temporaries from a
+                # worker SIGKILLed (or supervisor crashed) mid-write are
+                # deleted before the first request.
+                self.store = CertStore(self.config.cache_dir)
+                self._load_breakers()
+            except OSError:
+                # An unusable cache directory degrades to no caching —
+                # never to a supervisor that cannot start.
+                self.store = None
+                self.stats.bump("serve.cache.disabled")
         for _ in range(max(1, self.config.workers)):
             self.pool.append(WorkerHandle(self.config))
         self._started = True
 
     def shutdown(self) -> None:
-        """Drain the pool: polite shutdown frames, then SIGKILL."""
+        """Drain the pool: polite shutdown frames, then SIGKILL.
+
+        Breaker state is persisted first; the store itself needs no
+        flush — every committed entry was already fsynced into place by
+        the atomic write protocol."""
+        self._persist_breakers()
         for worker in self.pool:
             worker.shutdown()
         self.pool.clear()
         self._started = False
+
+    # ------------------------------------------------------------------
+    # Breaker persistence (rides in the cache directory).
+    # ------------------------------------------------------------------
+
+    def _breaker_path(self) -> str:
+        return os.path.join(self.config.cache_dir, "breakers.json")
+
+    def _load_breakers(self) -> None:
+        import json
+
+        try:
+            with open(self._breaker_path(), "rb") as handle:
+                payload = json.loads(handle.read().decode("utf-8"))
+        except (OSError, ValueError):
+            return  # absent or unreadable snapshot: start fresh
+        restored = self.breaker.restore(payload)
+        if restored:
+            self.stats.bump("serve.breakers-restored", restored)
+
+    def _persist_breakers(self) -> None:
+        if self.store is None:
+            return
+        import json
+
+        from repro.store import atomic
+
+        try:
+            data = json.dumps(
+                self.breaker.to_persist(), sort_keys=True, separators=(",", ":")
+            ).encode("utf-8")
+            atomic.atomic_write_bytes(
+                self._breaker_path(), data, tmp_dir=str(self.store.tmp_dir)
+            )
+        except (OSError, ValueError, TypeError):
+            self.stats.bump("serve.breaker-persist-errors")
 
     def _checkout_worker(self) -> WorkerHandle:
         """Round-robin over the pool, replacing dead workers on the way."""
@@ -301,11 +365,28 @@ class Supervisor:
         return self._serve_compile_or_run(frame)
 
     def _serve_compile_or_run(self, frame: Dict[str, Any]) -> Dict[str, Any]:
+        # Lazy start before the cache lookup, not at worker checkout: the
+        # store handle is opened by start(), and the first request must be
+        # able to hit (or capture into) it.
+        self.start()
         fingerprint = function_fingerprint(frame["source"], frame["fn"])
         want_optimized = bool(frame.get("optimize", True))
 
         if not want_optimized:
             return self._serve_degraded(frame, fingerprint, "requested")
+
+        # The store is consulted before the breaker: a hit executes code
+        # whose every certificate just re-replayed, without touching the
+        # optimizer — the machinery the breaker distrusts.
+        if self.store is not None:
+            store_fp = self._store_fingerprint(frame)
+            if store_fp is not None:
+                cached = self._serve_cached(frame, fingerprint, store_fp)
+                if cached is not None:
+                    return cached
+                # Miss: ask the worker to capture a store entry alongside
+                # the normal optimized response.
+                frame["_cache_fp"] = store_fp
 
         if not self.breaker.allow_optimized(fingerprint):
             self.stats.bump("serve.breaker-open")
@@ -331,6 +412,7 @@ class Supervisor:
                     return payload
                 self.breaker.record_success(fingerprint)
                 self.stats.bump("serve.optimized")
+                self._absorb_store_entry(payload, frame.get("_cache_fp"))
                 payload.update(
                     fingerprint=fingerprint, attempts=attempts, retried=attempt > 0
                 )
@@ -342,6 +424,8 @@ class Supervisor:
         # *request* (its unit of "consecutive failures") and degrade.
         if self.breaker.record_failure(fingerprint):
             self.stats.bump("serve.breaker-opened")
+            # An open breaker must survive a supervisor restart.
+            self._persist_breakers()
         response = self._serve_degraded(frame, fingerprint, "retries-exhausted")
         response["attempts"] = attempts + response.get("attempts", 0)
         response["last_failure"] = last_failure
@@ -397,8 +481,105 @@ class Supervisor:
         )
         return payload
 
+    # ------------------------------------------------------------------
+    # The persistent certificate store (supervisor-owned).
+    # ------------------------------------------------------------------
+
+    def _store_fingerprint(self, frame: Dict[str, Any]) -> Optional[str]:
+        """The request's store key; ``None`` when it cannot be computed
+        (e.g. unlexable source — the worker will report the user error)."""
+        try:
+            from repro.core.abcd import ABCDConfig
+            from repro.store.fingerprint import store_fingerprint
+
+            return store_fingerprint(
+                frame["source"],
+                ABCDConfig(),
+                standard_opts=True,
+                inline=bool(frame.get("inline", False)),
+            )
+        except Exception:
+            return None
+
+    def _serve_cached(
+        self, frame: Dict[str, Any], fingerprint: str, store_fp: str
+    ) -> Optional[Dict[str, Any]]:
+        """Try to answer from the store; ``None`` means miss (or a hit
+        whose execution dispatch failed) — serve the normal path.
+
+        ``load`` climbs the full zero-trust ladder in the supervisor:
+        pure analysis of durable bytes (parse, verify, certificate
+        replay), no user-program execution — that is still pushed to a
+        worker over the request frame as mode ``"cached"``.
+        """
+        from repro.core.abcd import ABCDConfig
+
+        self.stats.bump("serve.cache.lookups")
+        loaded = self.store.load(store_fp, ABCDConfig())
+        if not loaded.hit:
+            self.stats.bump("serve.cache.misses")
+            if loaded.reason is not None:
+                # Present-but-wrong bytes: quarantined by the store, and
+                # this request falls back to a fresh compile.
+                self.stats.bump("serve.cache.rejected")
+            return None
+        wire_extra = {
+            "mode": "cached",
+            "ir": loaded.ir_text,
+            "eliminated": loaded.eliminations,
+        }
+        kind, payload = self._dispatch(frame, "cached", 0, wire_extra=wire_extra)
+        if kind != "response" or payload.get("status") != "ok":
+            # The hit was sound but its execution dispatch failed (worker
+            # death, deadline, ...): never lose the request — fall back
+            # to the ordinary optimized path.
+            self.stats.bump("serve.cache.dispatch-failures")
+            return None
+        self.stats.bump("serve.cache.hits")
+        payload.update(
+            fingerprint=fingerprint,
+            attempts=1,
+            cache="hit",
+            store_fingerprint=store_fp,
+        )
+        return payload
+
+    def _absorb_store_entry(
+        self, payload: Dict[str, Any], store_fp: Optional[str]
+    ) -> None:
+        """Strip a capture-mode response's store fields and commit the
+        captured entry (the supervisor owns the only store handle)."""
+        entry_obj = payload.pop("store_entry", None)
+        uncacheable = payload.pop("store_uncacheable", None)
+        if self.store is None or store_fp is None:
+            return
+        if entry_obj is None:
+            self.stats.bump("serve.cache.uncacheable")
+            payload["cache"] = f"miss-unstored: {uncacheable or 'not captured'}"
+            return
+        from repro.store.entry import EntryError, entry_from_payload
+
+        try:
+            entry = entry_from_payload(entry_obj)
+            if entry.fingerprint != store_fp:
+                raise EntryError("fingerprint", "captured entry key mismatch")
+        except EntryError as exc:
+            self.stats.bump("serve.cache.bad-entry")
+            payload["cache"] = f"miss-unstored: {exc.reason}"
+            return
+        if self.store.put(entry):
+            self.stats.bump("serve.cache.stored")
+            payload["cache"] = "miss-stored"
+        else:
+            self.stats.bump("serve.cache.store-errors")
+            payload["cache"] = "miss-unstored: store write failed"
+
     def _dispatch(
-        self, frame: Dict[str, Any], mode: str, attempt: int
+        self,
+        frame: Dict[str, Any],
+        mode: str,
+        attempt: int,
+        wire_extra: Optional[Dict[str, Any]] = None,
     ) -> Tuple[str, Any]:
         """One attempt on one worker.
 
@@ -421,6 +602,12 @@ class Supervisor:
         for optional in ("inline", "chaos"):
             if optional in frame:
                 wire[optional] = frame[optional]
+        if mode == "optimized" and frame.get("_cache_fp"):
+            # Store miss in flight: ask the worker to certify + capture.
+            wire["cache"] = "capture"
+            wire["fingerprint"] = frame["_cache_fp"]
+        if wire_extra:
+            wire.update(wire_extra)
         try:
             worker.send(wire)
             response = worker.read_frame(self.config.deadline, self._clock)
@@ -449,7 +636,7 @@ class Supervisor:
     # ------------------------------------------------------------------
 
     def status_payload(self, request_id: Any = None) -> Dict[str, Any]:
-        return {
+        payload = {
             "id": request_id,
             "status": "ok",
             "op": "status",
@@ -461,6 +648,12 @@ class Supervisor:
                 for worker in self.pool
             ],
         }
+        if self.store is not None:
+            payload["cache"] = {
+                "store": self.store.stats_payload(),
+                "invariant_violations": self.store.invariant_violations(),
+            }
+        return payload
 
     # ------------------------------------------------------------------
     # Serve loops (stdio and Unix socket).

@@ -134,6 +134,41 @@ def _raw_write(data: bytes) -> None:
     sys.stdout.buffer.flush()
 
 
+def _attach_store_entry(
+    response: Dict[str, Any],
+    capture,
+    report,
+    frame: Dict[str, Any],
+    program,
+) -> None:
+    """Attach a captured store entry to a capture-requested response.
+
+    The supervisor owns the store handle; the worker only ships the
+    entry's payload object back over its response frame.  Uncacheable
+    results (gate revert, pass failure, quarantined function, uncertified
+    elimination) ship nothing — the store just stays cold for the key.
+    Entries that would push the frame past the protocol cap are dropped
+    too: losing a cache write must never lose the response.
+    """
+    from repro.store.entry import entry_payload
+
+    if report.pass_failures:
+        capture.mark_uncacheable("pass failures during optimization")
+    if report.quarantined_functions:
+        capture.mark_uncacheable("certify quarantined a function")
+    entry = capture.build_entry(frame.get("fingerprint", ""), program)
+    if entry is None:
+        response["store_uncacheable"] = capture.reason or "not captured"
+        return
+    try:
+        payload = entry_payload(entry)
+        response["store_entry"] = payload
+        protocol.encode_frame(response)  # size probe against the frame cap
+    except (protocol.ProtocolError, RecursionError, ValueError, TypeError):
+        response.pop("store_entry", None)
+        response["store_uncacheable"] = "entry exceeds response frame cap"
+
+
 def _serve_request(
     frame: Dict[str, Any],
     chaos: Optional[Dict[str, Any]],
@@ -146,7 +181,7 @@ def _serve_request(
 
     request_id = frame.get("id")
     op = frame["op"]
-    source = frame["source"]
+    source = frame.get("source", "")  # absent on cached dispatch
     fn = frame.get("fn", "main")
     args = frame.get("args", [])
     mode = frame.get("mode", "optimized")
@@ -161,7 +196,24 @@ def _serve_request(
     }
 
     try:
-        if mode == "degraded":
+        if mode == "cached":
+            # A store hit: the supervisor already climbed the full load
+            # ladder (envelope, fingerprint, IR verify, certificate
+            # replay) and pushes the final optimized IR over the frame.
+            # This worker only parses and executes it — no source
+            # compile, no optimizer, no chaos (chaos models optimizer
+            # bugs and the optimizer never ran here).
+            from repro.ir.parser import parse_ir_program
+            from repro.ir.verifier import verify_program
+
+            program = parse_ir_program(frame.get("ir", ""))
+            verify_program(program)
+            response["report"] = {
+                "analyzed": 0,
+                "eliminated": int(frame.get("eliminated", 0)),
+                "rollbacks": 0,
+            }
+        elif mode == "degraded":
             # Pure lowering + e-SSA: no standard opts, no ABCD, every
             # check intact — the unoptimized reference behavior.
             session = CompilationSession()
@@ -169,7 +221,19 @@ def _serve_request(
             response["report"] = {"analyzed": 0, "eliminated": 0, "rollbacks": 0}
         else:
             _maybe_inject_chaos(chaos, frame, mem_cap_applied)
-            session = CompilationSession(config=ABCDConfig())
+            capture = None
+            config = ABCDConfig()
+            if frame.get("cache") == "capture":
+                # The supervisor missed the store on this fingerprint:
+                # certify is forced on (stored entries must carry
+                # replayable certificates) and the pre-removal state is
+                # captured so the response can carry a store entry.
+                from repro.store.capture import StoreCapture
+                from repro.store.service import certifying_config
+
+                capture = StoreCapture()
+                config = certifying_config(config)
+            session = CompilationSession(config=config)
             program = session.compile(
                 source, standard_opts=True, inline=bool(frame.get("inline", False))
             )
@@ -183,16 +247,21 @@ def _serve_request(
                     entry=fn,
                     inputs=(tuple(args),),
                     fuel=fuel,
+                    capture=capture,
                 )
                 report = gated.report
                 response["gate_reverted"] = gated.reverted
+                if capture is not None and gated.reverted:
+                    capture.mark_uncacheable("differential gate reverted")
             else:
-                report = session.optimize(program)
+                report = session.optimize(program, capture=capture)
             response["report"] = {
                 "analyzed": report.analyzed,
                 "eliminated": report.eliminated_count(),
                 "rollbacks": len(report.pass_failures),
             }
+            if capture is not None:
+                _attach_store_entry(response, capture, report, frame, program)
     except ReproError as exc:
         # Deterministic user error (syntax/type/lowering): terminal, not
         # a worker failure — retrying cannot change the answer.
@@ -224,6 +293,10 @@ def _serve_request(
     return response
 
 
+class _DrainRequested(Exception):
+    """SIGTERM arrived while idle-reading: exit the serve loop now."""
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(prog="repro.serve.worker")
     parser.add_argument(
@@ -239,10 +312,34 @@ def main(argv=None) -> int:
         mem_cap_applied = address_space_cap(args.mem_mb * 1024 * 1024)
     chaos = _load_chaos_config()
 
+    # SIGTERM = drain, not drop: finish the in-flight request, write and
+    # flush its response (which may carry a captured store entry — the
+    # supervisor must never receive half a frame), then exit.  Only when
+    # idle in readline does the handler interrupt immediately.
+    drain = {"reading": False, "stop": False}
+
+    def _on_sigterm(signum, _frame):
+        drain["stop"] = True
+        if drain["reading"]:
+            raise _DrainRequested()
+
+    try:
+        import signal
+
+        signal.signal(signal.SIGTERM, _on_sigterm)
+    except (ValueError, OSError):
+        pass  # non-main thread (tests driving main() directly)
+
     stdin = sys.stdin.buffer
     served = 0
     while True:
-        line = stdin.readline()
+        drain["reading"] = True
+        try:
+            line = stdin.readline()
+        except _DrainRequested:
+            return 0
+        finally:
+            drain["reading"] = False
         if not line:
             return 0  # supervisor closed our stdin: drain complete
         try:
@@ -275,6 +372,8 @@ def main(argv=None) -> int:
                 "message": f"{type(exc).__name__}: {exc}",
             }
         _raw_write(protocol.encode_frame(response))
+        if drain["stop"]:
+            return 0  # drained: response flushed, exit cleanly
 
 
 if __name__ == "__main__":

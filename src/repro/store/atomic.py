@@ -1,0 +1,69 @@
+"""Crash-safe filesystem primitives for the certificate store.
+
+Every durable byte the store (and the fuzz corpus) writes goes through
+:func:`atomic_write_bytes`: the payload lands in a temporary file on the
+same filesystem, is flushed and fsynced, and is then renamed over the
+destination with ``os.replace`` — a single atomic step on POSIX.  A crash
+(or a worker SIGKILL) at any instant therefore leaves either the old
+entry, the new entry, or a stray ``*.tmp`` file that the store's recovery
+scan deletes on the next open; it can never leave a half-written entry
+under the final name.
+
+The directory fsync after the rename makes the rename itself durable: a
+power cut after ``os.replace`` but before the directory metadata reaches
+disk could otherwise resurrect the old entry.  Concurrent writers racing
+on one destination are safe by the same mechanism — each rename is
+atomic, so the last writer wins wholesale and readers never observe a
+mix of the two payloads.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+
+#: Suffix of in-flight temporaries; the recovery scan removes leftovers.
+TMP_SUFFIX = ".tmp"
+
+
+def fsync_dir(path: str) -> None:
+    """fsync a directory so a rename into it survives power loss."""
+    fd = os.open(path, os.O_RDONLY)
+    try:
+        os.fsync(fd)
+    finally:
+        os.close(fd)
+
+
+def atomic_write_bytes(path: str, data: bytes, tmp_dir: str = None) -> None:
+    """Atomically replace ``path`` with ``data`` (tmp + fsync + rename).
+
+    ``tmp_dir`` chooses where the temporary lives (it must share a
+    filesystem with ``path``); by default it is the destination's own
+    directory.  On any failure the temporary is unlinked and the
+    destination is untouched.
+    """
+    path = os.fspath(path)
+    directory = os.path.dirname(path) or "."
+    staging = os.fspath(tmp_dir) if tmp_dir is not None else directory
+    fd, tmp_path = tempfile.mkstemp(
+        prefix=os.path.basename(path) + ".", suffix=TMP_SUFFIX, dir=staging
+    )
+    try:
+        with os.fdopen(fd, "wb") as handle:
+            handle.write(data)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp_path, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_path)
+        except OSError:
+            pass
+        raise
+    fsync_dir(directory)
+
+
+def atomic_write_text(path: str, text: str, tmp_dir: str = None) -> None:
+    """UTF-8 text form of :func:`atomic_write_bytes`."""
+    atomic_write_bytes(path, text.encode("utf-8"), tmp_dir=tmp_dir)

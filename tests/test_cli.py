@@ -165,3 +165,65 @@ class TestBench:
 
     def test_bench_unknown_name(self, capsys):
         assert main(["bench", "--names", "nothing"]) == 1
+
+
+class TestCacheCLI:
+    def cache_args(self, tmp_path):
+        return str(tmp_path / "cache")
+
+    def test_optimize_cache_miss_then_hit(self, source_file, tmp_path, capsys):
+        cache = self.cache_args(tmp_path)
+        assert main(["optimize", source_file, "--cache-dir", cache]) == 0
+        first = capsys.readouterr().out
+        assert "cache: miss" in first
+        assert "stored" in first
+        assert main(["optimize", source_file, "--cache-dir", cache]) == 0
+        second = capsys.readouterr().out
+        assert "cache: hit" in second
+        assert "re-checked" in second
+
+    def test_cache_stats_and_verify(self, source_file, tmp_path, capsys):
+        cache = self.cache_args(tmp_path)
+        main(["optimize", source_file, "--cache-dir", cache])
+        capsys.readouterr()
+        assert main(["cache", "stats", "--cache-dir", cache]) == 0
+        out = capsys.readouterr().out
+        assert "entries: 1" in out
+        assert main(["cache", "verify", "--cache-dir", cache]) == 0
+        out = capsys.readouterr().out
+        assert "ok" in out and "replayed" in out
+
+    def test_cache_verify_rejects_corruption(self, source_file, tmp_path, capsys):
+        from repro.robustness.faults import DISK_FAULTS
+        from repro.store import CertStore
+
+        cache = self.cache_args(tmp_path)
+        main(["optimize", source_file, "--cache-dir", cache])
+        capsys.readouterr()
+        store = CertStore(cache)
+        fingerprint = next(store.iter_fingerprints())
+        DISK_FAULTS["disk-flip-payload-byte"].corrupt(store.entry_path(fingerprint))
+        assert main(["cache", "verify", "--cache-dir", cache]) == 1
+        assert "REJECTED" in capsys.readouterr().out
+
+    def test_cache_gc_and_evict(self, source_file, tmp_path, capsys):
+        cache = self.cache_args(tmp_path)
+        main(["optimize", source_file, "--cache-dir", cache])
+        capsys.readouterr()
+        from repro.store import CertStore
+
+        fingerprint = next(CertStore(cache).iter_fingerprints())
+        assert main(["cache", "evict", fingerprint, "--cache-dir", cache]) == 0
+        assert main(["cache", "evict", fingerprint, "--cache-dir", cache]) == 1
+        capsys.readouterr()
+        assert main(["cache", "gc", "--cache-dir", cache, "--max-entries", "0"]) == 0
+
+    def test_cache_stats_json(self, source_file, tmp_path, capsys):
+        import json
+
+        cache = self.cache_args(tmp_path)
+        main(["optimize", source_file, "--cache-dir", cache])
+        capsys.readouterr()
+        assert main(["cache", "stats", "--cache-dir", cache, "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["entries"] == 1

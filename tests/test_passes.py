@@ -254,6 +254,7 @@ class TestRegistry:
             "pre",
             "certify",
             "check-removal",
+            "store-capture",
         }
         for name, p in PASS_REGISTRY.items():
             assert p.name == name

@@ -16,6 +16,7 @@ import os
 import random
 import signal
 import threading
+import time
 
 import pytest
 
@@ -604,3 +605,229 @@ class TestServeStdio:
         assert lines[0]["error"] == "ProtocolError"
         assert lines[1]["id"] == "a"
         assert lines[1]["status"] == "ok"
+
+
+# ----------------------------------------------------------------------
+# The persistent certificate store behind the supervisor.
+# ----------------------------------------------------------------------
+
+
+class TestServeCache:
+    def cached_supervisor(self, tmp_path, **overrides):
+        config = fast_config(workers=1, cache_dir=str(tmp_path / "cache"))
+        for name, value in overrides.items():
+            setattr(config, name, value)
+        return Supervisor(config=config)
+
+    def test_miss_stores_then_hits(self, tmp_path):
+        sup = self.cached_supervisor(tmp_path)
+        try:
+            first = sup.handle_request(
+                {"op": "run", "id": "a", "source": SUM_SOURCE}
+            )
+            assert first["status"] == "ok" and first["value"] == 28
+            assert first["cache"] == "miss-stored"
+            second = sup.handle_request(
+                {"op": "run", "id": "b", "source": SUM_SOURCE}
+            )
+            assert second["status"] == "ok" and second["value"] == 28
+            assert second["cache"] == "hit"
+            assert second["mode"] == "cached"
+            status = sup.status_payload()
+            assert status["cache"]["invariant_violations"] == 0
+            assert status["counters"]["serve.cache.hits"] == 1
+        finally:
+            sup.shutdown()
+
+    def test_hit_survives_supervisor_restart(self, tmp_path):
+        sup = self.cached_supervisor(tmp_path)
+        try:
+            sup.handle_request({"op": "run", "id": "a", "source": SUM_SOURCE})
+        finally:
+            sup.shutdown()
+        fresh = self.cached_supervisor(tmp_path)
+        try:
+            response = fresh.handle_request(
+                {"op": "run", "id": "b", "source": SUM_SOURCE}
+            )
+            assert response["cache"] == "hit"
+            assert response["value"] == 28
+        finally:
+            fresh.shutdown()
+
+    def test_corrupted_entry_falls_back_to_fresh_compile(self, tmp_path):
+        from repro.robustness.faults import DISK_FAULTS
+
+        sup = self.cached_supervisor(tmp_path)
+        try:
+            sup.handle_request({"op": "run", "id": "a", "source": SUM_SOURCE})
+            fingerprint = next(sup.store.iter_fingerprints())
+            DISK_FAULTS["disk-flip-payload-byte"].corrupt(
+                sup.store.entry_path(fingerprint)
+            )
+            response = sup.handle_request(
+                {"op": "run", "id": "b", "source": SUM_SOURCE}
+            )
+            # Correct answer, not served from the corrupted entry.
+            assert response["status"] == "ok" and response["value"] == 28
+            assert response["cache"] != "hit"
+            assert sup.store.counters.get("store.quarantined") == 1
+            assert sup.store.invariant_violations() == 0
+        finally:
+            sup.shutdown()
+
+    def test_trap_identity_preserved_through_cache(self, tmp_path):
+        sup = self.cached_supervisor(tmp_path)
+        try:
+            cold = sup.handle_request(
+                {"op": "run", "id": "a", "source": TRAP_SOURCE}
+            )
+            warm = sup.handle_request(
+                {"op": "run", "id": "b", "source": TRAP_SOURCE}
+            )
+            for field in ("trap", "check_id", "index", "length", "kind"):
+                assert warm.get(field) == cold.get(field)
+        finally:
+            sup.shutdown()
+
+    def test_gate_reverted_results_are_not_cached(self, tmp_path):
+        from repro.store.capture import StoreCapture
+
+        capture = StoreCapture()
+        capture.mark_uncacheable("differential gate reverted")
+        assert capture.build_entry("ff" * 32, None) is None
+
+    def test_unusable_cache_dir_degrades_to_no_caching(self, tmp_path):
+        blocker = tmp_path / "blocked"
+        blocker.write_bytes(b"a file, not a directory")
+        sup = Supervisor(
+            config=fast_config(workers=1, cache_dir=str(blocker))
+        )
+        try:
+            response = sup.handle_request(
+                {"op": "run", "id": "a", "source": SUM_SOURCE}
+            )
+            assert response["status"] == "ok" and response["value"] == 28
+            assert sup.store is None
+            assert sup.stats.counters.get("serve.cache.disabled") == 1
+        finally:
+            sup.shutdown()
+
+
+class TestBreakerPersistence:
+    def test_round_trip_preserves_remaining_cooldown(self):
+        now = [1000.0]
+        breaker = CircuitBreaker(
+            failure_threshold=1, cooldown=30.0, clock=lambda: now[0]
+        )
+        assert breaker.record_failure("fp-open")
+        now[0] += 10.0  # 20s of cooldown left
+        snapshot = breaker.to_persist()
+
+        later = [5.0]  # a fresh process: the monotonic clock restarted
+        restored = CircuitBreaker(
+            failure_threshold=1, cooldown=30.0, clock=lambda: later[0]
+        )
+        assert restored.restore(snapshot) == 1
+        assert not restored.allow_optimized("fp-open")
+        later[0] += 19.0
+        assert not restored.allow_optimized("fp-open")
+        later[0] += 2.0  # past the remaining 20s: half-open probe admitted
+        assert restored.allow_optimized("fp-open")
+
+    def test_restore_skips_malformed_items(self):
+        breaker = CircuitBreaker()
+        restored = breaker.restore(
+            {
+                "states": [
+                    {"fingerprint": 42},
+                    {"no": "fingerprint"},
+                    {"fingerprint": "good", "state": "open",
+                     "cooldown_remaining": "NaN-ish"},
+                    "not even a dict",
+                    {"fingerprint": "fine", "state": "closed"},
+                ]
+            }
+        )
+        assert restored == 1
+        assert breaker.state_of("fine").state == CLOSED
+
+    def test_restore_tolerates_garbage_payload(self):
+        assert CircuitBreaker().restore("garbage") == 0
+        assert CircuitBreaker().restore({"states": "nope"}) == 0
+
+    def test_open_breaker_survives_supervisor_restart(self, tmp_path):
+        cache_dir = str(tmp_path / "cache")
+        config = fast_config(
+            workers=1, cache_dir=cache_dir, retries=0, breaker_threshold=1
+        )
+        sup = Supervisor(config=config)
+        try:
+            sup.start()
+            # One fatal chaos-free failure path: kill the worker via a
+            # hang... simpler: drive the breaker directly and persist.
+            assert sup.breaker.record_failure("fp-x")
+            sup._persist_breakers()
+        finally:
+            sup.shutdown()
+        fresh = Supervisor(config=config)
+        try:
+            fresh.start()
+            assert fresh.stats.counters.get("serve.breakers-restored") == 1
+            assert not fresh.breaker.allow_optimized("fp-x")
+        finally:
+            fresh.shutdown()
+
+
+class TestWorkerDrain:
+    def spawn_worker(self):
+        import subprocess
+        import sys as _sys
+
+        env = dict(os.environ)
+        package_root = os.path.join(os.path.dirname(__file__), "..", "src")
+        env["PYTHONPATH"] = os.path.abspath(package_root)
+        return subprocess.Popen(
+            [_sys.executable, "-m", "repro.serve.worker"],
+            stdin=subprocess.PIPE,
+            stdout=subprocess.PIPE,
+            stderr=subprocess.DEVNULL,
+            env=env,
+        )
+
+    def test_sigterm_while_idle_exits_cleanly(self):
+        proc = self.spawn_worker()
+        try:
+            frame = {"op": "run", "id": "w1", "source": SUM_SOURCE,
+                     "fn": "main", "args": [], "mode": "degraded",
+                     "fuel": 1_000_000}
+            proc.stdin.write(protocol.encode_frame(frame))
+            proc.stdin.flush()
+            response = protocol.decode_frame(proc.stdout.readline())
+            assert response["value"] == 28
+            proc.send_signal(signal.SIGTERM)
+            # A clean drain, not a signal death (-SIGTERM).
+            assert proc.wait(timeout=10) == 0
+        finally:
+            proc.kill()
+
+    def test_sigterm_mid_request_flushes_the_response_first(self):
+        proc = self.spawn_worker()
+        try:
+            frame = {"op": "run", "id": "w2", "source": SUM_SOURCE,
+                     "fn": "main", "args": [], "mode": "optimized",
+                     "fuel": 50_000_000}
+            proc.stdin.write(protocol.encode_frame(frame))
+            proc.stdin.flush()
+            # Let the worker pick the frame off stdin, then SIGTERM while
+            # the request is in flight: the drain must finish the request
+            # and flush the response before exiting.
+            time.sleep(0.3)
+            proc.send_signal(signal.SIGTERM)
+            line = proc.stdout.readline()
+            assert line, "response lost on SIGTERM"
+            response = protocol.decode_frame(line)
+            assert response["id"] == "w2" and response["value"] == 28
+            assert proc.wait(timeout=10) == 0
+        finally:
+            proc.kill()

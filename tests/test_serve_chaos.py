@@ -161,3 +161,61 @@ class TestVerifier:
         result.responses = 9
         assert result.lost == 1
         assert not result.passed
+
+
+# ----------------------------------------------------------------------
+# The corruption storm: disk faults against the persistent store.
+# ----------------------------------------------------------------------
+
+
+class TestCorruptionStorm:
+    def test_small_corruption_storm_passes(self, tmp_path):
+        from repro.serve.chaos import format_corruption_storm, run_corruption_storm
+
+        result = run_corruption_storm(
+            requests=20,
+            disk_fault_rate=0.3,
+            kill_rate=0.1,
+            seed=7,
+            workers=2,
+            cache_dir=str(tmp_path / "cache"),
+            byte_identity_samples=2,
+        )
+        assert result.passed, format_corruption_storm(result)
+        assert result.lost == 0
+        assert sum(result.injected_disk_faults.values()) > 0
+        assert result.verify_rejections == 0
+        assert result.invariant_violations == 0
+        # The mid-storm restart recovered the planted torn tmp file.
+        assert result.supervisor_restarts == 1
+        assert result.recovered_tmp >= 1
+        # Warm phase replays the same pool against the surviving store.
+        assert result.warm_hit_rate >= result.min_warm_hit_rate
+        assert result.byte_identical_checked == 2
+
+    def test_corruption_storm_json_payload_is_complete(self, tmp_path):
+        import json
+
+        from repro.serve.chaos import run_corruption_storm
+
+        result = run_corruption_storm(
+            requests=8,
+            disk_fault_rate=0.0,
+            kill_rate=0.0,
+            seed=3,
+            workers=1,
+            cache_dir=str(tmp_path / "cache"),
+            byte_identity_samples=0,
+        )
+        payload = json.loads(json.dumps(result.to_json()))
+        for key in (
+            "passed",
+            "requests",
+            "responses",
+            "warm_hit_rate",
+            "verify_rejections",
+            "invariant_violations",
+            "counters",
+        ):
+            assert key in payload
+        assert payload["passed"] is True
