@@ -1,0 +1,167 @@
+"""E9 — the demand/closure solver crossover (DESIGN.md §16).
+
+The hybrid scheduler in ``repro.core.backend`` needs one number: the
+per-function check count at which the DBM closure tier's up-front row
+closure amortizes below the demand engine's per-query traversals.  This
+file *measures* that number instead of guessing it, on two inputs:
+
+* a **nested-guard chain family** — ``k`` checks at guard depths
+  ``1..k`` against one array, so check ``d``'s upper proof must walk a
+  length-``d`` inequality chain.  This family separates the two regimes
+  cleanly: in plain mode the demand engine's shared dual-direction memo
+  answers every chain suffix once (linear in ``k``), while in certify
+  mode each check runs a fresh demand session (witness independence)
+  and the total re-traversal cost grows quadratically.  The closure
+  matrix is shared in both modes, so its cost stays linear — the
+  certify-mode curves cross, and where they cross is the scheduler's
+  threshold;
+* the **bench corpus** under certification — the realistic check
+  densities, confirming the synthetic crossover's sign on real
+  programs.
+
+Cost units: the demand engine reports ``solver.steps.*`` (vertices
+entered); the closure tier reports ``solver.dbm_cells_relaxed`` (cell
+evaluations + in-edge relaxations).  Both count one constant-work graph
+visit, so the curves are directly comparable.
+
+The derived crossover is pinned three ways — the scheduler constant
+(:data:`~repro.core.backend.HYBRID_CROSSOVER_CHECKS`), the budget file
+(``perf_budget.json:hybrid_crossover_checks``), and this benchmark —
+and ``check_perf_budget.py`` fails CI when they drift apart.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from typing import Dict, List, Tuple
+
+from repro.bench.corpus import CORPUS
+from repro.core.abcd import ABCDConfig
+from repro.core.backend import HYBRID_CROSSOVER_CHECKS
+from repro.passes.session import CompilationSession
+
+BUDGET_PATH = pathlib.Path(__file__).resolve().parent / "perf_budget.json"
+
+#: Chain depths swept for the synthetic family (2 checks per depth).
+CHAIN_DEPTHS = (1, 2, 3, 4, 6, 8, 12, 16)
+
+
+def chain_program(k: int) -> str:
+    """``k`` checks at guard depths 1..k against one array."""
+    lines = [
+        "fn deep(a: int[], i0: int): int {",
+        "  let s: int = 0;",
+        "  if (i0 >= 0) { if (i0 < len(a)) {",
+    ]
+    indent = "    "
+    for d in range(1, k + 1):
+        lines.append(f"{indent}let i{d}: int = i{d - 1} - 1;")
+        lines.append(f"{indent}if (i{d} >= 0) {{")
+        lines.append(f"{indent}  s = s + a[i{d}];")
+        indent += "  "
+    lines.append(indent + "s = s + 0;")
+    for _ in range(k):
+        indent = indent[:-2]
+        lines.append(indent + "}")
+    lines.append("  } }")
+    lines.append("  return s;")
+    lines.append("}")
+    lines.append(
+        "fn main(): int { let a: int[] = new int[64]; return deep(a, 10); }"
+    )
+    return "\n".join(lines)
+
+
+def solver_cost(source: str, backend: str, certify: bool) -> Tuple[int, int]:
+    """(analyzed checks, solver work units) for one static analysis."""
+    session = CompilationSession(
+        config=ABCDConfig(solver_backend=backend, certify=certify)
+    )
+    program = session.compile(source)
+    report = session.optimize(program)
+    counters = session.stats.to_json()["counters"]
+    if backend == "demand":
+        cost = counters.get("solver.steps.upper", 0) + counters.get(
+            "solver.steps.lower", 0
+        )
+    else:
+        cost = counters.get("solver.dbm_cells_relaxed", 0)
+    assert not report.certificates_rejected
+    return report.analyzed, cost
+
+
+def sweep_chain(certify: bool) -> List[Dict[str, int]]:
+    rows = []
+    for depth in CHAIN_DEPTHS:
+        source = chain_program(depth)
+        checks, demand = solver_cost(source, "demand", certify)
+        _, closure = solver_cost(source, "closure", certify)
+        rows.append(
+            {"depth": depth, "checks": checks, "demand": demand, "closure": closure}
+        )
+    return rows
+
+
+def derive_crossover(rows: List[Dict[str, int]]) -> int:
+    """Smallest measured check count from which the closure tier stays
+    at or below the demand cost for every denser point in the sweep."""
+    crossover = None
+    for row in reversed(rows):
+        if row["closure"] <= row["demand"]:
+            crossover = row["checks"]
+        else:
+            break
+    assert crossover is not None, "closure tier never amortized in the sweep"
+    return crossover
+
+
+def test_certify_crossover_matches_scheduler_constant():
+    plain = sweep_chain(certify=False)
+    certified = sweep_chain(certify=True)
+
+    print()
+    print("E9 — solver work per backend, nested-guard chain family")
+    print(f"{'checks':>7} {'demand':>8} {'closure':>8}   (plain mode)")
+    for row in plain:
+        print(f"{row['checks']:>7} {row['demand']:>8} {row['closure']:>8}")
+    print(f"{'checks':>7} {'demand':>8} {'closure':>8}   (certify mode)")
+    for row in certified:
+        print(f"{row['checks']:>7} {row['demand']:>8} {row['closure']:>8}")
+
+    # Plain mode: the shared demand memo must stay the cheaper tier at
+    # every measured density — this is why the hybrid scheduler only
+    # switches under certification.
+    for row in plain:
+        assert row["demand"] <= row["closure"], row
+
+    crossover = derive_crossover(certified)
+    print(f"measured certify-mode crossover: {crossover} checks/function")
+    assert crossover == HYBRID_CROSSOVER_CHECKS, (
+        f"measured crossover {crossover} drifted from the scheduler "
+        f"constant {HYBRID_CROSSOVER_CHECKS}; re-measure and update "
+        f"backend.HYBRID_CROSSOVER_CHECKS + perf_budget.json together"
+    )
+    budget = json.loads(BUDGET_PATH.read_text())
+    assert budget.get("hybrid_crossover_checks") == crossover, (
+        "perf_budget.json:hybrid_crossover_checks disagrees with the "
+        f"measured crossover {crossover}"
+    )
+
+
+def test_corpus_certify_costs_favor_the_scheduler_choice():
+    """On real corpus programs the hybrid scheduler's certify-mode choice
+    must not be worse than always-demand by more than the closure tier's
+    constant factor on sparse functions."""
+    print()
+    print("E9 — certify-mode solver work per corpus program")
+    print(f"{'program':>18} {'checks':>7} {'demand':>8} {'closure':>8}")
+    total_demand = total_closure = 0
+    for program_def in CORPUS:
+        source = program_def.source()
+        checks, demand = solver_cost(source, "demand", certify=True)
+        _, closure = solver_cost(source, "closure", certify=True)
+        total_demand += demand
+        total_closure += closure
+        print(f"{program_def.name:>18} {checks:>7} {demand:>8} {closure:>8}")
+    print(f"{'TOTAL':>18} {'':>7} {total_demand:>8} {total_closure:>8}")

@@ -1,0 +1,186 @@
+"""Pluggable solver backends behind one per-function proof surface.
+
+``analyze_checks`` used to talk to :class:`~repro.core.solver.DemandProver`
+directly; this module extracts that contact surface into an explicit
+:class:`SolverBackend` interface so the demand-driven Figure-5 engine and
+the DBM closure tier (:mod:`repro.core.dbm`) are interchangeable per
+function session:
+
+* ``prove(source, target, budget, direction)`` — one check's query,
+  returning the same :class:`~repro.core.solver.ProveOutcome` the demand
+  engine produces (result, per-query steps, budget exhaustion, and — in
+  certify sessions — a replayable witness);
+* ``prepare(queries)`` / ``prove_all(queries)`` — the batch form: a
+  closure backend warms every needed matrix row in one sweep, after
+  which each ``prove`` answers from the closed matrix;
+* ``counters()`` — backend telemetry folded into the pass-manager
+  ``solver.*`` counters (demand: steps/frames/frontier; closure:
+  cells relaxed / rows closed).
+
+The scheduler (``resolve_backend``) implements the ``hybrid`` setting:
+pick the closure tier when a function's check density crosses the
+measured break-even point, demand-DFS otherwise.  The crossover constant
+is *measured*, not guessed — ``benchmarks/bench_solver_tiers.py`` sweeps
+the bench corpus plus synthetic check-dense functions and derives the
+smallest per-function check count at which the closure tier's up-front
+O(rows x cells) cost amortizes below the demand engine's per-query
+traversal; ``benchmarks/perf_budget.json`` gates the constant against
+drift (``check_perf_budget.py --solver-crossover``).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.core.graph import Node
+from repro.core.solver import ProveOutcome
+
+#: Query tuples handed to the batch interface:
+#: ``(source, target, budget, direction)``.
+SolverQuery = Tuple[Node, Node, int, str]
+
+#: The measured demand/closure break-even point, in analyzed checks per
+#: function, for *certifying* sessions — the regime where the demand
+#: engine runs one fresh session per query (witness independence) and
+#: so re-pays proof-chain traversals the closure matrix shares.  On the
+#: ``bench_solver_tiers.py`` nested-guard chain family the demand cost
+#: grows quadratically with chain depth while the closure tier stays
+#: linear; the curves cross between 6 checks (demand 75 vs closure 76
+#: work units) and 8 checks (demand 120 vs closure 100).  In plain mode
+#: the shared dual-direction demand session measured cheaper at every
+#: density (its memo amortizes exactly the reuse closure offers, with a
+#: smaller constant), so the hybrid scheduler only switches tiers under
+#: certification.  Derived by ``benchmarks/bench_solver_tiers.py`` (see
+#: DESIGN.md §16 for the measurement table) and gated in
+#: ``benchmarks/perf_budget.json`` — update both together, never this
+#: constant alone.
+HYBRID_CROSSOVER_CHECKS = 8
+
+#: Recognized ``ABCDConfig.solver_backend`` settings.
+SOLVER_BACKENDS = ("demand", "closure", "hybrid")
+
+
+class SolverBackend:
+    """One function session's proof engine.
+
+    Concrete backends implement :meth:`prove`; the batch entry points
+    have interchange-friendly defaults (a backend with no batch
+    advantage simply answers queries one at a time).
+    """
+
+    name = "abstract"
+
+    def prepare(self, queries: Iterable[SolverQuery]) -> None:
+        """Warm whatever shared state answers ``queries`` best (no-op by
+        default; the closure backend closes every needed row here)."""
+
+    def prove(
+        self, source: Node, target: Node, budget: int, direction: str
+    ) -> ProveOutcome:
+        raise NotImplementedError
+
+    def prove_all(self, queries: Sequence[SolverQuery]) -> List[ProveOutcome]:
+        """Batch-prove, preserving query order."""
+        self.prepare(queries)
+        return [self.prove(*query) for query in queries]
+
+    def counters(self) -> Dict[str, int]:
+        """Session telemetry, keyed relative to the ``solver.`` namespace
+        (``_peak``-suffixed keys merge by maximum, like
+        :meth:`~repro.passes.manager.SessionStats.bump_peak`)."""
+        return {}
+
+
+class DemandBackend(SolverBackend):
+    """The Figure-5 demand engine behind the backend interface.
+
+    ``prover_factory(graph)`` builds one
+    :class:`~repro.core.solver.DemandProver`-compatible session; the
+    factory stays in ``repro.core.abcd`` so the fault-injection harness's
+    ``DemandProver`` substitution keeps working.  In plain mode one
+    shared dual-direction session serves every query of the function
+    (memo reuse across check sites); certify mode — and bundles without
+    a dual graph — fall back to a fresh per-query session, keeping
+    witness bytes independent of which sites ran earlier.
+    """
+
+    name = "demand"
+
+    def __init__(self, bundle, prover_factory: Callable, shared: bool) -> None:
+        self._bundle = bundle
+        self._factory = prover_factory
+        self._shared = None
+        if shared and bundle.dual is not None:
+            self._shared = prover_factory(bundle.dual)
+        self._provers: List = [] if self._shared is None else [self._shared]
+
+    def prove(
+        self, source: Node, target: Node, budget: int, direction: str
+    ) -> ProveOutcome:
+        if self._shared is not None:
+            return self._shared.demand_prove(source, target, budget, direction=direction)
+        graph = self._bundle.upper if direction == "upper" else self._bundle.lower
+        prover = self._factory(graph)
+        self._provers.append(prover)
+        return prover.demand_prove(source, target, budget)
+
+    def counters(self) -> Dict[str, int]:
+        folded: Dict[str, int] = {
+            "frames_pushed": 0,
+            "frontier_peak": 0,
+            "steps.upper": 0,
+            "steps.lower": 0,
+        }
+        for prover in self._provers:
+            # ``getattr`` defaults keep this safe against fault-injected
+            # prover doubles that expose only ``steps``/``budget_exhausted``.
+            folded["frames_pushed"] += getattr(prover, "frames_pushed", 0)
+            folded["frontier_peak"] = max(
+                folded["frontier_peak"], getattr(prover, "frontier_peak", 0)
+            )
+            directed = getattr(prover, "steps_by_direction", None)
+            if directed:
+                for direction, count in directed.items():
+                    key = f"steps.{direction}"
+                    folded[key] = folded.get(key, 0) + count
+        return folded
+
+
+def resolve_backend(config, check_count: int) -> str:
+    """The per-function scheduler: map a ``solver_backend`` setting to a
+    concrete engine for a function with ``check_count`` analyzed checks.
+
+    The hybrid choice follows the measurement behind
+    :data:`HYBRID_CROSSOVER_CHECKS`: the closure tier only amortizes in
+    certifying sessions (per-query demand sessions re-pay chain
+    traversals the shared matrix answers once), and only once the
+    function is check-dense enough to cross the break-even point.
+    """
+    setting = getattr(config, "solver_backend", "demand")
+    if setting not in SOLVER_BACKENDS:
+        raise ValueError(f"bad solver_backend {setting!r}")
+    if setting != "hybrid":
+        return setting
+    if getattr(config, "certify", False) and check_count >= HYBRID_CROSSOVER_CHECKS:
+        return "closure"
+    return "demand"
+
+
+def make_backend(
+    name: str,
+    bundle,
+    config,
+    prover_factory: Callable,
+    extra_vertices: Iterable[Node] = (),
+) -> SolverBackend:
+    """Instantiate the engine ``resolve_backend`` picked.
+
+    ``extra_vertices`` registers query endpoints (check targets, GVN
+    retry sources) that edges alone may not mention, so the closure
+    matrix's vertex universe covers every query it will be asked.
+    """
+    if name == "demand":
+        return DemandBackend(bundle, prover_factory, shared=not config.certify)
+    from repro.core.dbm import ClosureBackend
+
+    return ClosureBackend(bundle, config, extra_vertices=extra_vertices)

@@ -1,0 +1,535 @@
+"""The DBM closure tier: answer every check from a closed matrix row.
+
+Miné-style difference-bound-matrix domains solve the same ``v - u <= c``
+constraint systems ABCD queries on demand, but by **closure**: pay one
+row closure per proof source, then answer every check against that
+source in O(1) from the closed row.  This module implements that second
+solver tier behind the :class:`~repro.core.backend.SolverBackend`
+interface.
+
+A plain Floyd–Warshall closure would be wrong here: the inequality graph
+is not a pure difference system.  φ vertices are **meet** (max) points —
+every incoming control-flow path must bound the value — while ordinary
+vertices are **join** (min) points, three axiom families
+(source-reflexivity, const-const arithmetic, the ``len >= 0`` fact)
+short-circuit the demand solver's traversal, and the demand engine's
+cycle rule is *path-sensitive*: the very same loop is harmless along one
+entry path and amplifying along another (compare a loop counter reached
+before vs. after its increment).  No value-iteration schedule converges
+on that system in a value-independent number of rounds, so the row
+closure instead runs the Figure-5 recursion **in threshold space**: each
+matrix cell ``D[v]`` is the least budget at which ``v - source <= c`` is
+provable, an element of ``Z ∪ {±∞}`` (``+∞`` = unprovable at any budget,
+``-∞`` = provable at every budget, e.g. through a non-positive cycle).
+The cell equations are the demand solver's own rules with the budget
+argument eliminated:
+
+    D(v) = min( axiom(v),  merge over in-edges of v )
+    merge = min over ``D(u) + w``   at min (join) vertices,
+            max over ``D(u) + w``   at φ (meet) vertices,
+
+except that a const target against a const source is *exact* — the cell
+is pinned to the arithmetic gap and never consults edges, mirroring
+``_enter``'s const-const short-circuit.
+
+Cycles are where the budget-space and threshold-space formulations must
+agree exactly.  The demand solver re-enters an active vertex with budget
+``c - W`` (``W`` = the cycle's total weight) and classifies by
+comparison with the active budget ``c``: amplifying iff ``W > 0``.  The
+comparison is budget-*independent* — it depends only on accumulated edge
+weight — so the closure carries the accumulated weight ``acc`` of every
+active vertex and classifies a re-entry the same way: ``acc' <=
+acc[active]`` is a harmless cycle and contributes ``-∞`` ("the cycle
+does not influence the distance"), ``acc' > acc[active]`` is an
+amplifying cycle (``j := j + 1`` with no π bound) and contributes
+``+∞``.  That is this domain's analog of negative-cycle detection, and
+it is evaluated per *path*, exactly as the demand engine does.
+
+Cell memoization follows the demand solver's persistent-memo
+discipline: a value whose derivation closed every cycle within its own
+subtree (empty ``open`` set after sealing the vertex's own cycles) is
+context-free and becomes a matrix cell; a value still depending on an
+active ancestor is context-local and is recomputed per closure walk.
+Every top-level cell evaluation seals all of its cycles by the time it
+pops, so each queried cell — and, transitively, most of the row — ends
+up exact.
+
+Certification adds **zero new trust** in any of this: the closed row is
+a predecessor structure, and :func:`repro.certify.witness.
+witness_from_choices` rebuilds the same axiom/edge/φ derivation
+skeletons the demand solver emits, replayed by the unchanged
+:mod:`repro.certify.checker`.  The witness carries no matrix cell — the
+checker re-telescopes every budget from the root query — so a corrupted
+cell either breaks choice consistency (caught at build time) or yields
+a certificate the replay rejects (see ``tests/test_solver_backends.py``).
+
+``cells_relaxed`` counts every cell/edge evaluation of the closure —
+the closure tier's cost unit, reported next to the demand engine's
+``solver.steps`` in the pass-manager counters and gated per benchmark
+in ``benchmarks/perf_budget.json``.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.certify.witness import WitnessBuildError, witness_from_choices
+from repro.core.backend import SolverBackend, SolverQuery
+from repro.core.graph import Node
+from repro.core.lattice import ProofResult
+from repro.core.solver import DEFAULT_MAX_STEPS, ProveOutcome
+
+INF = math.inf
+NEG_INF = -math.inf
+
+#: Cell states: not yet computed / exact threshold / conservatively
+#: abandoned (resource budget or a dependency on an abandoned cell).
+_UNKNOWN, _EXACT, _EXHAUSTED = 0, 1, 2
+
+#: Open-set sentinel marking a value that depends on an exhausted cell:
+#: never a real vertex index, so such a value is never sealed into an
+#: exact matrix cell.
+_TAINT = -1
+
+_NO_OPEN: frozenset = frozenset()
+
+#: How many evaluation steps pass between wall-clock deadline checks.
+_DEADLINE_STRIDE = 256
+
+
+class _EvalAbandon(Exception):
+    """A per-cell resource budget ran out ("steps" | "deadline")."""
+
+    def __init__(self, which: str) -> None:
+        super().__init__(which)
+        self.which = which
+
+
+@dataclass
+class _Row:
+    """One matrix row: least provable budgets against one source."""
+
+    source: Node
+    #: Per vertex index: the provable threshold (int or ±inf);
+    #: meaningful when the matching ``state`` is not ``_UNKNOWN``.
+    values: List[float]
+    #: Per vertex index: the least budget provable by a *cycle-free*
+    #: derivation (``+inf`` when every proof leans on a harmless cycle).
+    #: The demand solver's ``True``/``Reduced`` distinction in threshold
+    #: form: a query labels ``TRUE`` at or above this, ``REDUCED``
+    #: between the two thresholds.
+    values_true: List[float]
+    state: bytearray
+    #: Per vertex index: the best axiom bound (int or +inf) ...
+    axiom: List[float]
+    #: ... and the axiom rule attaining it (None when no axiom applies).
+    axiom_rule: List[Optional[str]]
+    #: Which resource ran out, for cells abandoned conservatively.
+    exhausted: Dict[int, str] = field(default_factory=dict)
+
+
+class _Frame:
+    """One suspended threshold merge (the closure's analog of the demand
+    solver's ``_Frame``): the vertex's merge accumulator while its
+    in-edges are evaluated one by one."""
+
+    __slots__ = ("i", "acc", "edges", "index", "axiom_bound", "merged", "merged_true", "is_phi", "open")
+
+    def __init__(self, i: int, acc: int, edges, axiom_bound: float, is_phi: bool):
+        self.i = i
+        self.acc = acc
+        self.edges = edges
+        self.index = 0
+        self.axiom_bound = axiom_bound
+        self.merged = NEG_INF if is_phi else INF
+        self.merged_true = self.merged
+        self.is_phi = is_phi
+        self.open: frozenset = _NO_OPEN
+
+
+class ClosureMatrix:
+    """A dense difference-bound matrix over one direction's vertex
+    universe, closed row by row — and cell by cell — on demand
+    (*incremental* closure: ABCD only ever queries a handful of sources
+    and targets, so whole-universe closure would mostly compute cells
+    nobody reads; each closed cell answers all later queries in O(1)).
+
+    ``extra_vertices`` registers query endpoints that no edge mentions
+    (constant check indices resolve against the virtual descending
+    const-completion, which ``nodes()`` cannot enumerate).
+    """
+
+    def __init__(
+        self,
+        view,
+        extra_vertices: Iterable[Node] = (),
+        max_steps: int = DEFAULT_MAX_STEPS,
+        deadline: Optional[float] = None,
+    ) -> None:
+        self._view = view
+        universe = list(view.nodes())
+        seen = set(universe)
+        for node in extra_vertices:
+            if node not in seen:
+                seen.add(node)
+                universe.append(node)
+        universe.sort(key=str)  # deterministic across hash seeds
+        self.vertices: List[Node] = universe
+        self.index: Dict[Node, int] = {v: i for i, v in enumerate(universe)}
+        # Dense materialization: per-vertex in-edge rows (including the
+        # virtual descending const completion) resolved to indices once.
+        self._in_edges: List[Tuple[Tuple[int, int], ...]] = []
+        self._edge_objs: List[tuple] = []
+        self._phi: List[bool] = []
+        for v in universe:
+            edges = tuple(view.in_edges(v))
+            self._edge_objs.append(edges)
+            self._in_edges.append(
+                tuple((self.index[e.source], e.weight) for e in edges)
+            )
+            self._phi.append(view.is_phi(v))
+        self._max_steps = max_steps
+        self._deadline = deadline
+        self.rows: Dict[Node, _Row] = {}
+        #: Closure cost: every cell/edge evaluation counts one unit.
+        self.cells_relaxed = 0
+        self.rows_closed = 0
+        # Per-evaluation resource state.
+        self._eval_steps = 0
+        self._eval_deadline_at: Optional[float] = None
+
+    # ------------------------------------------------------------------
+    # Rows and axioms.
+    # ------------------------------------------------------------------
+
+    def row(self, source: Node) -> _Row:
+        row = self.rows.get(source)
+        if row is None:
+            n = len(self.vertices)
+            axiom: List[float] = [INF] * n
+            axiom_rule: List[Optional[str]] = [None] * n
+            for i, v in enumerate(self.vertices):
+                axiom[i], axiom_rule[i] = self._axiom_for(source, v)
+            row = _Row(source, [INF] * n, [INF] * n, bytearray(n), axiom, axiom_rule)
+            self.rows[source] = row
+            self.rows_closed += 1
+        return row
+
+    def _axiom_for(self, source: Node, v: Node) -> Tuple[float, Optional[str]]:
+        """Best axiom bound on ``v`` against ``source`` (the leaf rules of
+        the demand solver's ``_enter``).  Apart from the exact const-const
+        case these are *fallthrough* bounds: below them the demand solver
+        keeps traversing edges, so the cell is ``min(axiom, merge)``."""
+        view = self._view
+        if source.kind == "const" and v.kind == "const":
+            # Exact arithmetic fact — pins the cell, never merged.
+            return view.const_value(v) - view.const_value(source), "const-const"
+        if v == source:
+            return 0, "source"
+        if (
+            v.kind == "const"
+            and source.kind == "len"
+            and view.direction == "upper"
+        ):
+            return v.value, "len-nonneg"
+        return INF, None
+
+    # ------------------------------------------------------------------
+    # Cell closure: the Figure-5 recursion in threshold space.
+    # ------------------------------------------------------------------
+
+    def ensure(self, row: _Row, target: Node) -> None:
+        """Close the cell for ``target`` (no-op when already closed)."""
+        i = self.index.get(target)
+        if i is not None and row.state[i] == _UNKNOWN:
+            self._evaluate(row, i)
+
+    def _evaluate(self, row: _Row, root: int) -> None:
+        """One top-level cell evaluation: an iterative depth-first walk
+        mirroring the demand solver's frame machine, with per-evaluation
+        resource budgets (a closure must never hang the compiler)."""
+        self._eval_steps = 0
+        self._eval_deadline_at = (
+            time.monotonic() + self._deadline if self._deadline is not None else None
+        )
+        stack: List[_Frame] = []
+        active: Dict[int, int] = {}
+        try:
+            value = self._enter(row, root, 0, active)
+            if value is None:
+                stack.append(self._pending_frame)
+            while stack:
+                frame = stack[-1]
+                if value is not None:
+                    # Deliver the pending child's thresholds to the merge.
+                    t, t_true, open_set = value
+                    w = frame.edges[frame.index - 1][1]
+                    x = t + w
+                    x_true = t_true + w
+                    if frame.is_phi:
+                        if x > frame.merged:
+                            frame.merged = x
+                        if x_true > frame.merged_true:
+                            frame.merged_true = x_true
+                    else:
+                        if x < frame.merged:
+                            frame.merged = x
+                        if x_true < frame.merged_true:
+                            frame.merged_true = x_true
+                    if open_set:
+                        frame.open = frame.open | open_set
+                    value = None
+                if frame.index < len(frame.edges):
+                    j, w = frame.edges[frame.index]
+                    frame.index += 1
+                    value = self._enter(row, j, frame.acc + w, active)
+                    if value is None:
+                        stack.append(self._pending_frame)
+                else:
+                    stack.pop()
+                    value = self._pop(row, frame, active)
+        except _EvalAbandon as exc:
+            # Conservative abandon: the root keeps +inf ("unprovable at
+            # any budget we can justify") and is flagged, matching the
+            # demand engine's budget-exhausted False.
+            row.state[root] = _EXHAUSTED
+            row.values[root] = INF
+            row.values_true[root] = INF
+            row.exhausted[root] = exc.which
+            return
+        t, t_true, open_set = value
+        if row.state[root] == _UNKNOWN:
+            # The root depended on an exhausted cell (taint): its value is
+            # a sound conservative upper threshold — substituting +inf for
+            # an abandoned dependency only ever raises the result — but it
+            # is not ground truth, so it is stored as exhausted.
+            row.state[root] = _EXHAUSTED
+            row.values[root] = t
+            row.values_true[root] = t_true
+            row.exhausted[root] = "steps"
+
+    def _enter(self, row: _Row, i: int, acc: int, active: Dict[int, int]):
+        """The ``prove()`` call boundary in threshold space: budget
+        checks, closed-cell memo, axioms, and cycle classification;
+        stages a merge frame (returning ``None``) when the vertex's
+        in-edges must be evaluated."""
+        self._eval_steps += 1
+        self.cells_relaxed += 1
+        if self._eval_steps > self._max_steps:
+            raise _EvalAbandon("steps")
+        if (
+            self._eval_deadline_at is not None
+            and self._eval_steps % _DEADLINE_STRIDE == 0
+            and time.monotonic() > self._eval_deadline_at
+        ):
+            raise _EvalAbandon("deadline")
+        state = row.state[i]
+        if state == _EXACT:
+            return (row.values[i], row.values_true[i], _NO_OPEN)
+        if state == _EXHAUSTED:
+            # Conservative stand-in; the taint keeps dependents uncached.
+            return (row.values[i], row.values_true[i], frozenset((_TAINT,)))
+        axiom = row.axiom[i]
+        if row.axiom_rule[i] == "const-const":
+            # Exact: the demand solver answers const-const without
+            # consulting edges (False below the gap, True at or above).
+            row.values[i] = axiom
+            row.values_true[i] = axiom
+            row.state[i] = _EXACT
+            return (axiom, axiom, _NO_OPEN)
+        edges = self._in_edges[i]
+        if not edges:
+            # Leaf: the axiom bound alone (+inf when none — unprovable).
+            row.values[i] = axiom
+            row.values_true[i] = axiom
+            row.state[i] = _EXACT
+            return (axiom, axiom, _NO_OPEN)
+        prev = active.get(i)
+        if prev is not None:
+            # Re-entering an active vertex: the demand solver compares the
+            # re-entry budget ``c - acc`` with the active budget
+            # ``c - prev`` — budget-independent, so the closure can too.
+            if acc <= prev:
+                # Harmless cycle: proven at any budget, but never by a
+                # cycle-free derivation — the Reduced leaf.
+                return (NEG_INF, INF, frozenset((i,)))
+            return (INF, INF, frozenset((i,)))  # amplifying cycle
+        active[i] = acc
+        self.cells_relaxed += len(edges)
+        self._pending_frame = _Frame(i, acc, edges, axiom, self._phi[i])
+        return None
+
+    def _pop(self, row: _Row, frame: _Frame, active: Dict[int, int]):
+        del active[frame.i]
+        t = frame.merged
+        if frame.axiom_bound < t:
+            t = frame.axiom_bound
+        t_true = frame.merged_true
+        if frame.axiom_bound < t_true:
+            t_true = frame.axiom_bound
+        open_set = frame.open
+        if frame.i in open_set:
+            # Seal cycles closing on this vertex itself: they replay
+            # identically whenever it is re-evaluated, so they do not
+            # make the value context-dependent.
+            open_set = open_set - frozenset((frame.i,))
+        if not open_set:
+            # Context-free: every cycle closed within the subtree — the
+            # value holds in any traversal context and becomes a cell.
+            row.values[frame.i] = t
+            row.values_true[frame.i] = t_true
+            row.state[frame.i] = _EXACT
+        return (t, t_true, open_set)
+
+    # ------------------------------------------------------------------
+    # Queries against closed cells.
+    # ------------------------------------------------------------------
+
+    def query(
+        self, row: _Row, target: Node
+    ) -> Tuple[float, float, Optional[str]]:
+        """``(threshold, true_threshold, exhausted)`` for one target: the
+        least provable budget, the least budget provable cycle-free (the
+        ``TRUE``/``REDUCED`` boundary), plus the resource label when the
+        cell was abandoned and the thresholds are only conservative
+        upper bounds."""
+        i = self.index.get(target)
+        if i is None:
+            bounds, _choice = self._offrow_value(row, target)
+            return bounds[0], bounds[1], None
+        if row.state[i] == _UNKNOWN:
+            self._evaluate(row, i)
+        return row.values[i], row.values_true[i], row.exhausted.get(i)
+
+    def _offrow_value(self, row: _Row, target: Node):
+        """A vertex outside the registered universe: no real edge mentions
+        it, so it participates in no cycle and one evaluation suffices
+        (its only possible in-edges are the virtual const completion,
+        whose anchor sources are all registered)."""
+        bound, rule = self._axiom_for(row.source, target)
+        if row.source.kind == "const" and target.kind == "const":
+            return (bound, bound), ("axiom", rule)
+        bound_true = bound
+        best_edge = None
+        for edge in self._view.in_edges(target):
+            value, value_true, _ = self.query(row, edge.source)
+            x = value + edge.weight
+            if x < bound:
+                bound = x
+                best_edge = edge
+            x_true = value_true + edge.weight
+            if x_true < bound_true:
+                bound_true = x_true
+        if best_edge is not None:
+            return (bound, bound_true), ("edge", best_edge)
+        if rule is not None:
+            return (bound, bound_true), ("axiom", rule)
+        return (bound, bound_true), None
+
+    def choose(self, row: _Row, vertex: Node):
+        """The predecessor structure behind one cell, for
+        :func:`~repro.certify.witness.witness_from_choices`."""
+        i = self.index.get(vertex)
+        if i is None:
+            _bounds, choice = self._offrow_value(row, vertex)
+            if choice is None:
+                raise WitnessBuildError(f"no derivation for {vertex}")
+            return choice
+        if row.state[i] == _UNKNOWN:
+            self._evaluate(row, i)
+        d = row.values[i]
+        if row.axiom_rule[i] is not None and d == row.axiom[i]:
+            return ("axiom", row.axiom_rule[i])
+        if self._phi[i]:
+            return ("phi", self._edge_objs[i])
+        for (j, w), edge in zip(self._in_edges[i], self._edge_objs[i]):
+            if row.state[j] == _UNKNOWN:
+                self._evaluate(row, j)
+            if row.values[j] + w <= d:
+                return ("edge", edge)
+        raise WitnessBuildError(
+            f"no in-edge of {vertex} attains its matrix bound {d} "
+            f"(corrupted cell?)"
+        )
+
+
+class ClosureBackend(SolverBackend):
+    """The closure tier behind the :class:`SolverBackend` interface.
+
+    One lazily-built :class:`ClosureMatrix` per direction of the
+    function's bundle; ``prepare`` closes every cell the batch will read,
+    after which each ``prove`` is a cell lookup.  Witness emission
+    (certify mode) reconstructs a derivation chain from the row's choice
+    structure; a reconstruction failure — possible only on a corrupted
+    matrix — conservatively keeps the check, exactly like a demand-side
+    budget exhaustion.
+    """
+
+    name = "closure"
+
+    def __init__(self, bundle, config, extra_vertices: Iterable[Node] = ()) -> None:
+        self._bundle = bundle
+        self._extra = tuple(extra_vertices)
+        self._max_steps = config.max_steps
+        self._deadline = config.deadline
+        self._witnesses = config.certify
+        self._matrices: Dict[str, ClosureMatrix] = {}
+
+    def _matrix(self, direction: str) -> ClosureMatrix:
+        matrix = self._matrices.get(direction)
+        if matrix is None:
+            dual = self._bundle.dual
+            if dual is not None:
+                view = dual.view(direction)
+            else:
+                view = self._bundle.upper if direction == "upper" else self._bundle.lower
+            matrix = ClosureMatrix(
+                view,
+                extra_vertices=self._extra,
+                max_steps=self._max_steps,
+                deadline=self._deadline,
+            )
+            self._matrices[direction] = matrix
+        return matrix
+
+    def prepare(self, queries: Iterable[SolverQuery]) -> None:
+        for source, target, _budget, direction in queries:
+            matrix = self._matrix(direction)
+            matrix.ensure(matrix.row(source), target)
+
+    def prove(
+        self, source: Node, target: Node, budget: int, direction: str
+    ) -> ProveOutcome:
+        matrix = self._matrix(direction)
+        before = matrix.cells_relaxed
+        row = matrix.row(source)
+        threshold, true_threshold, exhausted = matrix.query(row, target)
+        steps = matrix.cells_relaxed - before + 1
+        if threshold > budget:
+            if exhausted is not None:
+                return ProveOutcome(ProofResult.FALSE, steps, True, exhausted)
+            return ProveOutcome(ProofResult.FALSE, steps)
+        result = (
+            ProofResult.TRUE if true_threshold <= budget else ProofResult.REDUCED
+        )
+        witness = None
+        if self._witnesses:
+            try:
+                witness = witness_from_choices(
+                    target,
+                    lambda v: matrix.choose(row, v),
+                    max_nodes=self._max_steps,
+                )
+            except WitnessBuildError:
+                # Without a replayable certificate the elimination must
+                # not happen; conservative, like a demand exhaustion.
+                return ProveOutcome(ProofResult.FALSE, steps, True, "steps")
+        return ProveOutcome(result, steps, witness=witness)
+
+    def counters(self) -> Dict[str, int]:
+        cells = sum(m.cells_relaxed for m in self._matrices.values())
+        rows = sum(m.rows_closed for m in self._matrices.values())
+        return {"dbm_cells_relaxed": cells, "dbm_rows_closed": rows}

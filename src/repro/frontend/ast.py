@@ -210,3 +210,96 @@ class ProgramAST:
             if fn.name == name:
                 return fn
         raise KeyError(name)
+
+    def clone(self) -> "ProgramAST":
+        """Structural deep copy of the tree.
+
+        Node objects and the statement/argument lists are fresh (so a
+        mutation of the clone never leaks into the original), while
+        :class:`~repro.errors.SourceLocation` and
+        :class:`~repro.frontend.types.Type` instances are shared —
+        locations are immutable in practice, and types are interned
+        singletons compared by identity, which a ``copy.deepcopy``
+        would silently break.
+        """
+        return ProgramAST([_clone_function(fn) for fn in self.functions])
+
+
+def _clone_function(fn: FunctionDecl) -> FunctionDecl:
+    return FunctionDecl(
+        name=fn.name,
+        params=[Param(p.name, p.type, p.location) for p in fn.params],
+        return_type=fn.return_type,
+        body=[_clone_stmt(s) for s in fn.body],
+        location=fn.location,
+    )
+
+
+def _clone_stmt(stmt: Stmt) -> Stmt:
+    loc = stmt.location
+    if isinstance(stmt, LetStmt):
+        return LetStmt(loc, stmt.name, stmt.declared_type, _clone_expr(stmt.value))
+    if isinstance(stmt, AssignStmt):
+        return AssignStmt(loc, stmt.name, _clone_expr(stmt.value))
+    if isinstance(stmt, ArrayStoreStmt):
+        return ArrayStoreStmt(
+            loc,
+            _clone_expr(stmt.array),
+            _clone_expr(stmt.index),
+            _clone_expr(stmt.value),
+        )
+    if isinstance(stmt, IfStmt):
+        return IfStmt(
+            loc,
+            _clone_expr(stmt.condition),
+            [_clone_stmt(s) for s in stmt.then_body],
+            [_clone_stmt(s) for s in stmt.else_body],
+        )
+    if isinstance(stmt, WhileStmt):
+        return WhileStmt(
+            loc,
+            _clone_expr(stmt.condition),
+            [_clone_stmt(s) for s in stmt.body],
+        )
+    if isinstance(stmt, ForStmt):
+        return ForStmt(
+            loc,
+            _clone_stmt(stmt.init) if stmt.init is not None else None,
+            _clone_expr(stmt.condition) if stmt.condition is not None else None,
+            _clone_stmt(stmt.step) if stmt.step is not None else None,
+            [_clone_stmt(s) for s in stmt.body],
+        )
+    if isinstance(stmt, ReturnStmt):
+        return ReturnStmt(
+            loc, _clone_expr(stmt.value) if stmt.value is not None else None
+        )
+    if isinstance(stmt, BreakStmt):
+        return BreakStmt(loc)
+    if isinstance(stmt, ContinueStmt):
+        return ContinueStmt(loc)
+    if isinstance(stmt, ExprStmt):
+        return ExprStmt(loc, _clone_expr(stmt.expr))
+    raise TypeError(f"unclonable statement node {type(stmt).__name__}")
+
+
+def _clone_expr(expr: Expr) -> Expr:
+    loc = expr.location
+    if isinstance(expr, IntLiteral):
+        return IntLiteral(loc, expr.value)
+    if isinstance(expr, BoolLiteral):
+        return BoolLiteral(loc, expr.value)
+    if isinstance(expr, VarRef):
+        return VarRef(loc, expr.name)
+    if isinstance(expr, UnaryOp):
+        return UnaryOp(loc, expr.op, _clone_expr(expr.operand))
+    if isinstance(expr, BinaryOp):
+        return BinaryOp(loc, expr.op, _clone_expr(expr.lhs), _clone_expr(expr.rhs))
+    if isinstance(expr, ArrayIndex):
+        return ArrayIndex(loc, _clone_expr(expr.array), _clone_expr(expr.index))
+    if isinstance(expr, ArrayLength):
+        return ArrayLength(loc, _clone_expr(expr.array))
+    if isinstance(expr, NewArray):
+        return NewArray(loc, _clone_expr(expr.length))
+    if isinstance(expr, Call):
+        return Call(loc, expr.callee, [_clone_expr(a) for a in expr.args])
+    raise TypeError(f"unclonable expression node {type(expr).__name__}")

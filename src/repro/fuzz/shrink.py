@@ -15,7 +15,6 @@ paying for a differential execution.
 
 from __future__ import annotations
 
-import copy
 from dataclasses import dataclass
 from typing import Callable, Iterator, List, Optional, Tuple
 
@@ -275,7 +274,7 @@ def shrink_source(
         for mutation in _enumerate_mutations(current):
             if result.iterations >= max_iterations:
                 break
-            candidate = copy.deepcopy(current)
+            candidate = current.clone()
             if not _apply_mutation(candidate, mutation):
                 continue
             candidate_source = render_program(candidate)

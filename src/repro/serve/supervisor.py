@@ -70,6 +70,10 @@ class ServeConfig:
     fuel: int = 50_000_000
     #: Compile degraded in-process when even degraded dispatch fails.
     inline_fallback: bool = True
+    #: Solver backend workers analyze with (``demand``/``closure``/
+    #: ``hybrid``); part of the store fingerprint, so cached entries
+    #: produced under one setting never answer requests under another.
+    solver: str = "demand"
     #: Chaos configuration forwarded to workers via the environment
     #: (``None`` in production: workers then ignore ``"chaos"`` fields).
     chaos: Optional[Dict[str, Any]] = None
@@ -494,7 +498,7 @@ class Supervisor:
 
             return store_fingerprint(
                 frame["source"],
-                ABCDConfig(),
+                ABCDConfig(solver_backend=self.config.solver),
                 standard_opts=True,
                 inline=bool(frame.get("inline", False)),
             )
@@ -515,7 +519,9 @@ class Supervisor:
         from repro.core.abcd import ABCDConfig
 
         self.stats.bump("serve.cache.lookups")
-        loaded = self.store.load(store_fp, ABCDConfig())
+        loaded = self.store.load(
+            store_fp, ABCDConfig(solver_backend=self.config.solver)
+        )
         if not loaded.hit:
             self.stats.bump("serve.cache.misses")
             if loaded.reason is not None:
@@ -598,6 +604,7 @@ class Supervisor:
             "mode": mode,
             "attempt": attempt,
             "fuel": self.config.fuel,
+            "solver": self.config.solver,
         }
         for optional in ("inline", "chaos"):
             if optional in frame:

@@ -222,7 +222,9 @@ def _serve_request(
         else:
             _maybe_inject_chaos(chaos, frame, mem_cap_applied)
             capture = None
-            config = ABCDConfig()
+            config = ABCDConfig(
+                solver_backend=str(frame.get("solver", "demand"))
+            )
             if frame.get("cache") == "capture":
                 # The supervisor missed the store on this fingerprint:
                 # certify is forced on (stored entries must carry

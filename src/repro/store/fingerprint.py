@@ -7,9 +7,13 @@ output:
   unit, so whitespace and comment edits still hit while any token-level
   edit misses;
 * the **ABCDConfig** — every field that steers analysis or
-  transformation.  ``certify``/``strict``/``certify_quarantine`` are
-  excluded: stored entries are *always* captured under certification
-  (that is what makes loads replayable), so certification flags select a
+  transformation, including ``solver_backend``: demand- and
+  closure-produced entries must never alias across ``--solver``
+  settings even though their eliminations are meant to agree (an
+  aliased hit would mask a backend divergence instead of surfacing
+  it).  ``certify``/``strict``/``certify_quarantine`` are excluded:
+  stored entries are *always* captured under certification (that is
+  what makes loads replayable), so certification flags select a
   validation posture, not a different optimized program;
 * the **pipeline id** — the registered pass names actually scheduled,
   so enabling inlining or disabling the standard suite misses;

@@ -196,6 +196,89 @@ class TestShrinkerQuality:
         assert not result.reproduced
         assert result.source == source
 
+    def test_structural_clone_matches_deepcopy_candidates(self):
+        # The shrinker's candidate generation switched from
+        # ``copy.deepcopy`` to the structural ``ProgramAST.clone()``;
+        # every enumerated mutation must render the same candidate
+        # source either way, and cloning must never leak a mutation
+        # back into the shared original.  (The mutation-by-mutation
+        # deepcopy reference runs on generated programs — the corpus
+        # files get the cheaper whole-program comparison below, since
+        # the deep-chain reproducer is ~27k lines.)
+        import copy
+        import itertools
+
+        from repro.frontend.parser import parse_source
+        from repro.fuzz.render import render_program
+        from repro.fuzz.shrink import _apply_mutation, _enumerate_mutations
+
+        for seed in (3, 10, 17):
+            original = parse_source(generate_source(seed))
+            baseline = render_program(original)
+            mutations = itertools.islice(_enumerate_mutations(original), 80)
+            for mutation in mutations:
+                via_clone = original.clone()
+                via_deepcopy = copy.deepcopy(original)
+                applied_clone = _apply_mutation(via_clone, mutation)
+                applied_deepcopy = _apply_mutation(via_deepcopy, mutation)
+                assert applied_clone == applied_deepcopy
+                if applied_clone:
+                    assert render_program(via_clone) == render_program(
+                        via_deepcopy
+                    )
+                # The shared original must be untouched either way.
+                assert render_program(original) == baseline
+
+    def test_clone_round_trips_the_fuzz_corpus(self):
+        # Over the committed reproducers (including the 27k-line
+        # deep-chain one) the structural clone must render byte-identical
+        # source, and mutating the clone must leave the original intact.
+        import itertools
+        import pathlib
+
+        from repro.frontend.parser import parse_source
+        from repro.fuzz.render import render_program
+        from repro.fuzz.shrink import _apply_mutation, _enumerate_mutations
+        from repro.fuzz.triage import read_reproducer
+
+        corpus = sorted(
+            (pathlib.Path(__file__).parent / "fuzz_corpus").glob("*.mj")
+        )
+        assert corpus
+        for path in corpus:
+            _, source = read_reproducer(path)
+            original = parse_source(source)
+            baseline = render_program(original)
+            clone = original.clone()
+            assert render_program(clone) == baseline
+            for mutation in itertools.islice(
+                _enumerate_mutations(original), 5
+            ):
+                _apply_mutation(clone, mutation)
+            assert render_program(original) == baseline
+
+    def test_clone_preserves_interned_types(self):
+        # ``Type`` instances are interned singletons compared by ``is``;
+        # deepcopy silently broke that on its copies, clone must not.
+        from repro.frontend import ast
+        from repro.frontend.parser import parse_source
+        from repro.frontend.types import NAMED_TYPES
+
+        program = parse_source(generate_source(3)).clone()
+
+        def walk(stmts):
+            for stmt in stmts:
+                if isinstance(stmt, ast.LetStmt):
+                    assert stmt.declared_type in NAMED_TYPES.values()
+                for attr in ("then_body", "else_body", "body"):
+                    walk(getattr(stmt, attr, []))
+
+        for fn in program.functions:
+            assert fn.return_type in NAMED_TYPES.values()
+            for param in fn.params:
+                assert param.type in NAMED_TYPES.values()
+            walk(fn.body)
+
 
 class TestTriagePersistence:
     def test_reproducer_round_trip(self, tmp_path):

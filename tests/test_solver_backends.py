@@ -1,0 +1,284 @@
+"""The solver-backend equivalence contract (DESIGN.md §16).
+
+The demand engine, the DBM closure tier, and the hybrid scheduler are
+interchangeable proof engines: over any program they must eliminate
+exactly the same checks, preserve exactly the same trap behavior, and —
+in certify mode — emit witnesses the unchanged checker accepts.  The
+lattice *label* (TRUE vs REDUCED) may differ on harmless-cycle proofs
+(the demand memo's budget subsumption can coarsen TRUE to REDUCED
+depending on traversal order); the elimination decision may not.
+
+The negative half: a corrupted DBM cell must never produce a wrong
+elimination.  An inconsistent corruption fails witness reconstruction
+(the backend conservatively keeps the check); a consistent corruption
+builds a plausible witness that the independent certificate replay then
+rejects — zero trust in the solver either way.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.bench.corpus import CORPUS, get
+from repro.core.abcd import ABCDConfig
+from repro.core.backend import (
+    HYBRID_CROSSOVER_CHECKS,
+    SOLVER_BACKENDS,
+    resolve_backend,
+)
+from repro.core import dbm as dbm_module
+from repro.core.dbm import ClosureMatrix
+from repro.fuzz.generator import generate_source
+from repro.pipeline import abcd, compile_source
+from repro.runtime.interpreter import run_program
+
+BACKENDS = list(SOLVER_BACKENDS)
+
+#: Corpus slice for the per-test sweeps (cycle-heavy, φ-heavy, and
+#: budget-pattern-diverse programs); the full corpus runs in CI's
+#: ablation smoke and the bench ablation block.
+SAMPLE = ("Sieve", "Qsort", "biDirBubbleSort", "jack", "bytemark")
+
+FUZZ_SEEDS = range(0, 24)
+
+
+def _analyze(source, backend, certify):
+    program = compile_source(source)
+    config = ABCDConfig(solver_backend=backend, certify=certify)
+    report = abcd(program, config)
+    return program, report
+
+
+def _elimination_view(report):
+    return sorted(
+        (a.function, a.check_id, a.kind, a.eliminated, a.scope)
+        for a in report.analyses
+    )
+
+
+class TestEliminationEquivalence:
+    @pytest.mark.parametrize("certify", [False, True], ids=["plain", "certify"])
+    @pytest.mark.parametrize("name", SAMPLE)
+    def test_corpus_backends_agree(self, name, certify):
+        source = get(name).source()
+        _, base = _analyze(source, "demand", certify)
+        baseline = _elimination_view(base)
+        assert base.eliminated_ids, name  # the sweep must prove something
+        for backend in ("closure", "hybrid"):
+            _, report = _analyze(source, backend, certify)
+            assert _elimination_view(report) == baseline, (name, backend)
+            assert report.eliminated_ids == base.eliminated_ids
+            assert not report.certificates_rejected
+            assert not report.quarantined_functions
+
+    def test_fuzz_programs_agree_and_traps_match(self):
+        compared = 0
+        for seed in FUZZ_SEEDS:
+            source = generate_source(seed)
+            try:
+                program, base = _analyze(source, "demand", False)
+            except Exception:
+                continue  # generator corner the frontend rejects: no contract
+            base_run = _run(program)
+            compared += 1
+            for backend in ("closure", "hybrid"):
+                other_program, report = _analyze(source, backend, False)
+                assert report.eliminated_ids == base.eliminated_ids, (
+                    seed,
+                    backend,
+                )
+                # Same eliminations must yield the same observable
+                # behavior — value and trap identity, not just counts.
+                assert _run(other_program) == base_run, (seed, backend)
+        assert compared >= 20
+
+    def test_certified_fuzz_programs_all_accept(self):
+        for seed in (1, 5, 9, 13):
+            source = generate_source(seed)
+            for backend in ("closure", "hybrid"):
+                _, report = _analyze(source, backend, True)
+                assert report.certificates_rejected == 0, (seed, backend)
+                assert report.certificates_emitted == (
+                    report.certificates_accepted
+                ), (seed, backend)
+
+
+def _run(program):
+    try:
+        result = run_program(program, "main", fuel=2_000_000)
+        return ("value", result.value)
+    except Exception as exc:  # traps compare by type + message
+        return ("trap", type(exc).__name__, str(exc))
+
+
+class TestHybridScheduler:
+    def test_plain_mode_always_picks_demand(self):
+        config = ABCDConfig(solver_backend="hybrid")
+        for count in (0, HYBRID_CROSSOVER_CHECKS, 10 * HYBRID_CROSSOVER_CHECKS):
+            assert resolve_backend(config, count) == "demand"
+
+    def test_certify_mode_switches_at_the_measured_crossover(self):
+        config = ABCDConfig(solver_backend="hybrid", certify=True)
+        assert resolve_backend(config, HYBRID_CROSSOVER_CHECKS - 1) == "demand"
+        assert resolve_backend(config, HYBRID_CROSSOVER_CHECKS) == "closure"
+
+    def test_explicit_settings_are_verbatim(self):
+        for name in ("demand", "closure"):
+            assert resolve_backend(ABCDConfig(solver_backend=name), 0) == name
+
+    def test_unknown_setting_rejected(self):
+        with pytest.raises(ValueError):
+            resolve_backend(ABCDConfig(solver_backend="oracle"), 1)
+
+
+class TestCorruptedMatrix:
+    """A corrupted DBM cell must never survive to a wrong elimination."""
+
+    def _corrupt_rows(self, matrix, delta):
+        """Shift every finite closed cell (and axiom) by ``delta`` —
+        a *consistent* corruption: edge choices still line up, so
+        witness reconstruction succeeds and only replay can object."""
+        for row in matrix.rows.values():
+            for i in range(len(row.values)):
+                if math.isfinite(row.values[i]):
+                    row.values[i] += delta
+                if math.isfinite(row.values_true[i]):
+                    row.values_true[i] += delta
+                if math.isfinite(row.axiom[i]):
+                    row.axiom[i] += delta
+
+    def test_consistent_corruption_is_caught_by_replay(self, monkeypatch):
+        # The upper check of ``a[i + 1]`` under an ``i < len(a)`` guard
+        # is honestly unprovable (true threshold 0, budget -1).  A
+        # consistent 2-tighter shift of the closed matrix flips it to
+        # "provable" and still reconstructs a structurally plausible
+        # witness — whose replay against the *real* graph then rejects
+        # the claimed bound, revoking the elimination.
+        source = (
+            "fn main(): int {\n"
+            "  let a: int[] = new int[8];\n"
+            "  let s: int = 0;\n"
+            "  for (let i: int = 0; i < len(a); i = i + 1) {\n"
+            "    s = s + a[i + 1];\n"
+            "  }\n"
+            "  return s;\n"
+            "}\n"
+        )
+        honest = abcd(
+            compile_source(source),
+            ABCDConfig(solver_backend="closure", certify=True),
+        )
+        honest_kept = {
+            a.check_id for a in honest.analyses if not a.eliminated
+        }
+        assert honest_kept, "expected an unprovable check in the program"
+        assert honest.certificates_rejected == 0
+
+        original_evaluate = ClosureMatrix._evaluate
+        corrupter = self
+
+        def corrupted_evaluate(matrix, row, root):
+            original_evaluate(matrix, row, root)
+            corrupter._corrupt_rows(matrix, -2)
+
+        monkeypatch.setattr(ClosureMatrix, "_evaluate", corrupted_evaluate)
+        report = abcd(
+            compile_source(source),
+            ABCDConfig(solver_backend="closure", certify=True),
+        )
+        # The flipped check's certificate replays with an obligation
+        # below its true threshold: rejected and revoked, never
+        # silently eliminated.
+        assert report.certificates_rejected >= 1
+        assert report.eliminated_ids == honest.eliminated_ids
+        for analysis in report.analyses:
+            if analysis.check_id in honest_kept:
+                assert not analysis.eliminated, analysis.check_id
+
+    def test_inconsistent_corruption_fails_witness_build(self, monkeypatch):
+        # Corrupting only the *queried* cell (not its justifying edges)
+        # leaves no in-edge attaining the claimed bound: witness
+        # reconstruction fails and the backend conservatively keeps the
+        # check — it never fabricates a certificate.
+        source = get("Sieve").source()
+
+        original_query = ClosureMatrix.query
+
+        def lying_query(matrix, row, target):
+            threshold, true_threshold, exhausted = original_query(
+                matrix, row, target
+            )
+            if math.isfinite(threshold):
+                threshold -= 2
+                true_threshold = threshold
+            return threshold, true_threshold, exhausted
+
+        monkeypatch.setattr(ClosureMatrix, "query", lying_query)
+        program = compile_source(source)
+        report = abcd(
+            program, ABCDConfig(solver_backend="closure", certify=True)
+        )
+        assert report.certificates_rejected == 0
+        # Reconstruction failures surface as budget-exhausted keeps, so
+        # the run must not have eliminated more than the honest engine.
+        honest = abcd(
+            compile_source(source),
+            ABCDConfig(solver_backend="demand", certify=True),
+        )
+        assert report.eliminated_ids <= honest.eliminated_ids
+
+    def test_direct_cell_corruption_rejects_at_the_matrix_level(self):
+        # The same contract exercised without the pipeline: corrupt the
+        # closed matrix of a real bundle and replay the witness by hand.
+        from repro.certify.checker import CertificateRejected, check_witness
+        from repro.certify.witness import witness_from_choices
+        from repro.core.constraints import build_graphs
+        from repro.core.graph import len_node, var_node
+        from repro.ir.instructions import CheckUpper, Var
+
+        program = compile_source(get("Sieve").source())
+        fn = program.function("sieve")
+        bundle = build_graphs(fn)
+        view = (
+            bundle.dual.view("upper")
+            if bundle.dual is not None
+            else bundle.upper
+        )
+
+        def provable_query():
+            matrix = ClosureMatrix(view)
+            for instr in fn.all_instructions():
+                if not isinstance(instr, CheckUpper):
+                    continue
+                if not isinstance(instr.index, Var):
+                    continue
+                source = len_node(instr.array)
+                target = var_node(instr.index.name)
+                row = matrix.row(source)
+                matrix.ensure(row, target)
+                threshold, _, _ = matrix.query(row, target)
+                if threshold <= -1:
+                    return matrix, row, source, target
+            raise AssertionError("no provable upper check in sieve")
+
+        matrix, row, source, target = provable_query()
+        witness = witness_from_choices(target, lambda v: matrix.choose(row, v))
+        check_witness(bundle.upper, source, target, -1, witness)
+
+        # Consistently shift the whole row 2 tighter: the choice
+        # structure still lines up, the witness builds — and the replay
+        # against the *real* graph rejects the claimed -3 bound.
+        for i in range(len(row.values)):
+            if math.isfinite(row.values[i]):
+                row.values[i] -= 2
+            if math.isfinite(row.values_true[i]):
+                row.values_true[i] -= 2
+            if math.isfinite(row.axiom[i]):
+                row.axiom[i] -= 2
+        bad_witness = witness_from_choices(
+            target, lambda v: matrix.choose(row, v)
+        )
+        with pytest.raises(CertificateRejected):
+            check_witness(bundle.upper, source, target, -3, bad_witness)
