@@ -601,6 +601,11 @@ def cmd_serve(args) -> int:
         fuel=args.fuel,
         cache_dir=args.cache_dir,
         solver=args.solver,
+        overload_enabled=not args.no_overload,
+        queue_capacity=args.queue_capacity,
+        retry_after=args.retry_after,
+        jitter_seed=args.jitter_seed,
+        breaker_jitter=args.breaker_jitter,
     )
     if args.chaos:
         # Testing only: forward a chaos spec to the workers.  Production
@@ -660,6 +665,28 @@ def cmd_storm(args) -> int:
             print(json.dumps(result.to_json(), indent=2, sort_keys=True))
         else:
             print(format_corruption_storm(result))
+        return 0 if result.passed else 1
+
+    if args.burst:
+        from repro.serve.chaos import format_burst_storm, run_burst_storm
+
+        result = run_burst_storm(
+            requests=args.requests,
+            burst_multiple=args.burst_multiple,
+            fault_rate=args.fault_rate,
+            seed=args.seed,
+            workers=args.workers,
+            deadline=args.deadline,
+            queue_capacity=args.queue_capacity,
+            min_p99_improvement=args.min_p99_improvement,
+            progress=progress,
+        )
+        if args.json:
+            import json
+
+            print(json.dumps(result.to_json(), indent=2, sort_keys=True))
+        else:
+            print(format_burst_storm(result))
         return 0 if result.passed else 1
 
     result = run_storm(
@@ -937,6 +964,29 @@ def build_parser() -> argparse.ArgumentParser:
         help="(testing) chaos fault spec forwarded to workers",
     )
     serve_parser.add_argument(
+        "--no-overload", action="store_true",
+        help="disable overload control (unbounded queue, no shedding, "
+        "degradation ladder pinned at level 0)",
+    )
+    serve_parser.add_argument(
+        "--queue-capacity", type=int, default=64, metavar="N",
+        help="admission queue bound; arrivals beyond it are shed with a "
+        "retry_after hint",
+    )
+    serve_parser.add_argument(
+        "--retry-after", type=float, default=0.25, metavar="SECONDS",
+        help="base backpressure hint on shed responses (scaled by queue "
+        "depth and degradation level)",
+    )
+    serve_parser.add_argument(
+        "--jitter-seed", type=int, default=0, metavar="K",
+        help="seed of the retry-backoff / breaker-cooldown jitter RNG",
+    )
+    serve_parser.add_argument(
+        "--breaker-jitter", type=float, default=0.1, metavar="R",
+        help="breaker cooldown full-jitter fraction (0 disables)",
+    )
+    serve_parser.add_argument(
         "--json", action="store_true",
         help="emit final telemetry (counters, breakers, workers) as JSON",
     )
@@ -989,6 +1039,26 @@ def build_parser() -> argparse.ArgumentParser:
     storm_parser.add_argument(
         "--min-warm-hit-rate", type=float, default=0.5, metavar="R",
         help="(--corrupt) warm-phase hit-rate floor for a passing storm",
+    )
+    storm_parser.add_argument(
+        "--burst", action="store_true",
+        help="burst storm: open-loop seeded arrivals at --burst-multiple "
+        "times measured capacity, driven through admission control and "
+        "the degradation ladder, then compared against an "
+        "unbounded-queue baseline under the same schedule",
+    )
+    storm_parser.add_argument(
+        "--burst-multiple", type=float, default=4.0, metavar="X",
+        help="(--burst) arrival rate as a multiple of measured capacity",
+    )
+    storm_parser.add_argument(
+        "--queue-capacity", type=int, default=32, metavar="N",
+        help="(--burst) admission queue bound of the overload leg",
+    )
+    storm_parser.add_argument(
+        "--min-p99-improvement", type=float, default=5.0, metavar="X",
+        help="(--burst) required p99 latency ratio (baseline / overload) "
+        "for a passing storm",
     )
     storm_parser.add_argument(
         "--json", action="store_true",

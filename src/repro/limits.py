@@ -43,8 +43,16 @@ def recursion_headroom(needed: int) -> Iterator[None]:
         sys.setrecursionlimit(old_limit)
 
 
-class HardDeadlineExceeded(Exception):
-    """The :func:`hard_deadline` wall-clock ceiling fired."""
+class HardDeadlineExceeded(BaseException):
+    """The :func:`hard_deadline` wall-clock ceiling fired.
+
+    A ``BaseException`` (like :class:`KeyboardInterrupt`) so the
+    containment layers that may be running *under* the deadline — the
+    pass guard's ``except Exception`` rollback in particular — cannot
+    swallow it.  A contained deadline would be worse than a late one:
+    the one-shot timer is already spent, so the body would run on with
+    no wall-clock bound at all.  Catch it explicitly at the layer that
+    armed the deadline, never via a blanket ``except Exception``."""
 
 
 @contextlib.contextmanager

@@ -15,14 +15,34 @@ Layers (each its own module):
   breaker that routes repeatedly failing fingerprints to degraded
   (unoptimized, checks-intact) compilation;
 * :mod:`repro.serve.supervisor` — worker lifecycle (spawn/recycle/kill),
-  per-request deadlines, retry with bounded exponential backoff, and the
-  stdio / Unix-socket serve loops;
+  per-request deadlines, retry with full-jitter exponential backoff, and
+  the stdio / Unix-socket serve loops;
+* :mod:`repro.serve.overload` — admission control (bounded queue +
+  ``retry_after`` backpressure), client deadline propagation, and the
+  adaptive degradation ladder that sheds certification, then
+  optimization, then admission as queue latency climbs;
 * :mod:`repro.serve.chaos` — the storm harness that drives the service
-  under injected process-level faults and verifies the no-lost-request /
-  degraded-but-correct guarantees.
+  under injected process-level faults (and, with ``--burst``, open-loop
+  overload) and verifies the no-lost-request / degraded-but-correct
+  guarantees.
 """
 
 from repro.serve.breaker import BreakerState, CircuitBreaker
+from repro.serve.overload import (
+    DegradationLadder,
+    OverloadConfig,
+    OverloadController,
+    VirtualClock,
+)
 from repro.serve.supervisor import ServeConfig, Supervisor
 
-__all__ = ["BreakerState", "CircuitBreaker", "ServeConfig", "Supervisor"]
+__all__ = [
+    "BreakerState",
+    "CircuitBreaker",
+    "DegradationLadder",
+    "OverloadConfig",
+    "OverloadController",
+    "ServeConfig",
+    "Supervisor",
+    "VirtualClock",
+]

@@ -17,14 +17,22 @@ After ``cooldown`` seconds an open breaker lets exactly one optimized
 **half-open probe** through; success closes the breaker, failure
 re-opens it for a fresh cooldown.  The clock is injected so tests drive
 the state machine without sleeping.
+
+Cooldown expiry carries **full jitter**: each time a breaker opens it
+draws a fresh ``uniform(0, jitter × cooldown)`` extension from a seeded,
+injectable RNG.  Without it, every breaker opened by the same burst
+expires in the same tick and their probes re-spike a barely recovered
+worker pool in lockstep — the synchronized-retry storm that full jitter
+(the AWS backoff result) provably de-correlates.
 """
 
 from __future__ import annotations
 
 import hashlib
+import random
 import time
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List
+from typing import Callable, Dict, List, Optional
 
 
 def function_fingerprint(source: str, fn: str = "main") -> str:
@@ -60,6 +68,9 @@ class BreakerState:
     total_successes: int = 0
     times_opened: int = 0
     opened_at: float = 0.0
+    #: The full-jitter extension (seconds) drawn when this breaker last
+    #: opened; the effective cooldown is ``cooldown + cooldown_jitter``.
+    cooldown_jitter: float = 0.0
     #: A half-open probe is in flight; further requests stay degraded
     #: until it reports back.
     probing: bool = False
@@ -83,7 +94,21 @@ class CircuitBreaker:
     failure_threshold: int = 3
     cooldown: float = 30.0
     clock: Callable[[], float] = time.monotonic
+    #: Full-jitter fraction: opening draws ``uniform(0, jitter*cooldown)``
+    #: extra cooldown so co-opened breakers never probe in the same tick.
+    jitter: float = 0.0
+    #: The jitter RNG; injectable (and seedable) for deterministic tests.
+    rng: Optional[random.Random] = None
     _states: Dict[str, BreakerState] = field(default_factory=dict)
+
+    def _draw_jitter(self) -> float:
+        if self.jitter <= 0:
+            return 0.0
+        rng = self.rng if self.rng is not None else random
+        return rng.uniform(0.0, self.jitter * self.cooldown)
+
+    def _effective_cooldown(self, state: BreakerState) -> float:
+        return self.cooldown + state.cooldown_jitter
 
     def state_of(self, fingerprint: str) -> BreakerState:
         state = self._states.get(fingerprint)
@@ -102,7 +127,7 @@ class CircuitBreaker:
         if state.state == CLOSED:
             return True
         if state.state == OPEN:
-            if self.clock() - state.opened_at < self.cooldown:
+            if self.clock() - state.opened_at < self._effective_cooldown(state):
                 return False
             state.state = HALF_OPEN
             state.probing = False
@@ -131,6 +156,7 @@ class CircuitBreaker:
         if was_probe or state.consecutive_failures >= self.failure_threshold:
             state.state = OPEN
             state.opened_at = self.clock()
+            state.cooldown_jitter = self._draw_jitter()
             state.times_opened += 1
             return True
         return False
@@ -165,7 +191,9 @@ class CircuitBreaker:
             payload = state.to_json()
             remaining = 0.0
             if state.state == OPEN:
-                remaining = max(0.0, self.cooldown - (now - state.opened_at))
+                remaining = max(
+                    0.0, self._effective_cooldown(state) - (now - state.opened_at)
+                )
             payload["cooldown_remaining"] = remaining
             states.append(payload)
         return {"states": states}
@@ -193,9 +221,14 @@ class CircuitBreaker:
                 state.times_opened = int(item.get("times_opened", 0))
                 state.probing = False
                 if state.state == OPEN:
+                    # A restored breaker re-arms against the new process's
+                    # clock with its remaining (already jittered) cooldown;
+                    # the cap bounds a forged/garbage snapshot.
+                    cap = self.cooldown * (1.0 + max(0.0, self.jitter))
                     remaining = min(
-                        self.cooldown, float(item.get("cooldown_remaining", 0.0))
+                        cap, float(item.get("cooldown_remaining", 0.0))
                     )
+                    state.cooldown_jitter = 0.0
                     state.opened_at = self.clock() - (self.cooldown - remaining)
                 restored += 1
             except (KeyError, TypeError, ValueError):

@@ -15,19 +15,49 @@ two acceptable ways:
 
 A storm fails on any lost request (no response), any incorrect response,
 any fatally-faulted request that still claims optimized service, or any
-exception escaping the supervisor (supervisor death).  ``repro storm``
-is the CLI entry; the CI chaos-smoke job runs a 200-request storm at a
-10% fault rate with a fixed seed.
+exception escaping the supervisor (supervisor death).  A ``shed``
+response is an explicit answer — overload backpressure — and is never
+classified as lost.  ``repro storm`` is the CLI entry; the CI
+chaos-smoke job runs a 200-request storm at a 10% fault rate with a
+fixed seed.
+
+**Time is virtual.** Every storm injects a :class:`VirtualClock` as the
+supervisor clock and advances it by a fixed cost per worker dispatch
+(:data:`SERVICE_TICK`; a timeout costs the full deadline), so queue
+latencies, ladder transitions, and the p50/p95/p99 summaries are pure
+functions of the seeded schedule — byte-identical across runs and
+machines, which is what lets CI gate on them.  Only the worker *pipe*
+deadline stays on the real clock (a hung worker must be killed in real
+seconds).
+
+The **burst storm** (``repro storm --burst``) is the overload sibling:
+an open-loop seeded arrival schedule at a configured multiple of the
+measured service rate, driven through admission control, deadline
+expiry, and the degradation ladder, then replayed against an
+unbounded-queue baseline (``overload_enabled=False``) under the *same*
+schedule to prove the p99 admission-to-response bound.
 """
 
 from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional
+from typing import Any, Dict, List, Optional, Tuple
 
 from repro.robustness.faults import CHAOS_FAULTS, FATAL_CHAOS_FAULTS
+from repro.serve.overload import (
+    LEVEL_FULL,
+    LEVEL_UNOPTIMIZED,
+    VirtualClock,
+    latency_summary,
+)
 from repro.serve.supervisor import ServeConfig, Supervisor
+
+#: Virtual seconds one worker dispatch costs in a storm simulation.  The
+#: storm's notion of "service time" is this constant, not wall time —
+#: that is the whole determinism trick.  A dispatch that *times out*
+#: costs the configured deadline instead.
+SERVICE_TICK = 0.05
 
 # ----------------------------------------------------------------------
 # Request templates.  Each template instantiates to MiniJ source whose
@@ -143,6 +173,10 @@ class StormResult:
     counters: Dict[str, int] = field(default_factory=dict)
     breakers: List[Dict[str, Any]] = field(default_factory=list)
     supervisor_alive: bool = True
+    #: Overload backpressure answers (explicit responses, never lost).
+    shed: int = 0
+    #: Virtual admission-to-response latency of every answered request.
+    latencies: List[float] = field(default_factory=list)
 
     @property
     def lost(self) -> int:
@@ -164,6 +198,8 @@ class StormResult:
             "errors": self.errors,
             "injected_faults": dict(sorted(self.injected_faults.items())),
             "breaker_open_served": self.breaker_open_served,
+            "shed": self.shed,
+            "latency": latency_summary(self.latencies),
             "violations": self.violations,
             "supervisor_alive": self.supervisor_alive,
             "counters": dict(sorted(self.counters.items())),
@@ -188,6 +224,28 @@ def storm_config(workers: int = 2, deadline: float = 3.0) -> ServeConfig:
         breaker_cooldown=300.0,
         chaos={"rate": 0.0, "seed": 0},  # enables explicit per-request faults
     )
+
+
+def _virtual_supervisor(config: ServeConfig) -> Tuple[Supervisor, VirtualClock]:
+    """A supervisor on simulated time: the storm determinism harness.
+
+    The virtual clock is injected as the supervisor clock *and* sleep
+    (backoffs advance simulation time, not wall time), and every worker
+    dispatch advances it by :data:`SERVICE_TICK` (a timeout by the full
+    deadline) through the ``dispatch_tick`` hook.  ``propagate_deadlines``
+    is forced off: a virtual deadline budget armed as a *real* alarm
+    would race actual compile time nondeterministically — queue-side
+    expiry shedding, which only compares virtual timestamps, stays on.
+    """
+    config.propagate_deadlines = False
+    vclock = VirtualClock()
+    supervisor = Supervisor(config=config, clock=vclock.now, sleep=vclock.advance)
+
+    def tick(outcome: str) -> None:
+        vclock.advance(config.deadline if outcome == "timeout" else SERVICE_TICK)
+
+    supervisor.dispatch_tick = tick
+    return supervisor, vclock
 
 
 def _plan_requests(
@@ -235,7 +293,7 @@ def run_storm(
     if config is None:
         config = storm_config(workers=workers, deadline=deadline)
 
-    supervisor = Supervisor(config=config)
+    supervisor, vclock = _virtual_supervisor(config)
     supervisor.start()
     try:
         for position, request in enumerate(plan):
@@ -250,6 +308,7 @@ def run_storm(
                 result.injected_faults[fault] = (
                     result.injected_faults.get(fault, 0) + 1
                 )
+            started = vclock.now()
             try:
                 response = supervisor.handle_request(frame)
             except Exception as exc:  # supervisor death — the cardinal sin
@@ -260,6 +319,7 @@ def run_storm(
                 )
                 break
             result.responses += 1
+            result.latencies.append(round(vclock.now() - started, 6))
             _verify_response(result, position, request, response, baseline_cache)
             if progress is not None:
                 progress(position, response)
@@ -298,6 +358,18 @@ def _verify_response(
         result.violations.append(f"request {position}: {message}")
 
     status = response.get("status")
+    if status == "shed":
+        # Overload backpressure is an explicit, well-formed answer — by
+        # contract never a violation and never lost — whatever answer
+        # class the request would otherwise have earned.
+        result.shed += 1
+        if response.get("reason") not in (
+            "queue-full", "degrade-level", "deadline-expired", "shutting-down"
+        ):
+            violate(f"shed response has unknown reason {response.get('reason')!r}")
+        if not isinstance(response.get("retry_after"), (int, float)):
+            violate("shed response lacks a retry_after hint")
+        return
     if request["expect"] == "error":
         if status == "error":
             result.errors += 1
@@ -345,6 +417,431 @@ def _verify_response(
                     f"{expected.get(field_name)!r}"
                 )
                 return
+
+
+# ----------------------------------------------------------------------
+# The burst storm: open-loop overload at a multiple of measured capacity.
+#
+# Phase A calibrates the (virtual) service time on clean requests.
+# Phase B pours a seeded open-loop arrival schedule at ``burst_multiple``
+# times the measured service rate — with process faults and client
+# deadlines in the mix — through admission control and the degradation
+# ladder, then polls the drained service back down to level 0.  Phase C
+# replays the *same* schedule against an unbounded-queue baseline
+# (``overload_enabled=False``) and the verdict compares the two p99
+# admission-to-response latencies.  Open-loop is the point: arrivals do
+# not slow down because the service is slow, which is exactly the load
+# shape that collapses an unbounded queue.
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class BurstStormResult:
+    """Verdict of one :func:`run_burst_storm`."""
+
+    requests: int
+    seed: int
+    fault_rate: float
+    burst_multiple: float
+    min_p99_improvement: float = 5.0
+    #: Calibrated virtual service time per request (phase A).
+    service_time: float = 0.0
+    # Phase B (overload leg).
+    responses: int = 0
+    optimized: int = 0
+    degraded: int = 0
+    errors: int = 0
+    shed: int = 0
+    shed_queue_full: int = 0
+    shed_deadline: int = 0
+    deadline_attached: int = 0
+    injected_faults: Dict[str, int] = field(default_factory=dict)
+    max_level: int = 0
+    final_level: int = 0
+    transitions: int = 0
+    queue_depth_peak: int = 0
+    queue_capacity: int = 0
+    recovery_virtual_seconds: float = 0.0
+    overload_latency: Dict[str, Any] = field(default_factory=dict)
+    # Phase C (unbounded-queue baseline under the same schedule).
+    baseline_responses: int = 0
+    baseline_latency: Dict[str, Any] = field(default_factory=dict)
+    p99_improvement: float = 0.0
+    violations: List[str] = field(default_factory=list)
+    counters: Dict[str, int] = field(default_factory=dict)
+    supervisor_alive: bool = True
+
+    @property
+    def lost(self) -> int:
+        return self.requests - self.responses
+
+    @property
+    def baseline_lost(self) -> int:
+        return self.requests - self.baseline_responses
+
+    @property
+    def passed(self) -> bool:
+        return (
+            self.supervisor_alive
+            and self.lost == 0
+            and self.baseline_lost == 0
+            and not self.violations
+            and self.shed > 0
+            and self.max_level >= LEVEL_UNOPTIMIZED
+            and self.final_level == LEVEL_FULL
+            and self.p99_improvement >= self.min_p99_improvement
+        )
+
+    def to_json(self) -> Dict[str, Any]:
+        return {
+            "requests": self.requests,
+            "seed": self.seed,
+            "fault_rate": self.fault_rate,
+            "burst_multiple": self.burst_multiple,
+            "min_p99_improvement": self.min_p99_improvement,
+            "service_time": round(self.service_time, 6),
+            "responses": self.responses,
+            "lost": self.lost,
+            "optimized": self.optimized,
+            "degraded": self.degraded,
+            "errors": self.errors,
+            "shed": self.shed,
+            "shed_queue_full": self.shed_queue_full,
+            "shed_deadline": self.shed_deadline,
+            "deadline_attached": self.deadline_attached,
+            "injected_faults": dict(sorted(self.injected_faults.items())),
+            "max_level": self.max_level,
+            "final_level": self.final_level,
+            "transitions": self.transitions,
+            "queue_depth_peak": self.queue_depth_peak,
+            "queue_capacity": self.queue_capacity,
+            "recovery_virtual_seconds": round(self.recovery_virtual_seconds, 6),
+            "overload_latency": self.overload_latency,
+            "baseline_responses": self.baseline_responses,
+            "baseline_lost": self.baseline_lost,
+            "baseline_latency": self.baseline_latency,
+            "p99_improvement": self.p99_improvement,
+            "violations": self.violations,
+            "supervisor_alive": self.supervisor_alive,
+            "counters": dict(sorted(self.counters.items())),
+            "passed": self.passed,
+        }
+
+
+def burst_storm_config(
+    workers: int = 2, deadline: float = 3.0, queue_capacity: int = 32
+) -> ServeConfig:
+    """The overload leg's :class:`ServeConfig`.
+
+    Watermarks are expressed in service ticks so the ladder's geometry
+    is invariant under the calibration: level 1 at 4 ticks of queueing,
+    level 2 at 20, level 3 at 60 — with ``queue_capacity`` ticks the
+    worst admissible wait, a sustained 4× burst provably climbs past
+    level 2.  The window is short (2 virtual seconds) so the storm can
+    watch full recovery without simulating minutes.
+    """
+    config = storm_config(workers=workers, deadline=deadline)
+    config.queue_capacity = queue_capacity
+    config.overload_watermarks = (
+        4 * SERVICE_TICK,
+        20 * SERVICE_TICK,
+        60 * SERVICE_TICK,
+    )
+    config.overload_window = 2.0
+    return config
+
+
+def _plan_burst(
+    requests: int,
+    fault_rate: float,
+    seed: int,
+    mean_interarrival: float,
+) -> List[Dict[str, Any]]:
+    """The seeded open-loop arrival schedule (due time, frame, oracle)."""
+    rng = random.Random(seed ^ 0xB0B5)
+    plan: List[Dict[str, Any]] = []
+    due = 0.0
+    for position in range(requests):
+        due += rng.uniform(0.5, 1.5) * mean_interarrival
+        request = _instantiate(rng)
+        if rng.random() < fault_rate:
+            request["chaos"] = rng.choice(sorted(CHAOS_FAULTS))
+        if rng.random() < 0.3:
+            # A slice of callers with real patience budgets (virtual ms):
+            # deep queueing must shed these, not serve them post-mortem.
+            request["deadline_ms"] = rng.randrange(200, 2001)
+        frame = {
+            "op": "run",
+            "id": f"burst-{position}",
+            "source": request["source"],
+        }
+        if request.get("chaos"):
+            frame["chaos"] = request["chaos"]
+        if request.get("deadline_ms"):
+            frame["deadline_ms"] = request["deadline_ms"]
+        plan.append({"due": round(due, 6), "frame": frame, "request": request})
+    return plan
+
+
+def _drive_open_loop(
+    supervisor: Supervisor,
+    vclock: VirtualClock,
+    plan: List[Dict[str, Any]],
+    violations: List[str],
+    leg: str,
+) -> Tuple[List[Tuple[Dict[str, Any], Dict[str, Any], float]], bool]:
+    """Pour the schedule open-loop; returns completions and liveness.
+
+    Arrivals are submitted the moment simulated time reaches their due
+    time — timestamped with the *due* time, so queueing that happened
+    while the supervisor was busy serving counts against latency — and
+    the queue is served one request per iteration.  Every schedule item
+    must come back exactly once; duplicates and leftovers are violations.
+    """
+    completed: List[Tuple[Dict[str, Any], Dict[str, Any], float]] = []
+    arrivals: Dict[Any, Dict[str, Any]] = {}
+
+    def finish(request_id: Any, response: Dict[str, Any]) -> None:
+        item = arrivals.pop(request_id, None)
+        if item is None:
+            violations.append(
+                f"{leg}: duplicate or unknown response id {request_id!r}"
+            )
+            return
+        latency = round(vclock.now() - item["due"], 6)
+        completed.append((item, response, latency))
+
+    index = 0
+    try:
+        while index < len(plan) or supervisor.pending():
+            now = vclock.now()
+            while index < len(plan) and plan[index]["due"] <= now:
+                item = plan[index]
+                index += 1
+                frame = dict(item["frame"])
+                arrivals[frame["id"]] = item
+                immediate = supervisor.submit(frame, arrived_at=item["due"])
+                if immediate is not None:
+                    finish(frame["id"], immediate)
+            if supervisor.pending():
+                for frame, response in supervisor.process_one():
+                    finish(frame["id"], response)
+            elif index < len(plan):
+                vclock.advance(plan[index]["due"] - now)
+    except Exception as exc:  # supervisor death — the cardinal sin
+        violations.append(
+            f"{leg}: supervisor died: {type(exc).__name__}: {exc}"
+        )
+        return completed, False
+    for request_id in sorted(arrivals, key=str):
+        violations.append(f"{leg}: request {request_id!r} got no response")
+    return completed, True
+
+
+def run_burst_storm(
+    requests: int = 500,
+    burst_multiple: float = 4.0,
+    fault_rate: float = 0.05,
+    seed: int = 0,
+    workers: int = 2,
+    deadline: float = 3.0,
+    queue_capacity: int = 32,
+    min_p99_improvement: float = 5.0,
+    calibration_requests: int = 10,
+    progress=None,
+) -> BurstStormResult:
+    """Overload the service open-loop and prove the brown-out contract:
+    zero lost requests, correct non-shed answers, a ladder that climbs
+    and fully recovers, and a p99 bounded against the unbounded-queue
+    baseline under the identical schedule."""
+    result = BurstStormResult(
+        requests=requests,
+        seed=seed,
+        fault_rate=fault_rate,
+        burst_multiple=burst_multiple,
+        min_p99_improvement=min_p99_improvement,
+        queue_capacity=queue_capacity,
+    )
+    baseline_cache: Dict[str, Dict[str, Any]] = {}
+
+    # Phase A: calibrate the virtual service time on clean requests.
+    supervisor, vclock = _virtual_supervisor(
+        burst_storm_config(workers, deadline, queue_capacity)
+    )
+    supervisor.start()
+    try:
+        started = vclock.now()
+        for position in range(max(1, calibration_requests)):
+            supervisor.handle_request(
+                {
+                    "op": "run",
+                    "id": f"calibrate-{position}",
+                    "source": _template_sum_loop(4 + position % 5),
+                }
+            )
+        result.service_time = (vclock.now() - started) / max(
+            1, calibration_requests
+        )
+    finally:
+        supervisor.shutdown()
+    if result.service_time <= 0:
+        result.violations.append("calibration measured a zero service time")
+        return result
+
+    mean_interarrival = result.service_time / max(1.0, burst_multiple)
+    plan = _plan_burst(requests, fault_rate, seed, mean_interarrival)
+    for item in plan:
+        fault = item["request"].get("chaos")
+        if fault:
+            result.injected_faults[fault] = (
+                result.injected_faults.get(fault, 0) + 1
+            )
+        if item["request"].get("deadline_ms"):
+            result.deadline_attached += 1
+
+    # Phase B: the overload leg.
+    config = burst_storm_config(workers, deadline, queue_capacity)
+    supervisor, vclock = _virtual_supervisor(config)
+    supervisor.start()
+    latencies: List[float] = []
+    try:
+        completed, alive = _drive_open_loop(
+            supervisor, vclock, plan, result.violations, "overload"
+        )
+        result.supervisor_alive = alive
+        for position, (item, response, latency) in enumerate(completed):
+            result.responses += 1
+            latencies.append(latency)
+            probe = StormResult(requests=0, seed=seed, fault_rate=fault_rate)
+            _verify_response(
+                probe, position, item["request"], response, baseline_cache
+            )
+            for violation in probe.violations:
+                result.violations.append(f"overload {violation}")
+            result.optimized += probe.optimized
+            result.degraded += probe.degraded
+            result.errors += probe.errors
+            result.shed += probe.shed
+            if response.get("status") == "shed":
+                if response.get("reason") == "queue-full":
+                    result.shed_queue_full += 1
+                elif response.get("reason") == "deadline-expired":
+                    result.shed_deadline += 1
+            if progress is not None:
+                progress(position, response)
+        # Drained: poll the ladder back down to level 0 on elapsed
+        # virtual time alone (recovery is window-gated, one step each).
+        result.max_level = supervisor.overload.ladder.max_level
+        recovery_started = vclock.now()
+        polls = 0
+        while (
+            supervisor.overload.level(vclock.now()) > LEVEL_FULL and polls < 64
+        ):
+            vclock.advance(config.overload_window / 2)
+            polls += 1
+        result.final_level = supervisor.overload.level(vclock.now())
+        result.recovery_virtual_seconds = vclock.now() - recovery_started
+        result.transitions = supervisor.overload.ladder.transitions
+        result.queue_depth_peak = supervisor.stats.counters.get(
+            "serve.overload.queue-depth_peak", 0
+        )
+        if result.queue_depth_peak > queue_capacity:
+            result.violations.append(
+                f"queue depth {result.queue_depth_peak} exceeded the "
+                f"{queue_capacity} capacity bound"
+            )
+        result.counters = dict(supervisor.stats.counters)
+    finally:
+        try:
+            supervisor.shutdown()
+        except Exception as exc:  # pragma: no cover - drain must not throw
+            result.supervisor_alive = False
+            result.violations.append(f"shutdown: {type(exc).__name__}: {exc}")
+    result.overload_latency = latency_summary(latencies)
+    if not result.supervisor_alive:
+        return result
+
+    # Phase C: the unbounded-queue baseline — the same schedule with
+    # overload control off (nothing shed, nothing expired, every request
+    # queued and served), which is exactly the pre-PR behavior.
+    config = burst_storm_config(workers, deadline, queue_capacity)
+    config.overload_enabled = False
+    baseline, vclock = _virtual_supervisor(config)
+    baseline.start()
+    baseline_latencies: List[float] = []
+    try:
+        completed, alive = _drive_open_loop(
+            baseline, vclock, plan, result.violations, "baseline"
+        )
+        result.supervisor_alive = result.supervisor_alive and alive
+        for position, (item, response, latency) in enumerate(completed):
+            result.baseline_responses += 1
+            baseline_latencies.append(latency)
+            probe = StormResult(requests=0, seed=seed, fault_rate=fault_rate)
+            _verify_response(
+                probe, position, item["request"], response, baseline_cache
+            )
+            for violation in probe.violations:
+                result.violations.append(f"baseline {violation}")
+            if probe.shed:
+                result.violations.append(
+                    f"baseline request {position} was shed with overload "
+                    "control disabled"
+                )
+    finally:
+        try:
+            baseline.shutdown()
+        except Exception as exc:  # pragma: no cover
+            result.supervisor_alive = False
+            result.violations.append(
+                f"baseline shutdown: {type(exc).__name__}: {exc}"
+            )
+    result.baseline_latency = latency_summary(baseline_latencies)
+
+    overload_p99 = result.overload_latency.get("p99", 0.0)
+    baseline_p99 = result.baseline_latency.get("p99", 0.0)
+    if overload_p99 > 0:
+        result.p99_improvement = round(baseline_p99 / overload_p99, 6)
+    return result
+
+
+def format_burst_storm(result: BurstStormResult) -> str:
+    overload_p99 = result.overload_latency.get("p99", 0.0)
+    baseline_p99 = result.baseline_latency.get("p99", 0.0)
+    lines = [
+        f"burst storm: {result.requests} request(s) at "
+        f"{result.burst_multiple:g}x capacity, seed {result.seed}, "
+        f"fault rate {result.fault_rate:.0%}",
+        f"  calibrated service time: {result.service_time:.3f}s (virtual)",
+        f"  responses: {result.responses}  lost: {result.lost}  "
+        f"baseline lost: {result.baseline_lost}",
+        f"  optimized: {result.optimized}  degraded: {result.degraded}  "
+        f"user-errors: {result.errors}",
+        f"  shed: {result.shed} "
+        f"(queue-full {result.shed_queue_full}, "
+        f"deadline-expired {result.shed_deadline}) of "
+        f"{result.deadline_attached} deadline-carrying request(s)",
+        f"  ladder: max level {result.max_level}, final level "
+        f"{result.final_level}, {result.transitions} transition(s), "
+        f"recovered in {result.recovery_virtual_seconds:.1f} virtual s",
+        f"  queue depth peak: {result.queue_depth_peak} "
+        f"(capacity {result.queue_capacity})",
+        f"  p99 admission-to-response: {overload_p99:.3f}s overloaded vs "
+        f"{baseline_p99:.3f}s unbounded baseline "
+        f"({result.p99_improvement:g}x, floor "
+        f"{result.min_p99_improvement:g}x)",
+        f"  supervisor alive: {result.supervisor_alive}",
+    ]
+    if result.violations:
+        lines.append(f"  VIOLATIONS ({len(result.violations)}):")
+        lines.extend(f"    {violation}" for violation in result.violations)
+    else:
+        lines.append(
+            "  no violations: every request answered exactly once — served "
+            "correctly or shed with backpressure"
+        )
+    lines.append(f"  verdict: {'PASS' if result.passed else 'FAIL'}")
+    return "\n".join(lines)
 
 
 # ----------------------------------------------------------------------
@@ -744,6 +1241,12 @@ def format_storm(result: StormResult) -> str:
             or "none"
         ),
         f"  served through open breaker: {result.breaker_open_served}",
+        "  latency (virtual): p50 {p50:.3f}s  p95 {p95:.3f}s  p99 {p99:.3f}s".format(
+            **{
+                key: latency_summary(result.latencies).get(key, 0.0)
+                for key in ("p50", "p95", "p99")
+            }
+        ),
         f"  supervisor alive: {result.supervisor_alive}",
     ]
     for name in sorted(result.counters):

@@ -1,0 +1,349 @@
+"""Overload control for the compile service: admission, deadlines, and
+the adaptive degradation ladder.
+
+ABCD's premise makes the compile service uniquely brown-out friendly:
+optimization effort is *optional* — a bounds check left in is slower,
+never wrong — so under overload the service can legally shed
+certification, then optimization, then admission itself, and still
+answer every admitted request correctly.  This module is that policy,
+kept deliberately free of I/O so it is fully deterministic under an
+injected clock:
+
+* **Admission control** (:class:`AdmissionQueue`) — a bounded queue of
+  pending requests with per-request enqueue timestamps.  When depth hits
+  the capacity watermark, or the degradation ladder has reached its shed
+  level, new requests are rejected *fast* with a ``retry_after``
+  backpressure hint instead of queuing up to time out.
+
+* **Deadline propagation** — a client may attach ``deadline_ms``; the
+  queue records the absolute expiry and :meth:`AdmissionQueue.pop` sheds
+  requests whose deadline passed while queued, so a worker slot is never
+  burned on a caller that already gave up.  The remaining budget is
+  threaded into the worker as the solver deadline by the supervisor.
+
+* **The degradation ladder** (:class:`DegradationLadder`) — a
+  four-level state machine driven by a sliding-window queue-latency
+  signal:
+
+  ====== ==========================================================
+  level  service
+  ====== ==========================================================
+  0      full pipeline (store capture / certification included)
+  1      optimized, certification (store capture) dropped
+  2      unoptimized, every check intact (the PR 6 degraded mode,
+         already proven byte-identical to the reference interpreter)
+  3      shed: reject with ``retry_after``
+  ====== ==========================================================
+
+  Escalation is immediate — the moment the windowed signal crosses a
+  level's watermark the level rises — while recovery is hysteretic: the
+  ladder steps down one level at a time, and only after the window has
+  stayed clear (signal below ``hysteresis_ratio`` × the entry watermark
+  for a full window).  That asymmetry is the classic overload-control
+  shape: react fast, relax slowly, never oscillate per-request.
+
+Everything here takes ``now`` as an argument or an injected clock;
+nothing reads wall time on its own, which is what makes the burst storm
+(:func:`repro.serve.chaos.run_burst_storm`) byte-reproducible.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Deque, Dict, List, Optional, Tuple
+
+#: Ladder levels, named for readability at call sites.
+LEVEL_FULL = 0
+LEVEL_NO_CERTIFY = 1
+LEVEL_UNOPTIMIZED = 2
+LEVEL_SHED = 3
+
+
+@dataclass
+class OverloadConfig:
+    """Policy knobs of the overload subsystem (surfaced as ``repro
+    serve`` flags through :class:`~repro.serve.supervisor.ServeConfig`)."""
+
+    #: Master switch; disabled means the pre-overload behavior — an
+    #: unbounded queue, no shedding, ladder pinned at level 0 (the burst
+    #: storm's baseline leg runs with this off).
+    enabled: bool = True
+    #: Depth watermark: a request arriving at a full queue is shed.
+    queue_capacity: int = 64
+    #: Queue-latency watermarks (seconds) for *entering* levels 1, 2, 3.
+    watermarks: Tuple[float, float, float] = (0.5, 2.0, 8.0)
+    #: Sliding window (seconds) of the queue-latency signal.
+    window: float = 5.0
+    #: Step down only when the signal stays below ``hysteresis_ratio`` ×
+    #: the current level's entry watermark for a full window.
+    hysteresis_ratio: float = 0.5
+    #: Base backpressure hint (seconds); scaled by depth and level.
+    retry_after: float = 0.25
+
+
+class VirtualClock:
+    """A manually advanced clock for deterministic overload tests.
+
+    The storm harness injects this as the supervisor clock and advances
+    it by a fixed per-dispatch cost, so queue latencies — and therefore
+    ladder transitions and percentile summaries — are pure functions of
+    the seeded schedule, byte-identical across runs and machines.
+    """
+
+    def __init__(self, start: float = 0.0) -> None:
+        self._now = float(start)
+
+    def now(self) -> float:
+        return self._now
+
+    def advance(self, seconds: float) -> None:
+        if seconds > 0:
+            self._now += float(seconds)
+
+
+def percentile(values: List[float], fraction: float) -> float:
+    """Nearest-rank percentile (deterministic, no interpolation)."""
+    if not values:
+        return 0.0
+    ordered = sorted(values)
+    rank = max(0, min(len(ordered) - 1, int(round(fraction * len(ordered))) - 1))
+    return ordered[rank]
+
+
+def latency_summary(values: List[float]) -> Dict[str, Any]:
+    """The deterministic p50/p95/p99 block emitted by ``storm --json``.
+
+    Values are rounded to microseconds so the JSON bytes cannot pick up
+    platform float-formatting noise.
+    """
+    return {
+        "count": len(values),
+        "p50": round(percentile(values, 0.50), 6),
+        "p95": round(percentile(values, 0.95), 6),
+        "p99": round(percentile(values, 0.99), 6),
+        "max": round(max(values), 6) if values else 0.0,
+    }
+
+
+class DegradationLadder:
+    """The four-level brown-out state machine.
+
+    Fed queue-latency samples via :meth:`observe`; polled for step-downs
+    via :meth:`poll` (e.g. while the queue is idle and no samples
+    arrive).  Escalation is immediate, recovery window-gated — see the
+    module docstring for the shape and why.
+    """
+
+    def __init__(self, config: OverloadConfig) -> None:
+        self.config = config
+        self.level = LEVEL_FULL
+        self.max_level = LEVEL_FULL
+        self.transitions = 0
+        self._samples: Deque[Tuple[float, float]] = deque()
+        self._last_change: Optional[float] = None
+
+    def signal(self, now: float) -> float:
+        """The windowed queue-latency signal: max over live samples."""
+        self._prune(now)
+        return max((latency for _, latency in self._samples), default=0.0)
+
+    def observe(self, latency: float, now: float) -> None:
+        """Record one queue-latency sample and advance the ladder."""
+        if not self.config.enabled:
+            return
+        self._samples.append((now, max(0.0, float(latency))))
+        self._advance(now)
+
+    def poll(self, now: float) -> int:
+        """Advance the ladder on elapsed time alone (no new sample)."""
+        if self.config.enabled:
+            self._advance(now)
+        return self.level
+
+    # -- internals -----------------------------------------------------
+
+    def _prune(self, now: float) -> None:
+        horizon = now - self.config.window
+        while self._samples and self._samples[0][0] < horizon:
+            self._samples.popleft()
+
+    def _advance(self, now: float) -> None:
+        signal = self.signal(now)
+        while (
+            self.level < LEVEL_SHED
+            and signal >= self.config.watermarks[self.level]
+        ):
+            self.level += 1
+            self.transitions += 1
+            self._last_change = now
+        if self.level > self.max_level:
+            self.max_level = self.level
+        if self.level == LEVEL_FULL:
+            return
+        # Hysteretic recovery: one step per clear window.
+        if (
+            self._last_change is not None
+            and now - self._last_change < self.config.window
+        ):
+            return
+        threshold = (
+            self.config.hysteresis_ratio * self.config.watermarks[self.level - 1]
+        )
+        if signal < threshold:
+            self.level -= 1
+            self.transitions += 1
+            self._last_change = now
+
+
+@dataclass
+class QueuedRequest:
+    """One admitted request waiting for a worker."""
+
+    frame: Dict[str, Any]
+    enqueued_at: float
+    #: Absolute expiry (supervisor clock) from the client ``deadline_ms``;
+    #: ``None`` = the caller waits forever.
+    deadline_at: Optional[float] = None
+
+    def expired(self, now: float) -> bool:
+        return self.deadline_at is not None and now >= self.deadline_at
+
+
+class AdmissionQueue:
+    """The bounded request queue with per-request enqueue timestamps."""
+
+    def __init__(self, config: OverloadConfig) -> None:
+        self.config = config
+        self._entries: Deque[QueuedRequest] = deque()
+
+    def depth(self) -> int:
+        return len(self._entries)
+
+    def full(self) -> bool:
+        return (
+            self.config.enabled
+            and self.config.queue_capacity > 0
+            and len(self._entries) >= self.config.queue_capacity
+        )
+
+    def push(
+        self,
+        frame: Dict[str, Any],
+        now: float,
+        deadline_at: Optional[float] = None,
+    ) -> QueuedRequest:
+        entry = QueuedRequest(frame, now, deadline_at)
+        self._entries.append(entry)
+        return entry
+
+    def pop(
+        self, now: float
+    ) -> Tuple[Optional[QueuedRequest], List[QueuedRequest]]:
+        """Next dispatchable request plus any deadline-expired ones.
+
+        Expired entries are *popped, not dispatched* — the supervisor
+        answers each with a shed response so no request is ever silently
+        dropped, and no worker slot is spent on a caller that gave up.
+        With overload control disabled nothing is ever expired (the
+        pre-overload behavior the baseline leg measures).
+        """
+        expired: List[QueuedRequest] = []
+        while self._entries:
+            entry = self._entries.popleft()
+            if self.config.enabled and entry.expired(now):
+                expired.append(entry)
+                continue
+            return entry, expired
+        return None, expired
+
+    def drain(self) -> List[QueuedRequest]:
+        """Remove and return everything still queued (shutdown path)."""
+        entries = list(self._entries)
+        self._entries.clear()
+        return entries
+
+
+class OverloadController:
+    """Glue: one queue + one ladder + the counters they publish.
+
+    The supervisor owns exactly one of these.  All state transitions
+    funnel through ``admit``/``pop``/``poll`` with explicit ``now``
+    values, so a test (or the virtual-clock storm) fully controls time.
+    """
+
+    def __init__(self, config: OverloadConfig, stats) -> None:
+        self.config = config
+        self.stats = stats
+        self.queue = AdmissionQueue(config)
+        self.ladder = DegradationLadder(config)
+
+    # -- admission -----------------------------------------------------
+
+    def admit(
+        self,
+        frame: Dict[str, Any],
+        now: float,
+        deadline_at: Optional[float] = None,
+    ) -> Optional[str]:
+        """Admission decision: ``None`` = enqueued, else the shed reason."""
+        level = self.ladder.poll(now)
+        if not self.config.enabled:
+            self.queue.push(frame, now, deadline_at)
+            self.stats.bump("serve.overload.admitted")
+            return None
+        if level >= LEVEL_SHED:
+            self.stats.bump("serve.overload.shed-level")
+            return "degrade-level"
+        if self.queue.full():
+            self.stats.bump("serve.overload.shed-queue-full")
+            return "queue-full"
+        self.queue.push(frame, now, deadline_at)
+        self.stats.bump("serve.overload.admitted")
+        self.stats.bump_peak(
+            "serve.overload.queue-depth_peak", self.queue.depth()
+        )
+        return None
+
+    def pop(
+        self, now: float
+    ) -> Tuple[Optional[QueuedRequest], List[QueuedRequest]]:
+        """Pop for dispatch; feeds the ladder with every observed wait."""
+        entry, expired = self.queue.pop(now)
+        for stale in expired:
+            self.stats.bump("serve.overload.deadline-shed")
+            self.ladder.observe(now - stale.enqueued_at, now)
+        if entry is not None:
+            self.ladder.observe(now - entry.enqueued_at, now)
+        return entry, expired
+
+    # -- signals -------------------------------------------------------
+
+    def level(self, now: float) -> int:
+        return self.ladder.poll(now)
+
+    def retry_after(self, now: float) -> float:
+        """The backpressure hint attached to every shed response.
+
+        Scales with queue depth and ladder level so a deeply overloaded
+        service pushes retries further out; rounded so transcripts stay
+        byte-stable.
+        """
+        capacity = max(1, self.config.queue_capacity)
+        pressure = 1.0 + self.queue.depth() / capacity + self.ladder.level
+        return round(self.config.retry_after * pressure, 6)
+
+    def snapshot(self, now: float) -> Dict[str, Any]:
+        """The ``overload`` block of ``status`` responses / telemetry."""
+        return {
+            "enabled": self.config.enabled,
+            "level": self.ladder.poll(now),
+            "max_level": self.ladder.max_level,
+            "transitions": self.ladder.transitions,
+            "queue_depth": self.queue.depth(),
+            "queue_capacity": self.config.queue_capacity,
+            "signal": round(self.ladder.signal(now), 6),
+            "watermarks": list(self.config.watermarks),
+            "window": self.config.window,
+            "hysteresis_ratio": self.config.hysteresis_ratio,
+        }

@@ -17,6 +17,12 @@ Client-facing request ops:
               pool (never dispatched to a worker);
 ``shutdown``  drain and stop the server.
 
+A ``run``/``compile`` request may carry ``deadline_ms`` — a positive
+integer bound on how long the *caller* will wait.  The supervisor sheds
+the request (never dispatching it) once that deadline expires while
+queued, and threads the remaining budget into the worker as its compile
+deadline.
+
 A worker answers with ``status`` ``"ok"`` (request served), ``"error"``
 (deterministic user error — e.g. a type error in the submitted source;
 *not* a worker failure, never retried), or ``"failure"`` (the worker
@@ -25,6 +31,13 @@ supervisor should retry or degrade).  Anything else arriving on the
 worker pipe — EOF, a truncated line, non-JSON bytes, a mismatched
 request id — is a protocol violation: the supervisor kills that worker
 and treats the attempt as failed.
+
+The supervisor itself may answer a client with ``status`` ``"shed"`` —
+overload backpressure, carrying a ``retry_after`` hint (seconds), the
+shed ``reason`` (``queue-full``, ``degrade-level``,
+``deadline-expired``, ``shutting-down``), and the degradation-ladder
+``degrade_level`` that made the call.  A shed response is an explicit
+answer, not a dropped request: the no-lost-request guarantee counts it.
 
 Frames are capped at :data:`MAX_FRAME_BYTES` so a berserk worker cannot
 balloon the supervisor's memory through the response pipe.
@@ -102,6 +115,16 @@ def validate_request(frame: Dict[str, Any]) -> Dict[str, Any]:
         ):
             raise ProtocolError(f"'args' must be a list of ints, got {args!r}")
         frame["args"] = args
+        deadline_ms = frame.get("deadline_ms")
+        if deadline_ms is not None:
+            if (
+                not isinstance(deadline_ms, int)
+                or isinstance(deadline_ms, bool)
+                or deadline_ms <= 0
+            ):
+                raise ProtocolError(
+                    f"'deadline_ms' must be a positive integer, got {deadline_ms!r}"
+                )
     return frame
 
 
@@ -138,3 +161,25 @@ def error_response(
     if op is not None:
         payload["op"] = op
     return payload
+
+
+def shed_response(
+    request_id: Any,
+    reason: str,
+    retry_after: float,
+    degrade_level: int,
+) -> Dict[str, Any]:
+    """An overload backpressure response: rejected fast, retry later.
+
+    ``retry_after`` is a hint in seconds; ``degrade_level`` is the
+    ladder level that made the shed decision, so clients (and the storm
+    verifier) can distinguish admission-control sheds from
+    deadline-expiry sheds on an otherwise healthy service.
+    """
+    return {
+        "id": request_id,
+        "status": "shed",
+        "reason": reason,
+        "retry_after": retry_after,
+        "degrade_level": degrade_level,
+    }

@@ -31,17 +31,26 @@ All per-request outcomes fold into ``SessionStats.counters`` under the
 from __future__ import annotations
 
 import os
+import random
 import select
 import signal
 import subprocess
 import sys
 import time
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Tuple
+from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from repro.passes.manager import SessionStats
 from repro.serve import protocol
 from repro.serve.breaker import CircuitBreaker, function_fingerprint
+from repro.serve.overload import (
+    LEVEL_FULL,
+    LEVEL_NO_CERTIFY,
+    LEVEL_SHED,
+    LEVEL_UNOPTIMIZED,
+    OverloadConfig,
+    OverloadController,
+)
 from repro.serve.worker import CHAOS_ENV
 
 
@@ -83,6 +92,28 @@ class ServeConfig:
     #: entries captured by workers on misses.  Open circuit breakers are
     #: persisted here too, so a supervisor restart does not forget them.
     cache_dir: Optional[str] = None
+    #: Overload control (see :mod:`repro.serve.overload`): admission
+    #: queue bound, ladder watermarks/window/hysteresis, backpressure
+    #: hint.  ``overload_enabled=False`` restores the pre-overload
+    #: unbounded-queue behavior (the burst storm's baseline leg).
+    overload_enabled: bool = True
+    queue_capacity: int = 64
+    overload_watermarks: Tuple[float, float, float] = (0.5, 2.0, 8.0)
+    overload_window: float = 5.0
+    overload_hysteresis: float = 0.5
+    retry_after: float = 0.25
+    #: Seed of the supervisor's jitter RNG (retry backoff + breaker
+    #: cooldown jitter); injectable so storms are byte-reproducible.
+    jitter_seed: int = 0
+    #: Breaker cooldown full-jitter fraction (0 disables).
+    breaker_jitter: float = 0.1
+    #: Thread per-request ``deadline_ms`` remaining budgets into worker
+    #: read timeouts and worker-side hard deadlines.  The virtual-clock
+    #: burst storm turns this off: its "seconds" are simulated, and an
+    #: alarm armed with a simulated budget would race real compile time
+    #: nondeterministically.  Queue-side expiry shedding stays on either
+    #: way — it only compares supervisor-clock timestamps.
+    propagate_deadlines: bool = True
 
 
 class WorkerDied(Exception):
@@ -219,11 +250,31 @@ class Supervisor:
     ) -> None:
         self.config = config if config is not None else ServeConfig()
         self.stats = stats if stats is not None else SessionStats()
+        #: Seeded jitter source shared by retry backoff and the breaker
+        #: cooldown extension (one seed, one deterministic draw order).
+        self.rng = random.Random(self.config.jitter_seed)
         self.breaker = CircuitBreaker(
             failure_threshold=self.config.breaker_threshold,
             cooldown=self.config.breaker_cooldown,
             clock=clock,
+            jitter=self.config.breaker_jitter,
+            rng=self.rng,
         )
+        self.overload = OverloadController(
+            OverloadConfig(
+                enabled=self.config.overload_enabled,
+                queue_capacity=self.config.queue_capacity,
+                watermarks=self.config.overload_watermarks,
+                window=self.config.overload_window,
+                hysteresis_ratio=self.config.overload_hysteresis,
+                retry_after=self.config.retry_after,
+            ),
+            stats=self.stats,
+        )
+        #: Optional per-dispatch hook (outcome: "response" | "timeout" |
+        #: "failure").  The burst storm injects a virtual-clock advance
+        #: here so service time is deterministic simulated time.
+        self.dispatch_tick: Optional[Callable[[str], None]] = None
         self.pool: List[WorkerHandle] = []
         #: The persistent certificate store (opened by :meth:`start` when
         #: ``config.cache_dir`` is set; ``None`` = caching disabled).
@@ -341,7 +392,31 @@ class Supervisor:
     # ------------------------------------------------------------------
 
     def handle_request(self, frame: Dict[str, Any]) -> Dict[str, Any]:
-        """Serve one client frame; always returns a response frame."""
+        """Serve one client frame synchronously; always returns a frame.
+
+        Convenience wrapper over the queued path: admission control runs
+        (so overload policy applies even to synchronous callers), then
+        the queue is drained.  The last response produced belongs to this
+        frame — either its service result, or its own shed response.
+        """
+        immediate = self.submit(frame)
+        if immediate is not None:
+            return immediate
+        results = self.process_queue()
+        return results[-1][1]
+
+    def submit(
+        self, frame: Dict[str, Any], arrived_at: Optional[float] = None
+    ) -> Optional[Dict[str, Any]]:
+        """Admission control for one client frame.
+
+        Returns a response to send *now* — a protocol error, a
+        ``status``/``shutdown`` result, or an overload shed with a
+        ``retry_after`` hint — or ``None`` when the request was admitted
+        to the bounded queue.  ``arrived_at`` lets open-loop drivers
+        stamp the true arrival time (supervisor clock) even when they
+        pour a backlog of due arrivals in after a service step.
+        """
         self.stats.bump("serve.requests")
         try:
             if not isinstance(frame, dict):
@@ -366,9 +441,82 @@ class Supervisor:
         if op == "shutdown":
             self._stop = True
             return {"id": frame["id"], "status": "ok", "op": "shutdown"}
-        return self._serve_compile_or_run(frame)
+
+        now = arrived_at if arrived_at is not None else self._clock()
+        deadline_at = None
+        if frame.get("deadline_ms") is not None:
+            deadline_at = now + frame["deadline_ms"] / 1000.0
+            frame["_deadline_at"] = deadline_at
+        reason = self.overload.admit(frame, now, deadline_at)
+        if reason is not None:
+            return self._shed_response(frame, reason)
+        return None
+
+    def pending(self) -> int:
+        """Requests admitted but not yet served."""
+        return self.overload.queue.depth()
+
+    def process_one(self) -> List[Tuple[Dict[str, Any], Dict[str, Any]]]:
+        """Serve the next queued request.
+
+        Returns ``(frame, response)`` pairs: a shed response for every
+        deadline-expired entry popped on the way (never dispatched — no
+        worker slot is spent on a caller that gave up) and at most one
+        service response.  Empty when the queue is empty.
+        """
+        out: List[Tuple[Dict[str, Any], Dict[str, Any]]] = []
+        entry, expired = self.overload.pop(self._clock())
+        for stale in expired:
+            out.append(
+                (stale.frame, self._shed_response(stale.frame, "deadline-expired"))
+            )
+        if entry is not None:
+            out.append((entry.frame, self._serve_compile_or_run(entry.frame)))
+        return out
+
+    def process_queue(self) -> List[Tuple[Dict[str, Any], Dict[str, Any]]]:
+        """Drain the queue completely (synchronous serving, shutdown)."""
+        out: List[Tuple[Dict[str, Any], Dict[str, Any]]] = []
+        while self.pending():
+            out.extend(self.process_one())
+        return out
+
+    def shed_queued(self, reason: str) -> List[Tuple[Dict[str, Any], Dict[str, Any]]]:
+        """Answer everything still queued with a shed response (drain on
+        SIGTERM/EOF: an admitted request is never silently dropped)."""
+        return [
+            (entry.frame, self._shed_response(entry.frame, reason))
+            for entry in self.overload.queue.drain()
+        ]
+
+    def _shed_response(self, frame: Dict[str, Any], reason: str) -> Dict[str, Any]:
+        now = self._clock()
+        self.stats.bump("serve.overload.shed")
+        return protocol.shed_response(
+            frame.get("id"),
+            reason,
+            self.overload.retry_after(now),
+            self.overload.level(now),
+        )
+
+    def _deadline_expired(self, frame: Dict[str, Any]) -> bool:
+        if not self.config.overload_enabled:
+            return False  # pre-overload behavior: deadlines are ignored
+        deadline_at = frame.get("_deadline_at")
+        return deadline_at is not None and self._clock() >= deadline_at
 
     def _serve_compile_or_run(self, frame: Dict[str, Any]) -> Dict[str, Any]:
+        """Serve one admitted ``run``/``compile`` frame at the current
+        degradation level; every response is tagged with that level."""
+        level = self.overload.level(self._clock())
+        self.stats.bump(f"serve.overload.served-level{min(level, LEVEL_UNOPTIMIZED)}")
+        response = self._serve_at_level(frame, level)
+        response.setdefault("degrade_level", level)
+        return response
+
+    def _serve_at_level(
+        self, frame: Dict[str, Any], level: int
+    ) -> Dict[str, Any]:
         # Lazy start before the cache lookup, not at worker checkout: the
         # store handle is opened by start(), and the first request must be
         # able to hit (or capture into) it.
@@ -376,21 +524,33 @@ class Supervisor:
         fingerprint = function_fingerprint(frame["source"], frame["fn"])
         want_optimized = bool(frame.get("optimize", True))
 
+        if level >= LEVEL_SHED:
+            # Defensive: admission sheds before anything queues at level
+            # 3; a request that raced an escalation still gets the hint.
+            return self._shed_response(frame, "degrade-level")
+        if level >= LEVEL_UNOPTIMIZED:
+            return self._serve_degraded(frame, fingerprint, "overload")
         if not want_optimized:
             return self._serve_degraded(frame, fingerprint, "requested")
 
         # The store is consulted before the breaker: a hit executes code
         # whose every certificate just re-replayed, without touching the
-        # optimizer — the machinery the breaker distrusts.
+        # optimizer — the machinery the breaker distrusts.  At level 1
+        # (certification dropped) hits are still served — they are pure
+        # savings — but misses skip capture: the forced certify compile
+        # is exactly the optional effort this level sheds.
         if self.store is not None:
             store_fp = self._store_fingerprint(frame)
             if store_fp is not None:
                 cached = self._serve_cached(frame, fingerprint, store_fp)
                 if cached is not None:
                     return cached
-                # Miss: ask the worker to capture a store entry alongside
-                # the normal optimized response.
-                frame["_cache_fp"] = store_fp
+                if level < LEVEL_NO_CERTIFY:
+                    # Miss: ask the worker to capture a store entry
+                    # alongside the normal optimized response.
+                    frame["_cache_fp"] = store_fp
+                else:
+                    self.stats.bump("serve.overload.capture-dropped")
 
         if not self.breaker.allow_optimized(fingerprint):
             self.stats.bump("serve.breaker-open")
@@ -402,6 +562,11 @@ class Supervisor:
         last_failure = ""
         for attempt in range(self.config.retries + 1):
             if attempt:
+                if self._deadline_expired(frame):
+                    # The caller's budget ran out mid-retry: stop burning
+                    # workers on an answer nobody is waiting for.
+                    self.stats.bump("serve.overload.deadline-shed")
+                    return self._shed_response(frame, "deadline-expired")
                 self.stats.bump("serve.retried")
                 self._sleep(self._backoff(attempt))
             attempts += 1
@@ -430,6 +595,9 @@ class Supervisor:
             self.stats.bump("serve.breaker-opened")
             # An open breaker must survive a supervisor restart.
             self._persist_breakers()
+        if self._deadline_expired(frame):
+            self.stats.bump("serve.overload.deadline-shed")
+            return self._shed_response(frame, "deadline-expired")
         response = self._serve_degraded(frame, fingerprint, "retries-exhausted")
         response["attempts"] = attempts + response.get("attempts", 0)
         response["last_failure"] = last_failure
@@ -442,6 +610,9 @@ class Supervisor:
         attempts = 0
         for attempt in range(self.config.retries + 1):
             if attempt:
+                if self._deadline_expired(frame):
+                    self.stats.bump("serve.overload.deadline-shed")
+                    return self._shed_response(frame, "deadline-expired")
                 self._sleep(self._backoff(attempt))
             attempts += 1
             kind, payload = self._dispatch(frame, "degraded", attempt)
@@ -615,28 +786,60 @@ class Supervisor:
             wire["fingerprint"] = frame["_cache_fp"]
         if wire_extra:
             wire.update(wire_extra)
+        # Deadline layering: one effective per-attempt deadline, the
+        # minimum of the supervisor default and the request's remaining
+        # ``deadline_ms`` budget — never two racing timers.  The same
+        # budget rides the wire so the worker caps its own solver effort
+        # (and arms ``limits.hard_deadline``) by what the caller will
+        # actually wait for.
+        timeout = self.config.deadline
+        deadline_at = frame.get("_deadline_at")
+        if self.config.propagate_deadlines and deadline_at is not None:
+            remaining = deadline_at - self._clock()
+            if remaining < timeout:
+                timeout = max(0.001, remaining)
+                wire["deadline_budget"] = round(timeout, 6)
         try:
             worker.send(wire)
-            response = worker.read_frame(self.config.deadline, self._clock)
+            # The read deadline runs on the *real* clock even when the
+            # supervisor clock is injected: a hung worker must be killed
+            # in real seconds, and a frozen test clock would wait forever.
+            response = worker.read_frame(timeout, time.monotonic)
             response = protocol.validate_worker_response(response, frame["id"])
         except WorkerTimeout as exc:
             self.stats.bump("serve.deadline-kills")
             self._replace_worker(self._slot_of(worker))
+            self._tick("timeout")
             return ("failure", f"deadline: {exc}")
         except (WorkerDied, protocol.ProtocolError) as exc:
             self._replace_worker(self._slot_of(worker))
+            self._tick("failure")
             return ("failure", f"{type(exc).__name__}: {exc}")
+        self._tick("response")
         worker.served += 1
         self._maybe_recycle(worker)
         if response["status"] == "failure":
             return ("failure", f"{response.get('reason')}: {response.get('message')}")
         return ("response", response)
 
+    def _tick(self, outcome: str) -> None:
+        if self.dispatch_tick is not None:
+            self.dispatch_tick(outcome)
+
     def _backoff(self, attempt: int) -> float:
-        return min(
+        """Full-jitter exponential backoff: ``uniform(0, min(cap, base·2ⁿ))``.
+
+        Deterministic backoff means every client of a just-died worker
+        retries in the same tick; drawing uniformly from the whole
+        interval (the AWS "full jitter" result) de-correlates them at no
+        cost in expected delay.  The RNG is the supervisor's seeded
+        jitter source, so tests and storms replay the exact draws.
+        """
+        ceiling = min(
             self.config.backoff_cap,
             self.config.backoff_base * (2 ** (attempt - 1)),
         )
+        return self.rng.uniform(0.0, ceiling)
 
     # ------------------------------------------------------------------
     # Telemetry.
@@ -654,6 +857,7 @@ class Supervisor:
                 {"pid": worker.pid, "served": worker.served, "alive": worker.alive()}
                 for worker in self.pool
             ],
+            "overload": self.overload.snapshot(self._clock()),
         }
         if self.store is not None:
             payload["cache"] = {
@@ -718,6 +922,14 @@ class Supervisor:
             pass
         finally:
             self._restore_handlers(previous)
+            # Anything still queued is answered, never dropped: the
+            # no-lost-request invariant holds through a drain too.
+            try:
+                for _, shed in self.shed_queued("shutting-down"):
+                    outfile.write(protocol.encode_frame(shed))
+                outfile.flush()
+            except (OSError, ValueError):  # pragma: no cover - client gone
+                pass
             self.shutdown()
         return self.status_payload()
 
@@ -755,10 +967,17 @@ class Supervisor:
                         response = self._serve_line(line)
                         writer.write(protocol.encode_frame(response))
                         writer.flush()
+                    try:
+                        for _, shed in self.shed_queued("shutting-down"):
+                            writer.write(protocol.encode_frame(shed))
+                        writer.flush()
+                    except (OSError, ValueError):  # pragma: no cover
+                        pass
         except _DrainRequested:
             pass
         finally:
             self._restore_handlers(previous)
+            self.shed_queued("shutting-down")
             self.shutdown()
             server.close()
             if os.path.exists(path):

@@ -33,7 +33,7 @@ from typing import Any, Dict, Optional
 
 from repro.core.abcd import ABCDConfig
 from repro.errors import MiniJRuntimeError, ReproError
-from repro.limits import address_space_cap
+from repro.limits import HardDeadlineExceeded, address_space_cap, hard_deadline
 from repro.robustness.faults import CHAOS_FAULTS, ChaosContext, decide_chaos_fault
 from repro.serve import protocol
 
@@ -169,11 +169,57 @@ def _attach_store_entry(
         response["store_uncacheable"] = "entry exceeds response frame cap"
 
 
+def _deadline_budget(frame: Dict[str, Any]) -> Optional[float]:
+    """The request's remaining deadline budget (seconds), or ``None``.
+
+    Set by the supervisor when the client attached ``deadline_ms`` and
+    its remaining budget undercuts the per-attempt deadline — the worker
+    then bounds its own effort by what the caller will actually wait for.
+    Garbage values (a forged frame) disable the budget rather than crash.
+    """
+    budget = frame.get("deadline_budget")
+    if isinstance(budget, bool) or not isinstance(budget, (int, float)):
+        return None
+    return float(budget) if budget > 0 else None
+
+
 def _serve_request(
     frame: Dict[str, Any],
     chaos: Optional[Dict[str, Any]],
     mem_cap_applied: bool,
     served: int,
+) -> Dict[str, Any]:
+    """One ``run``/``compile`` request → one response payload.
+
+    When the frame carries a ``deadline_budget`` the whole body runs
+    under :func:`repro.limits.hard_deadline` for that many seconds — the
+    worker-side backstop of deadline layering.  The supervisor's pipe
+    deadline uses the *same* minimum, so the two timers agree instead of
+    racing; whichever fires first yields the same verdict (a retryable
+    ``failure``), and the solver's own ``ABCDConfig.deadline`` is capped
+    by the same budget so a proof session lands under both.
+    """
+    budget = _deadline_budget(frame)
+    try:
+        with hard_deadline(budget):
+            return _serve_request_body(
+                frame, chaos, mem_cap_applied, served, budget
+            )
+    except HardDeadlineExceeded:
+        return {
+            "id": frame.get("id"),
+            "status": "failure",
+            "reason": "deadline",
+            "message": f"worker exceeded the {budget:.3f}s request budget",
+        }
+
+
+def _serve_request_body(
+    frame: Dict[str, Any],
+    chaos: Optional[Dict[str, Any]],
+    mem_cap_applied: bool,
+    served: int,
+    budget: Optional[float] = None,
 ) -> Dict[str, Any]:
     """One ``run``/``compile`` request → one response payload."""
     from repro.passes.session import CompilationSession
@@ -225,6 +271,16 @@ def _serve_request(
             config = ABCDConfig(
                 solver_backend=str(frame.get("solver", "demand"))
             )
+            if budget is not None:
+                # The solver's proof-session deadline is capped by the
+                # request budget: compile effort bounded by what the
+                # caller will wait for (a budget-exhausted session keeps
+                # its checks — slower, never wrong).
+                config.deadline = (
+                    budget
+                    if config.deadline is None
+                    else min(config.deadline, budget)
+                )
             if frame.get("cache") == "capture":
                 # The supervisor missed the store on this fingerprint:
                 # certify is forced on (stored entries must carry

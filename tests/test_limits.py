@@ -41,6 +41,24 @@ def test_hard_deadline_fires_custom_error():
 
 
 @posix_only
+def test_hard_deadline_error_escapes_blanket_exception_handlers():
+    """The deadline error must not be containable as ``Exception``.
+
+    The pass guard rolls back any pass that raises ``Exception``; if the
+    deadline error were one, an alarm firing mid-pass would be recorded
+    as a pass rollback and the (one-shot) timer would be spent — the
+    rest of the request would run with no wall-clock bound at all."""
+    with pytest.raises(HardDeadlineExceeded):
+        try:
+            with hard_deadline(0.05):
+                deadline = time.monotonic() + 5.0
+                while time.monotonic() < deadline:
+                    pass
+        except Exception:  # the containment layers' blanket clause
+            pytest.fail("HardDeadlineExceeded was swallowed as Exception")
+
+
+@posix_only
 def test_hard_deadline_noop_when_fast_enough():
     with hard_deadline(5.0):
         value = sum(range(10))

@@ -1,0 +1,280 @@
+"""Tests for the overload-control subsystem (``src/repro/serve/overload.py``).
+
+Pure-logic layer: no subprocesses, no wall clock.  Every test drives the
+admission queue, the degradation ladder, and the controller with
+explicit ``now`` values (or a :class:`VirtualClock`), which is exactly
+the determinism contract the burst storm relies on.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.passes.manager import SessionStats
+from repro.serve.overload import (
+    LEVEL_FULL,
+    LEVEL_NO_CERTIFY,
+    LEVEL_SHED,
+    LEVEL_UNOPTIMIZED,
+    AdmissionQueue,
+    DegradationLadder,
+    OverloadConfig,
+    OverloadController,
+    VirtualClock,
+    latency_summary,
+    percentile,
+)
+
+
+def make_config(**overrides) -> OverloadConfig:
+    defaults = dict(
+        enabled=True,
+        queue_capacity=4,
+        watermarks=(1.0, 2.0, 4.0),
+        window=10.0,
+        hysteresis_ratio=0.5,
+        retry_after=0.25,
+    )
+    defaults.update(overrides)
+    return OverloadConfig(**defaults)
+
+
+# ----------------------------------------------------------------------
+# VirtualClock and the percentile helpers.
+# ----------------------------------------------------------------------
+
+
+class TestVirtualClock:
+    def test_starts_where_told_and_advances(self):
+        clock = VirtualClock(5.0)
+        assert clock.now() == 5.0
+        clock.advance(2.5)
+        assert clock.now() == 7.5
+
+    def test_ignores_non_positive_advances(self):
+        clock = VirtualClock()
+        clock.advance(0.0)
+        clock.advance(-3.0)
+        assert clock.now() == 0.0
+
+
+class TestPercentiles:
+    def test_nearest_rank_exact_values(self):
+        values = [float(i) for i in range(1, 101)]  # 1..100
+        assert percentile(values, 0.50) == 50.0
+        assert percentile(values, 0.95) == 95.0
+        assert percentile(values, 0.99) == 99.0
+
+    def test_empty_and_singleton(self):
+        assert percentile([], 0.99) == 0.0
+        assert percentile([7.0], 0.5) == 7.0
+
+    def test_summary_is_rounded_and_complete(self):
+        summary = latency_summary([0.1234567, 0.2, 0.3])
+        assert summary["count"] == 3
+        assert summary["p50"] == 0.2
+        assert summary["max"] == 0.3
+        # Rounded to 6 decimals: byte-stable JSON.
+        assert summary["p50"] == round(summary["p50"], 6)
+
+    def test_summary_of_nothing(self):
+        assert latency_summary([]) == {
+            "count": 0, "p50": 0.0, "p95": 0.0, "p99": 0.0, "max": 0.0
+        }
+
+
+# ----------------------------------------------------------------------
+# The degradation ladder: immediate escalation, hysteretic recovery.
+# ----------------------------------------------------------------------
+
+
+class TestDegradationLadder:
+    def test_escalates_immediately_on_watermark_crossing(self):
+        ladder = DegradationLadder(make_config())
+        ladder.observe(0.5, now=0.0)
+        assert ladder.level == LEVEL_FULL
+        ladder.observe(1.0, now=1.0)
+        assert ladder.level == LEVEL_NO_CERTIFY
+        ladder.observe(2.5, now=2.0)
+        assert ladder.level == LEVEL_UNOPTIMIZED
+
+    def test_one_huge_sample_climbs_multiple_levels(self):
+        ladder = DegradationLadder(make_config())
+        ladder.observe(100.0, now=0.0)
+        assert ladder.level == LEVEL_SHED
+        assert ladder.max_level == LEVEL_SHED
+
+    def test_recovery_steps_down_one_level_per_clear_window(self):
+        config = make_config(window=10.0)
+        ladder = DegradationLadder(config)
+        ladder.observe(5.0, now=0.0)
+        assert ladder.level == LEVEL_SHED
+        # Inside the window nothing relaxes, even though no new load.
+        assert ladder.poll(now=5.0) == LEVEL_SHED
+        # One full window after the transition (sample pruned, signal 0):
+        # exactly one step down, not a free-fall.
+        assert ladder.poll(now=10.1) == LEVEL_UNOPTIMIZED
+        assert ladder.poll(now=10.2) == LEVEL_UNOPTIMIZED
+        assert ladder.poll(now=20.3) == LEVEL_NO_CERTIFY
+        assert ladder.poll(now=30.5) == LEVEL_FULL
+        assert ladder.max_level == LEVEL_SHED
+        # 3 up + 3 down.
+        assert ladder.transitions == 6
+
+    def test_hysteresis_blocks_stepdown_while_signal_lingers(self):
+        config = make_config(watermarks=(1.0, 2.0, 4.0), window=10.0)
+        ladder = DegradationLadder(config)
+        ladder.observe(2.0, now=0.0)
+        assert ladder.level == LEVEL_UNOPTIMIZED
+        # A window has passed, but fresh samples keep the signal at 0.9:
+        # below the level-2 watermark yet above hysteresis_ratio * the
+        # level-1 entry watermark (0.5 * 2.0 = 1.0)?  0.9 < 1.0, so it
+        # WOULD step; use 1.5 to actually linger.
+        ladder.observe(1.5, now=11.0)
+        assert ladder.level == LEVEL_UNOPTIMIZED  # 1.5 >= 0.5*2.0 blocks
+        # Signal finally drops below the hysteresis threshold for a full
+        # window: recovery resumes.
+        assert ladder.poll(now=22.0) == LEVEL_NO_CERTIFY
+
+    def test_disabled_ladder_never_moves(self):
+        ladder = DegradationLadder(make_config(enabled=False))
+        ladder.observe(100.0, now=0.0)
+        assert ladder.poll(now=50.0) == LEVEL_FULL
+        assert ladder.transitions == 0
+
+    def test_signal_is_windowed_max(self):
+        ladder = DegradationLadder(make_config(window=10.0, watermarks=(50, 60, 70)))
+        ladder.observe(3.0, now=0.0)
+        ladder.observe(1.0, now=5.0)
+        assert ladder.signal(now=6.0) == 3.0
+        # The 3.0 sample ages out of the window; the 1.0 remains.
+        assert ladder.signal(now=12.0) == 1.0
+
+
+# ----------------------------------------------------------------------
+# Admission queue: bounded depth, deadline expiry on pop.
+# ----------------------------------------------------------------------
+
+
+class TestAdmissionQueue:
+    def test_fills_to_capacity_then_reports_full(self):
+        queue = AdmissionQueue(make_config(queue_capacity=2))
+        queue.push({"id": 1}, now=0.0)
+        assert not queue.full()
+        queue.push({"id": 2}, now=0.0)
+        assert queue.full()
+
+    def test_pop_is_fifo_with_timestamps(self):
+        queue = AdmissionQueue(make_config())
+        queue.push({"id": "a"}, now=1.0)
+        queue.push({"id": "b"}, now=2.0)
+        entry, expired = queue.pop(now=3.0)
+        assert entry.frame["id"] == "a" and entry.enqueued_at == 1.0
+        assert expired == []
+
+    def test_pop_sheds_expired_entries_first(self):
+        queue = AdmissionQueue(make_config())
+        queue.push({"id": "stale"}, now=0.0, deadline_at=1.0)
+        queue.push({"id": "fresh"}, now=0.0, deadline_at=100.0)
+        entry, expired = queue.pop(now=5.0)
+        assert entry.frame["id"] == "fresh"
+        assert [e.frame["id"] for e in expired] == ["stale"]
+
+    def test_disabled_queue_never_expires_or_fills(self):
+        queue = AdmissionQueue(make_config(enabled=False, queue_capacity=1))
+        queue.push({"id": "a"}, now=0.0, deadline_at=1.0)
+        queue.push({"id": "b"}, now=0.0)
+        assert not queue.full()  # unbounded: the pre-overload behavior
+        entry, expired = queue.pop(now=50.0)
+        assert entry.frame["id"] == "a" and expired == []
+
+    def test_drain_empties_everything(self):
+        queue = AdmissionQueue(make_config())
+        for i in range(3):
+            queue.push({"id": i}, now=0.0)
+        drained = queue.drain()
+        assert [e.frame["id"] for e in drained] == [0, 1, 2]
+        assert queue.depth() == 0
+
+
+# ----------------------------------------------------------------------
+# The controller: admission policy + counters + backpressure hints.
+# ----------------------------------------------------------------------
+
+
+class TestOverloadController:
+    def make(self, **overrides):
+        stats = SessionStats()
+        return OverloadController(make_config(**overrides), stats=stats), stats
+
+    def test_admits_until_queue_full_then_sheds(self):
+        controller, stats = self.make(queue_capacity=2)
+        assert controller.admit({"id": 1}, now=0.0) is None
+        assert controller.admit({"id": 2}, now=0.0) is None
+        assert controller.admit({"id": 3}, now=0.0) == "queue-full"
+        assert stats.counters["serve.overload.admitted"] == 2
+        assert stats.counters["serve.overload.shed-queue-full"] == 1
+        assert stats.counters["serve.overload.queue-depth_peak"] == 2
+
+    def test_sheds_at_ladder_level_three(self):
+        controller, stats = self.make()
+        controller.ladder.observe(100.0, now=0.0)  # straight to shed
+        assert controller.admit({"id": 1}, now=0.1) == "degrade-level"
+        assert stats.counters["serve.overload.shed-level"] == 1
+
+    def test_pop_feeds_ladder_and_counts_deadline_sheds(self):
+        controller, stats = self.make(watermarks=(1.0, 2.0, 4.0))
+        controller.admit({"id": "stale"}, now=0.0, deadline_at=1.0)
+        controller.admit({"id": "slow"}, now=0.0)
+        entry, expired = controller.pop(now=1.5)
+        assert entry.frame["id"] == "slow"
+        assert len(expired) == 1
+        assert stats.counters["serve.overload.deadline-shed"] == 1
+        # Both waits (1.5s each) were observed: past the level-1 mark.
+        assert controller.ladder.level == LEVEL_NO_CERTIFY
+
+    def test_retry_after_scales_with_depth_and_level(self):
+        controller, _ = self.make(queue_capacity=4, retry_after=0.25)
+        idle = controller.retry_after(now=0.0)
+        assert idle == 0.25  # pressure 1.0: empty queue, level 0
+        controller.admit({"id": 1}, now=0.0)
+        controller.admit({"id": 2}, now=0.0)
+        deeper = controller.retry_after(now=0.0)
+        assert deeper > idle
+        controller.ladder.observe(100.0, now=0.0)
+        assert controller.retry_after(now=0.0) > deeper
+
+    def test_snapshot_shape(self):
+        controller, _ = self.make()
+        snapshot = controller.snapshot(now=0.0)
+        assert snapshot["enabled"] is True
+        assert snapshot["level"] == LEVEL_FULL
+        assert snapshot["queue_depth"] == 0
+        assert snapshot["watermarks"] == [1.0, 2.0, 4.0]
+        assert set(snapshot) >= {
+            "max_level", "transitions", "queue_capacity", "signal",
+            "window", "hysteresis_ratio",
+        }
+
+    def test_deterministic_under_virtual_clock(self):
+        """Same schedule + same clock => identical trajectories."""
+        def run():
+            clock = VirtualClock()
+            controller, stats = self.make(queue_capacity=3)
+            trace = []
+            for i in range(20):
+                reason = controller.admit(
+                    {"id": i}, clock.now(),
+                    deadline_at=clock.now() + 0.4 if i % 3 == 0 else None,
+                )
+                if i % 2 == 0:
+                    entry, expired = controller.pop(clock.now())
+                    trace.append(
+                        (reason, entry and entry.frame["id"], len(expired))
+                    )
+                clock.advance(0.25)
+            trace.append(controller.snapshot(clock.now()))
+            trace.append(sorted(stats.counters.items()))
+            return trace
+
+        assert run() == run()

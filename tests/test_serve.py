@@ -535,8 +535,9 @@ class TestBreakerIntegration:
             assert sup.stats.counters["serve.breaker-open"] == 1
 
             # After the cooldown the next request is a half-open probe;
-            # it succeeds (no fault) and closes the breaker.
-            clock["now"] = 61.0
+            # it succeeds (no fault) and closes the breaker.  The jump
+            # clears the worst-case jittered cooldown (60 * 1.1).
+            clock["now"] = 67.0
             response = sup.handle_request({"op": "run", "source": SUM_SOURCE})
             assert response["mode"] == "optimized"
             assert sup.breaker.state_of(fingerprint).state == CLOSED
@@ -831,3 +832,343 @@ class TestWorkerDrain:
             assert proc.wait(timeout=10) == 0
         finally:
             proc.kill()
+
+
+# ----------------------------------------------------------------------
+# Jitter: full-jitter retry backoff and de-correlated breaker probes.
+# ----------------------------------------------------------------------
+
+
+class TestJitter:
+    def test_backoff_is_seeded_bounded_full_jitter(self):
+        sup_a = Supervisor(config=fast_config(jitter_seed=7))
+        sup_b = Supervisor(config=fast_config(jitter_seed=7))
+        sup_c = Supervisor(config=fast_config(jitter_seed=8))
+        try:
+            draws_a = [sup_a._backoff(n) for n in range(1, 6)]
+            draws_b = [sup_b._backoff(n) for n in range(1, 6)]
+            draws_c = [sup_c._backoff(n) for n in range(1, 6)]
+            # Same seed replays the same draws; a different seed diverges.
+            assert draws_a == draws_b
+            assert draws_a != draws_c
+            # Full jitter: every draw within [0, min(cap, base * 2^(n-1))].
+            config = sup_a.config
+            for attempt, value in zip(range(1, 6), draws_a):
+                ceiling = min(
+                    config.backoff_cap,
+                    config.backoff_base * (2 ** (attempt - 1)),
+                )
+                assert 0.0 <= value <= ceiling
+        finally:
+            sup_a.shutdown()
+            sup_b.shutdown()
+            sup_c.shutdown()
+
+    def test_breakers_opened_same_tick_probe_different_ticks(self):
+        """Two breakers tripped by the same burst must not re-probe in
+        the same tick — full jitter on cooldown expiry de-correlates
+        them (the synchronized-retry-storm fix)."""
+        import random as random_module
+
+        clock = {"now": 0.0}
+        breaker = CircuitBreaker(
+            failure_threshold=1,
+            cooldown=10.0,
+            clock=lambda: clock["now"],
+            jitter=0.5,
+            rng=random_module.Random(0),
+        )
+        breaker.record_failure("fp-a")
+        breaker.record_failure("fp-b")  # same tick: both open at t=0
+        assert breaker.state_of("fp-a").state == OPEN
+        assert breaker.state_of("fp-b").state == OPEN
+
+        first_probe = {}
+        tick = 0.25
+        while len(first_probe) < 2 and clock["now"] < 20.0:
+            clock["now"] += tick
+            for fp in ("fp-a", "fp-b"):
+                if fp not in first_probe and breaker.allow_optimized(fp):
+                    first_probe[fp] = clock["now"]
+        assert len(first_probe) == 2
+        assert first_probe["fp-a"] != first_probe["fp-b"]
+        # Both expiries still land inside [cooldown, cooldown * 1.5].
+        for when in first_probe.values():
+            assert 10.0 <= when <= 15.0 + tick
+
+    def test_zero_jitter_preserves_exact_cooldown(self):
+        clock = {"now": 0.0}
+        breaker = CircuitBreaker(
+            failure_threshold=1, cooldown=10.0, clock=lambda: clock["now"]
+        )
+        breaker.record_failure("fp")
+        clock["now"] = 9.99
+        assert not breaker.allow_optimized("fp")
+        clock["now"] = 10.0
+        assert breaker.allow_optimized("fp")
+
+
+# ----------------------------------------------------------------------
+# Deadline propagation: one effective timer, not two racing ones.
+# ----------------------------------------------------------------------
+
+
+class TestDeadlinePropagation:
+    def test_deadline_ms_validation(self):
+        for bad in (0, -5, True, "soon", 1.5):
+            with pytest.raises(protocol.ProtocolError):
+                protocol.validate_request(
+                    {"op": "run", "source": "x", "deadline_ms": bad}
+                )
+        frame = protocol.validate_request(
+            {"op": "run", "source": "x", "deadline_ms": 1500}
+        )
+        assert frame["deadline_ms"] == 1500
+
+    def test_request_deadline_bounds_supervisor_and_worker(self, monkeypatch):
+        """Regression for the deadline-layering bug: a request deadline
+        *shorter* than the supervisor default must become the effective
+        pipe timeout AND ride the wire as the worker's budget — the
+        minimum of the two layers, not a race between them."""
+        from repro.serve.supervisor import WorkerHandle
+
+        captured = {}
+        original_send = WorkerHandle.send
+        original_read = WorkerHandle.read_frame
+
+        def spy_send(self, frame):
+            if frame.get("op") == "run":
+                captured["wire"] = dict(frame)
+            return original_send(self, frame)
+
+        def spy_read(self, timeout, clock=time.monotonic):
+            captured.setdefault("timeouts", []).append(timeout)
+            return original_read(self, timeout, clock)
+
+        monkeypatch.setattr(WorkerHandle, "send", spy_send)
+        monkeypatch.setattr(WorkerHandle, "read_frame", spy_read)
+
+        sup = Supervisor(config=fast_config(deadline=10.0, retries=0))
+        try:
+            response = sup.handle_request(
+                {"op": "run", "source": SUM_SOURCE, "deadline_ms": 2000}
+            )
+            assert response["status"] == "ok"
+            assert response["value"] == 28
+        finally:
+            sup.shutdown()
+        # The pipe read was bounded by the request budget, not the 10s
+        # supervisor default, and the worker saw the same number.
+        assert captured["timeouts"][0] <= 2.0
+        assert 0 < captured["wire"]["deadline_budget"] <= 2.0
+        assert captured["wire"]["deadline_budget"] == pytest.approx(
+            captured["timeouts"][0]
+        )
+
+    def test_longer_request_deadline_keeps_supervisor_default(self, monkeypatch):
+        from repro.serve.supervisor import WorkerHandle
+
+        captured = {}
+        original_send = WorkerHandle.send
+
+        def spy_send(self, frame):
+            if frame.get("op") == "run":
+                captured["wire"] = dict(frame)
+            return original_send(self, frame)
+
+        monkeypatch.setattr(WorkerHandle, "send", spy_send)
+        sup = Supervisor(config=fast_config(deadline=5.0, retries=0))
+        try:
+            response = sup.handle_request(
+                {"op": "run", "source": SUM_SOURCE, "deadline_ms": 60_000}
+            )
+            assert response["status"] == "ok"
+        finally:
+            sup.shutdown()
+        # A generous caller budget never *extends* the per-attempt
+        # deadline and the worker gets no budget field at all.
+        assert "deadline_budget" not in captured["wire"]
+
+    def test_worker_hard_deadline_contains_budget_blowout(self):
+        """The worker-side backstop: a request whose budget is tiny is
+        reported as a retryable failure, never a hang."""
+        from repro.serve import worker as worker_module
+
+        big_loop = """
+fn main(): int {
+  let a: int[] = new int[200000];
+  let s: int = 0;
+  for (let i: int = 0; i < len(a); i = i + 1) {
+    a[i] = i;
+    s = s + a[i];
+  }
+  return s;
+}
+"""
+        response = worker_module._serve_request(
+            {"op": "run", "id": "tiny", "source": big_loop, "fn": "main",
+             "args": [], "mode": "degraded", "deadline_budget": 0.001},
+            None, False, 0,
+        )
+        assert response["status"] == "failure"
+        assert response["reason"] == "deadline"
+
+    def test_worker_ignores_garbage_budgets(self):
+        from repro.serve import worker as worker_module
+
+        for garbage in (True, "soon", -1, 0, None):
+            response = worker_module._serve_request(
+                {"op": "run", "id": "g", "source": SUM_SOURCE, "fn": "main",
+                 "args": [], "mode": "degraded", "deadline_budget": garbage},
+                None, False, 0,
+            )
+            assert response["status"] == "ok"
+            assert response["value"] == 28
+
+
+# ----------------------------------------------------------------------
+# Overload integration: admission, shedding, and the response invariant.
+# ----------------------------------------------------------------------
+
+
+class StubDispatch:
+    """Replaces ``Supervisor._dispatch``: instant success, no workers."""
+
+    def __init__(self, clock, tick=0.05):
+        self.clock = clock
+        self.tick = tick
+        self.dispatched = []
+
+    def __call__(self, sup, frame, mode, attempt, wire_extra=None):
+        self.dispatched.append(frame["id"])
+        self.clock["now"] += self.tick
+        return (
+            "response",
+            {"id": frame["id"], "status": "ok", "op": frame["op"],
+             "mode": "optimized" if mode == "optimized" else "degraded",
+             "value": 0},
+        )
+
+
+class TestOverloadIntegration:
+    def make_supervisor(self, monkeypatch, clock, **overrides):
+        from repro.serve import supervisor as supervisor_module
+
+        stub = StubDispatch(clock)
+        monkeypatch.setattr(
+            supervisor_module.Supervisor, "_dispatch",
+            lambda sup, *a, **kw: stub(sup, *a, **kw),
+        )
+        sup = Supervisor(
+            config=fast_config(**overrides), clock=lambda: clock["now"]
+        )
+        sup.start = lambda: None  # no worker pool under the stub
+        return sup, stub
+
+    def test_queue_full_sheds_fast_with_retry_after(self, monkeypatch):
+        clock = {"now": 0.0}
+        sup, stub = self.make_supervisor(
+            monkeypatch, clock, queue_capacity=2
+        )
+        assert sup.submit({"op": "run", "source": SUM_SOURCE}) is None
+        assert sup.submit({"op": "run", "source": SUM_SOURCE}) is None
+        shed = sup.submit({"op": "run", "source": SUM_SOURCE})
+        assert shed["status"] == "shed"
+        assert shed["reason"] == "queue-full"
+        assert shed["retry_after"] > 0
+        assert isinstance(shed["degrade_level"], int)
+        assert stub.dispatched == []  # rejected before any worker touch
+        # The two queued requests still drain normally.
+        results = sup.process_queue()
+        assert [r["status"] for _, r in results] == ["ok", "ok"]
+
+    def test_every_admitted_request_gets_exactly_one_response(
+        self, monkeypatch
+    ):
+        """The response invariant, property-style: a seeded mix of
+        arrivals, deadlines, and queue pressure — every submitted frame
+        is answered exactly once, and an expired queued request is shed
+        without consuming a worker dispatch."""
+        clock = {"now": 0.0}
+        sup, stub = self.make_supervisor(
+            monkeypatch, clock, queue_capacity=8
+        )
+        rng = random.Random(42)
+        responses = {}
+
+        def record(frame, response):
+            key = frame["id"]
+            assert key not in responses, f"duplicate response for {key}"
+            responses[key] = response
+
+        submitted = []
+        for i in range(60):
+            frame = {"op": "run", "id": f"p{i}", "source": SUM_SOURCE}
+            if rng.random() < 0.4:
+                frame["deadline_ms"] = rng.randrange(50, 400)
+            submitted.append(frame["id"])
+            immediate = sup.submit(dict(frame))
+            if immediate is not None:
+                record(frame, immediate)
+            # Occasionally stall long enough for queued deadlines to
+            # expire, then serve a couple of requests.
+            if rng.random() < 0.3:
+                clock["now"] += rng.uniform(0.1, 0.6)
+            for _ in range(rng.randrange(0, 3)):
+                for served_frame, response in sup.process_one():
+                    record(served_frame, response)
+        for served_frame, response in sup.process_queue():
+            record(served_frame, response)
+
+        assert sorted(responses) == sorted(submitted)
+        shed_ids = {
+            key for key, r in responses.items() if r["status"] == "shed"
+        }
+        expired_ids = {
+            key for key, r in responses.items()
+            if r.get("reason") == "deadline-expired"
+        }
+        assert expired_ids, "schedule never expired a queued deadline"
+        # A deadline-expired entry was never dispatched to a worker.
+        assert expired_ids.isdisjoint(set(stub.dispatched))
+        # Everything not shed was dispatched exactly once.
+        served_ids = set(submitted) - shed_ids
+        assert sorted(stub.dispatched) == sorted(served_ids)
+
+    def test_degrade_level_tags_every_response(self, monkeypatch):
+        clock = {"now": 0.0}
+        sup, stub = self.make_supervisor(monkeypatch, clock)
+        sup.submit({"op": "run", "id": "lvl", "source": SUM_SOURCE})
+        ((_, response),) = sup.process_queue()
+        assert response["degrade_level"] == 0
+
+    def test_ladder_level_two_serves_degraded(self, monkeypatch):
+        clock = {"now": 0.0}
+        sup, stub = self.make_supervisor(monkeypatch, clock)
+        sup.overload.ladder.observe(3.0, now=0.0)  # past the 2.0 mark
+        sup.submit({"op": "run", "id": "deg", "source": SUM_SOURCE})
+        ((_, response),) = sup.process_queue()
+        assert response["mode"] == "degraded"
+        assert response["degrade_level"] == 2
+
+    def test_shed_queued_answers_everything_on_drain(self, monkeypatch):
+        clock = {"now": 0.0}
+        sup, stub = self.make_supervisor(monkeypatch, clock, queue_capacity=8)
+        for i in range(4):
+            sup.submit({"op": "run", "id": f"d{i}", "source": SUM_SOURCE})
+        drained = sup.shed_queued("shutting-down")
+        assert len(drained) == 4
+        assert all(r["status"] == "shed" for _, r in drained)
+        assert all(r["reason"] == "shutting-down" for _, r in drained)
+        assert sup.pending() == 0
+
+    def test_status_payload_carries_the_overload_block(self):
+        sup = Supervisor(config=fast_config())
+        try:
+            payload = sup.handle_request({"op": "status"})
+        finally:
+            sup.shutdown()
+        overload = payload["overload"]
+        assert overload["enabled"] is True
+        assert overload["level"] == 0
+        assert overload["queue_capacity"] == sup.config.queue_capacity

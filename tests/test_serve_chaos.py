@@ -219,3 +219,124 @@ class TestCorruptionStorm:
         ):
             assert key in payload
         assert payload["passed"] is True
+
+
+# ----------------------------------------------------------------------
+# Virtual-clock latency reporting and the shed contract.
+# ----------------------------------------------------------------------
+
+
+class TestLatencyDeterminism:
+    def test_storm_latency_summary_is_byte_reproducible(self):
+        """The satellite bugfix: latency percentiles come off the virtual
+        clock, so two identical storms produce identical JSON — the
+        property the CI overload-smoke gate stands on."""
+        kwargs = dict(requests=12, fault_rate=0.25, seed=5, workers=1,
+                      deadline=2.0)
+        first = run_storm(**kwargs).to_json()
+        second = run_storm(**kwargs).to_json()
+        assert first["latency"] == second["latency"]
+        assert first["latency"]["count"] == 12
+        assert first["latency"]["p99"] >= first["latency"]["p50"] > 0.0
+        import json
+
+        assert json.dumps(first["latency"], sort_keys=True) == json.dumps(
+            second["latency"], sort_keys=True
+        )
+
+    def test_timeout_costs_the_deadline_in_virtual_time(self):
+        """A hang fault must show up in the virtual latency accounting as
+        a deadline's worth of service time, not wall noise."""
+        clean = run_storm(requests=3, fault_rate=0.0, seed=2, workers=1,
+                          deadline=2.0, breaker_block=False)
+        assert clean.passed
+        assert max(clean.latencies) < 2.0
+
+
+class TestShedContract:
+    def make_result(self) -> StormResult:
+        return StormResult(requests=1, seed=0, fault_rate=0.0)
+
+    def test_shed_is_counted_never_lost_or_violated(self):
+        result = self.make_result()
+        request = {"source": "fn main(): int { return 1; }", "expect": "ok"}
+        response = {"id": "r1", "status": "shed", "reason": "queue-full",
+                    "retry_after": 0.5, "degrade_level": 3}
+        _verify_response(result, 0, request, response, {})
+        assert result.shed == 1
+        assert not result.violations
+
+    def test_shed_of_a_user_error_request_is_still_acceptable(self):
+        # Backpressure outranks the would-be answer class: a shed is a
+        # legitimate response even where a user error was expected.
+        result = self.make_result()
+        request = {"source": "irrelevant", "expect": "error"}
+        response = {"id": "r1", "status": "shed", "reason": "deadline-expired",
+                    "retry_after": 0.25, "degrade_level": 1}
+        _verify_response(result, 0, request, response, {})
+        assert result.shed == 1
+        assert not result.violations
+
+    def test_malformed_shed_is_flagged(self):
+        result = self.make_result()
+        request = {"source": "x", "expect": "ok"}
+        response = {"id": "r1", "status": "shed", "reason": "because"}
+        _verify_response(result, 0, request, response, {})
+        assert any("unknown reason" in v for v in result.violations)
+        assert any("retry_after" in v for v in result.violations)
+
+
+# ----------------------------------------------------------------------
+# The burst storm: overload control end to end at test scale.
+# ----------------------------------------------------------------------
+
+
+class TestBurstStorm:
+    def test_small_burst_storm_holds_the_overload_contract(self):
+        from repro.serve.chaos import format_burst_storm, run_burst_storm
+
+        result = run_burst_storm(
+            requests=80, burst_multiple=4.0, fault_rate=0.05, seed=0,
+            workers=2, deadline=2.0, min_p99_improvement=2.0,
+        )
+        assert result.passed, format_burst_storm(result)
+        assert result.lost == 0
+        assert result.baseline_lost == 0
+        assert result.responses == 80
+        assert result.shed > 0
+        assert result.max_level >= 2
+        assert result.final_level == 0
+        assert result.queue_depth_peak <= result.queue_capacity
+        assert result.p99_improvement >= 2.0
+        # Deadline-carrying requests existed and some were expired while
+        # queued (shed without touching a worker).
+        assert result.deadline_attached > 0
+        assert result.shed_deadline > 0
+        assert result.counters.get("serve.overload.deadline-shed", 0) > 0
+
+    def test_burst_storm_json_is_reproducible(self):
+        from repro.serve.chaos import run_burst_storm
+
+        kwargs = dict(requests=40, burst_multiple=4.0, fault_rate=0.1,
+                      seed=3, workers=1, deadline=2.0,
+                      min_p99_improvement=1.0)
+        import json
+
+        first = json.dumps(run_burst_storm(**kwargs).to_json(),
+                           sort_keys=True)
+        second = json.dumps(run_burst_storm(**kwargs).to_json(),
+                            sort_keys=True)
+        assert first == second
+
+    def test_burst_plan_is_seeded_and_open_loop(self):
+        from repro.serve.chaos import _plan_burst
+
+        plan_a = _plan_burst(50, 0.1, seed=4, mean_interarrival=0.0125)
+        plan_b = _plan_burst(50, 0.1, seed=4, mean_interarrival=0.0125)
+        assert plan_a == plan_b
+        dues = [item["due"] for item in plan_a]
+        assert dues == sorted(dues)
+        assert len({item["frame"]["id"] for item in plan_a}) == 50
+        # Open loop: arrival times are fixed up front, independent of
+        # any service behavior.
+        assert all("source" in item["frame"] for item in plan_a)
